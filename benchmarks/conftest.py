@@ -1,0 +1,30 @@
+"""Shared fixtures for the benchmark harness.
+
+Every ``test_table*.py`` / ``test_fig*.py`` file regenerates one table or
+figure of the paper.  Traces and sweep results are cached on disk under
+``data/``, so the first invocation pays the full simulation cost and
+subsequent ones (including pytest-benchmark's timing rounds) are fast.
+
+Run everything with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.runner import TraceSet
+from repro.harness.tables import render_table
+
+
+@pytest.fixture(scope="session")
+def suite() -> TraceSet:
+    """The calibrated benchmark suite (generated once, cached on disk)."""
+    return TraceSet()
+
+
+def show(result) -> None:
+    """Print a regenerated table so ``pytest -s`` shows the paper's rows."""
+    print()
+    print(render_table(result))

@@ -1,0 +1,61 @@
+"""Regenerate the extension experiments (DESIGN.md §5)."""
+
+import pytest
+
+from benchmarks.conftest import show
+from repro.harness.experiments import run_experiment
+
+
+def test_ext_patterns(benchmark, suite):
+    result = benchmark(lambda: run_experiment("ext-patterns", suite))
+    show(result)
+    rows = {row["benchmark"]: row for row in result.rows}
+    assert rows["mp3d"]["dominant"] == "migratory"
+    assert rows["em3d"]["dominant"] == "producer-consumer"
+
+
+def test_ext_traffic(benchmark, suite):
+    result = benchmark(lambda: run_experiment("ext-traffic", suite))
+    show(result)
+    rows = {row["scheme"]: row for row in result.rows}
+    # intersection is the traffic-efficient frontier point
+    assert (
+        rows["inter(add12)2[direct]"]["traffic_ratio"]
+        < rows["union(add12)4[direct]"]["traffic_ratio"]
+    )
+
+
+def test_ext_overlap(benchmark, suite):
+    result = benchmark(lambda: run_experiment("ext-overlap", suite))
+    show(result)
+    rows = {(row["scheme"], row["update"]): row for row in result.rows}
+    assert (
+        rows[("overlap(pid+pc8)1", "forwarded")]["pvp"]
+        >= rows[("last(pid+pc8)1", "forwarded")]["pvp"]
+    )
+
+
+def test_ext_robustness(benchmark, suite):
+    result = benchmark(lambda: run_experiment("ext-robustness", suite))
+    show(result)
+    pvps = [row["inter_pvp"] for row in result.rows]
+    assert max(pvps) - min(pvps) < 0.1  # conclusions are seed-stable
+
+
+def test_ext_scaling(benchmark, suite):
+    result = benchmark(lambda: run_experiment("ext-scaling", suite))
+    show(result)
+    prevalences = [row["prevalence_pct"] for row in result.rows]
+    assert prevalences == sorted(prevalences, reverse=True)
+
+
+def test_ext_confidence(benchmark, suite):
+    result = benchmark(lambda: run_experiment("ext-confidence", suite))
+    show(result)
+    rows = {row["scheme"]: row for row in result.rows}
+    # gating strictly reduces speculation (sensitivity falls)...
+    assert rows["cunion(add12)2[direct]"]["sens"] < rows["union(add12)2[direct]"]["sens"]
+    assert rows["cinter(add12)2[direct]"]["sens"] < rows["inter(add12)2[direct]"]["sens"]
+    # ...and the negative result the note records: it does not reach
+    # intersection's PVP
+    assert rows["cunion(add12)2[direct]"]["pvp"] < rows["inter(add12)2[direct]"]["pvp"]

@@ -1,0 +1,36 @@
+"""Regenerate paper Figure 6: intersection prediction across the 16 index
+combinations, under direct, forwarded, and ordered update."""
+
+from benchmarks.conftest import show
+from repro.harness.experiments import run_experiment
+
+
+def by_mode(result):
+    series = {}
+    for row in result.rows:
+        series.setdefault(row["update"], {})[row["index"]] = row
+    return series
+
+
+def test_fig6_intersection(benchmark, suite):
+    result = benchmark(lambda: run_experiment("fig6", suite))
+    show(result)
+    series = by_mode(result)
+    assert set(series) == {"direct", "forwarded", "ordered"}
+    assert all(len(points) == 16 for points in series.values())
+
+    for mode, points in series.items():
+        # pid indexing helps: the pid-bearing combos outscore pc-only
+        pc_only = points["pc16"]
+        pid_combo = points["pid+add12"]
+        assert pid_combo["sens"] >= pc_only["sens"], mode
+        # everything bounded
+        for row in points.values():
+            assert 0.0 <= row["sens"] <= 1.0 and 0.0 <= row["pvp"] <= 1.0
+
+    # Ordered update never averages less sensitive than forwarded for the
+    # pid+pc combos it was designed to fix (paper Figure 4).
+    assert (
+        series["ordered"]["pid+pc12"]["sens"]
+        >= series["forwarded"]["pid+pc12"]["sens"] - 0.02
+    )

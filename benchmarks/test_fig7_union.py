@@ -1,0 +1,30 @@
+"""Regenerate paper Figure 7: union prediction across the index grid."""
+
+from benchmarks.conftest import show
+from repro.harness.experiments import run_experiment
+
+
+def test_fig7_union(benchmark, suite):
+    result = benchmark(lambda: run_experiment("fig7", suite))
+    show(result)
+    fig6 = run_experiment("fig6", suite)
+    union_rows = {(row["update"], row["index"]): row for row in result.rows}
+    inter_rows = {(row["update"], row["index"]): row for row in fig6.rows}
+    assert set(union_rows) == set(inter_rows)
+
+    # Paper: "Union prediction behaves similarly with the only difference
+    # that the sensitivity curve is higher than the PVP curve" -- union
+    # makes more, but less good, predictions than intersection, point by
+    # point on the same index.
+    more_sensitive = sum(
+        1
+        for key in union_rows
+        if union_rows[key]["sens"] >= inter_rows[key]["sens"]
+    )
+    assert more_sensitive == len(union_rows)  # set-theoretic guarantee
+    lower_pvp = sum(
+        1
+        for key in union_rows
+        if union_rows[key]["pvp"] <= inter_rows[key]["pvp"] + 1e-9
+    )
+    assert lower_pvp >= 0.8 * len(union_rows)

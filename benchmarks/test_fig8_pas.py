@@ -1,0 +1,25 @@
+"""Regenerate paper Figure 8: PAs prediction (12-bit max index)."""
+
+from benchmarks.conftest import show
+from repro.harness.experiments import run_experiment
+
+
+def test_fig8_pas(benchmark, suite):
+    result = benchmark(lambda: run_experiment("fig8", suite))
+    show(result)
+    assert len(result.rows) == 16 * 3
+    by_mode = {}
+    for row in result.rows:
+        by_mode.setdefault(row["update"], {})[row["index"]] = row
+
+    # PAs benefits from pid indexing too (paper Section 5.4.2)
+    for mode, points in by_mode.items():
+        assert points["pid+add8"]["sens"] >= points["pc12"]["sens"], mode
+
+    # And PAs never beats a flat intersection at comparable index width:
+    # compare against fig6's intersection points (the paper's Section 5.4.1
+    # surprise that two-level schemes add nothing).
+    fig6 = run_experiment("fig6", suite)
+    inter_best = max(row["pvp"] for row in fig6.rows if row["update"] == "direct")
+    pas_best = max(row["pvp"] for row in result.rows if row["update"] == "direct")
+    assert pas_best <= inter_best + 0.05

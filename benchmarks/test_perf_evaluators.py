@@ -1,0 +1,63 @@
+"""Performance benchmarks for the evaluation engines themselves.
+
+These measure real throughput (events/second) of the components the
+design-space sweep is built on -- the numbers that justify the vectorized
+engine's existence.
+"""
+
+import pytest
+
+from repro.core.evaluator import evaluate_scheme
+from repro.core.schemes import parse_scheme
+from repro.core.vectorized import evaluate_scheme_fast
+from repro.harness.runner import generate_trace
+
+
+@pytest.fixture(scope="module")
+def trace(suite):
+    return suite.trace("mp3d")  # the largest default trace (~19K events)
+
+
+@pytest.mark.parametrize("mode", ["direct", "forwarded", "ordered"])
+def test_perf_vectorized_union(benchmark, trace, mode):
+    scheme = parse_scheme(f"union(pid+add8)2[{mode}]")
+    counts = benchmark(lambda: evaluate_scheme_fast(scheme, trace))
+    assert counts.total == len(trace) * trace.num_nodes
+
+
+def test_perf_vectorized_intersection_deep(benchmark, trace):
+    scheme = parse_scheme("inter(pid+pc8+add8)4[direct]")
+    benchmark(lambda: evaluate_scheme_fast(scheme, trace))
+
+
+def test_perf_pas_sequential(benchmark, trace):
+    """PAs has no bitmap-window shortcut; this is the sweep's cost ceiling."""
+    scheme = parse_scheme("pas(pid+add4)2[direct]")
+    benchmark(lambda: evaluate_scheme_fast(scheme, trace))
+
+
+def test_perf_reference_evaluator(benchmark, trace):
+    """The obviously-correct interpreter, for speedup comparison."""
+    scheme = parse_scheme("union(pid+add8)2[direct]")
+    benchmark(lambda: evaluate_scheme(scheme, trace))
+
+
+def test_perf_trace_generation(benchmark):
+    """Full protocol simulation of the smallest suite member (ocean)."""
+    benchmark(lambda: generate_trace("ocean"))
+
+
+def test_vectorized_speedup_is_real(suite):
+    """The fast engine must beat the interpreter by a wide margin, or the
+    sweep design makes no sense."""
+    import time
+
+    trace = suite.trace("mp3d")
+    scheme = parse_scheme("union(pid+add8)2[direct]")
+    started = time.perf_counter()
+    evaluate_scheme_fast(scheme, trace)
+    fast = time.perf_counter() - started
+    started = time.perf_counter()
+    evaluate_scheme(scheme, trace)
+    slow = time.perf_counter() - started
+    assert slow / fast > 5

@@ -1,0 +1,24 @@
+"""Regenerate paper Table 10: top-10 sensitivity schemes, direct update."""
+
+from benchmarks.conftest import show
+from repro.harness.experiments import run_experiment
+
+
+def test_table10_top_sens_direct(benchmark, suite):
+    result = benchmark(lambda: run_experiment("table10", suite))
+    show(result)
+    assert len(result.rows) == 10
+    sens = [row["sens"] for row in result.rows]
+    assert sens == sorted(sens, reverse=True)
+    # Paper shape: "All are union schemes with the maximum history depth
+    # that we allowed, 4."
+    assert all(row["scheme"].startswith("union") for row in result.rows)
+    assert all(row["scheme"].endswith(")4") for row in result.rows)
+    # The winners are address-indexed (the paper's Table 10 is dir+addr
+    # combinations); pc contributes at most marginally.
+    address_indexed = [row for row in result.rows if "pc" not in row["scheme"]]
+    assert len(address_indexed) >= 7
+    # Sensitivity winners pay in PVP relative to the Table 8 winners.
+    table8 = run_experiment("table8", suite)
+    assert result.rows[0]["pvp"] < table8.rows[0]["pvp"]
+    assert result.rows[0]["sens"] > table8.rows[0]["sens"]

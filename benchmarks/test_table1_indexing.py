@@ -1,0 +1,15 @@
+"""Regenerate paper Table 1: the 16 indexing classes of the taxonomy."""
+
+from benchmarks.conftest import show
+from repro.harness.experiments import run_experiment
+
+
+def test_table1_indexing(benchmark, suite):
+    result = benchmark(lambda: run_experiment("table1", suite))
+    show(result)
+    assert len(result.rows) == 16
+    # the paper's structural facts about the table
+    centralized = [row["case"] for row in result.rows if not row["at_proc"] and not row["at_dir"]]
+    assert centralized == [0, 1, 4, 5]
+    both = [row["case"] for row in result.rows if row["at_proc"] and row["at_dir"]]
+    assert both == [10, 11, 14, 15]

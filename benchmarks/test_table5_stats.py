@@ -1,0 +1,22 @@
+"""Regenerate paper Table 5: store instruction and cache block statistics."""
+
+from benchmarks.conftest import show
+from repro.harness.experiments import run_experiment
+from repro.workloads.registry import BENCHMARK_NAMES
+
+
+def test_table5_stats(benchmark, suite):
+    result = benchmark(lambda: run_experiment("table5", suite))
+    show(result)
+    assert [row["benchmark"] for row in result.rows] == BENCHMARK_NAMES
+    for row in result.rows:
+        # the paper's point: live static stores are a tiny population
+        # relative to blocks and dynamic misses
+        assert row["max_static_stores"] < 50
+        assert row["blocks_touched"] > row["max_static_stores"]
+        assert row["store_misses"] > row["blocks_touched"] // 2
+    # ocean touches the most data relative to its sharing (grid >> cache)
+    by_name = {row["benchmark"]: row for row in result.rows}
+    assert by_name["water"]["blocks_touched"] == min(
+        row["blocks_touched"] for row in result.rows
+    )

@@ -1,0 +1,25 @@
+"""Regenerate paper Table 8: top-10 PVP schemes under direct update.
+
+The first run executes the full design-space sweep (all schemes within
+2^24 bits, ~2 minutes); the result is cached under data/results.
+"""
+
+from benchmarks.conftest import show
+from repro.harness.experiments import run_experiment
+
+
+def test_table8_top_pvp_direct(benchmark, suite):
+    result = benchmark(lambda: run_experiment("table8", suite))
+    show(result)
+    assert len(result.rows) == 10
+    pvps = [row["pvp"] for row in result.rows]
+    assert pvps == sorted(pvps, reverse=True)
+    # Paper shape: the top-PVP list is intersection schemes...
+    assert all(row["scheme"].startswith("inter") for row in result.rows)
+    # ...whose history is deeper than last-prediction
+    assert all(int(row["scheme"][-1]) >= 2 for row in result.rows)
+    # ...trading away sensitivity (well below the union winners' ~0.6)
+    assert all(row["sens"] < 0.5 for row in result.rows)
+    # and PAs never ranks (the note records the best PAs contender)
+    assert not any(row["scheme"].startswith("pas") for row in result.rows)
+    assert any("PAs" in note for note in result.notes)

@@ -1,0 +1,18 @@
+"""Regenerate paper Table 9: top-10 PVP schemes under forwarded update."""
+
+from benchmarks.conftest import show
+from repro.harness.experiments import run_experiment
+
+
+def test_table9_top_pvp_forwarded(benchmark, suite):
+    result = benchmark(lambda: run_experiment("table9", suite))
+    show(result)
+    direct = run_experiment("table8", suite)
+    assert len(result.rows) == 10
+    assert all(row["scheme"].startswith("inter") for row in result.rows)
+    # Paper: "Direct update and forwarded update have very little influence
+    # on PVP" -- the two lists' best PVPs are close.
+    best_forwarded = result.rows[0]["pvp"]
+    best_direct = direct.rows[0]["pvp"]
+    assert abs(best_forwarded - best_direct) < 0.15
+    assert not any(row["scheme"].startswith("pas") for row in result.rows)

@@ -1,0 +1,96 @@
+"""Migratory sharing and why update timing matters.
+
+Run:  python examples/migratory_updates.py
+
+Migratory data -- a structure passed around under a lock, each holder
+reading then writing it -- is the hardest pattern in the paper's scope
+(Section 1 deliberately includes it).  This example builds a token-passing
+workload where the succession order is either a fixed ring (predictable) or
+randomized (the mp3d regime), and compares the three update mechanisms of
+the taxonomy: direct's misattribution (paper Figure 3) visibly hurts
+instruction-indexed predictors exactly when writers alternate, while
+forwarded routes history to the right entry and ordered shows the ceiling.
+"""
+
+from typing import Iterator, List
+
+from repro import ScreeningStats, evaluate_scheme_fast, parse_scheme
+from repro.memory.system import MultiprocessorSystem, SystemConfig
+from repro.trace.stats import compute_trace_stats
+from repro.workloads.base import Access, Atomic, Barrier, ThreadItem, Workload
+from repro.workloads.layout import MemoryLayout
+
+
+class TokenRingWorkload(Workload):
+    """`tokens` records are read-modify-written by nodes in succession.
+
+    ``random_order=False``: each token travels a fixed ring (node i hands to
+    node i+1) -- the next reader is perfectly learnable.
+    ``random_order=True``: the successor is drawn per hop, like mp3d cells.
+    """
+
+    name = "tokenring"
+
+    def __init__(self, num_nodes=16, seed=0, tokens=32, hops=40, random_order=False):
+        super().__init__(num_nodes=num_nodes, seed=seed)
+        self.tokens = tokens
+        self.hops = hops
+        layout = MemoryLayout()
+        self.records = layout.array("tokens", tokens, 64)
+        rng = self.rng.spawn("order")
+        # Precompute each token's holder sequence.
+        self.holders: List[List[int]] = []
+        for token in range(tokens):
+            holder = token % num_nodes
+            sequence = [holder]
+            for _ in range(hops - 1):
+                if random_order:
+                    holder = rng.integers(0, num_nodes)
+                else:
+                    holder = (holder + 1) % num_nodes
+                sequence.append(holder)
+            self.holders.append(sequence)
+
+    def thread_programs(self) -> List[Iterator[ThreadItem]]:
+        return [self._thread(tid) for tid in range(self.num_nodes)]
+
+    def _thread(self, tid: int) -> Iterator[ThreadItem]:
+        pc_update = self.pcs.site("update_token")
+        for hop in range(self.hops):
+            for token in range(self.tokens):
+                if self.holders[token][hop] == tid:
+                    address = self.records.addr(token)
+                    yield Atomic([Access("R", address), Access("W", address, pc_update)])
+            yield Barrier()
+
+
+def report(random_order: bool) -> None:
+    label = "random succession" if random_order else "fixed ring succession"
+    workload = TokenRingWorkload(random_order=random_order)
+    system = MultiprocessorSystem(SystemConfig(), trace_name=workload.name)
+    system.run(workload.accesses())
+    trace = system.finalize_trace()
+    stats = compute_trace_stats(trace)
+    print(f"\n== {label}: {stats.events} events, degree {stats.degree_of_sharing:.2f}")
+    for update in ("direct", "forwarded", "ordered"):
+        screening = ScreeningStats.from_counts(
+            evaluate_scheme_fast(parse_scheme(f"last(pid+pc4)1[{update}]"), trace)
+        )
+        pvp = f"{screening.pvp:.3f}" if screening.pvp is not None else "  -  "
+        print(f"   last(pid+pc4)1[{update:9s}]  sens={screening.sensitivity:.3f} pvp={pvp}")
+
+
+def main() -> None:
+    report(random_order=False)
+    report(random_order=True)
+    print(
+        "\nOn the fixed ring every update mode learns 'my successor reads "
+        "next'.  With random succession nothing is learnable and all modes "
+        "collapse -- prediction cannot beat the entropy of the pattern, "
+        "only the update plumbing differs (forwarded/ordered credit the "
+        "right writer, direct smears histories across writers)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+"""Static producer-consumer sharing: where prediction shines.
+
+Run:  python examples/producer_consumer.py
+
+The paper expects reader prediction "to work particularly well for static
+producer-consumer sharing" (Section 1).  This example builds exactly that
+pattern from scratch -- each producer thread publishes values consumed by a
+fixed set of subscriber threads -- and shows predictor accuracy approaching
+the oracle, then degrades the pattern by rotating subscribers and watches
+accuracy fall.
+"""
+
+from typing import Iterator, List
+
+from repro import ScreeningStats, evaluate_scheme_fast, parse_scheme
+from repro.memory.system import MultiprocessorSystem, SystemConfig
+from repro.trace.stats import compute_trace_stats, oracle_counts
+from repro.workloads.base import Access, Barrier, ThreadItem, Workload
+from repro.workloads.layout import MemoryLayout
+
+
+class PubSubWorkload(Workload):
+    """Each thread owns `slots` publication lines read by `fanout` peers.
+
+    With ``rotate=0`` the subscriber sets are static (the ideal case);
+    ``rotate=k`` shifts every subscriber set by one node every k rounds,
+    eroding the history every predictor depends on.
+    """
+
+    name = "pubsub"
+
+    def __init__(self, num_nodes=16, seed=0, slots=24, fanout=3, rounds=20, rotate=0):
+        super().__init__(num_nodes=num_nodes, seed=seed)
+        self.slots = slots
+        self.fanout = fanout
+        self.rounds = rounds
+        self.rotate = rotate
+        layout = MemoryLayout()
+        self.mailboxes = layout.array("mailboxes", num_nodes * slots, 64)
+
+    def _subscribers(self, publisher: int, round_index: int) -> List[int]:
+        shift = 0 if not self.rotate else round_index // self.rotate
+        return [
+            (publisher + offset + shift) % self.num_nodes
+            for offset in range(1, self.fanout + 1)
+        ]
+
+    def thread_programs(self) -> List[Iterator[ThreadItem]]:
+        return [self._thread(tid) for tid in range(self.num_nodes)]
+
+    def _thread(self, tid: int) -> Iterator[ThreadItem]:
+        pc_publish = self.pcs.site("publish")
+        for round_index in range(self.rounds):
+            # publish phase: write own mailboxes
+            for slot in range(self.slots):
+                yield Access("W", self.mailboxes.addr(tid * self.slots + slot), pc_publish)
+            yield Barrier()
+            # consume phase: read the mailboxes this thread subscribes to
+            for publisher in range(self.num_nodes):
+                if tid in self._subscribers(publisher, round_index):
+                    for slot in range(self.slots):
+                        yield Access(
+                            "R", self.mailboxes.addr(publisher * self.slots + slot)
+                        )
+            yield Barrier()
+
+
+def evaluate(workload: PubSubWorkload, label: str) -> None:
+    system = MultiprocessorSystem(SystemConfig(), trace_name=workload.name)
+    system.run(workload.accesses())
+    trace = system.finalize_trace()
+    stats = compute_trace_stats(trace)
+    oracle = ScreeningStats.from_counts(oracle_counts(trace))
+
+    print(f"\n== {label}")
+    print(
+        f"   {stats.events} events, prevalence {100 * stats.prevalence:.1f}%, "
+        f"oracle sensitivity {oracle.sensitivity:.2f}"
+    )
+    for text in ("last(pid+pc4)1[direct]", "inter(add8)2[direct]", "union(add8)2[direct]"):
+        screening = ScreeningStats.from_counts(
+            evaluate_scheme_fast(parse_scheme(text), trace)
+        )
+        pvp = f"{screening.pvp:.3f}" if screening.pvp is not None else "  -  "
+        print(f"   {text:26s} sens={screening.sensitivity:.3f} pvp={pvp}")
+
+
+def main() -> None:
+    evaluate(PubSubWorkload(rotate=0), "static subscribers (ideal producer-consumer)")
+    evaluate(PubSubWorkload(rotate=4), "subscribers rotate every 4 rounds")
+    evaluate(PubSubWorkload(rotate=1), "subscribers rotate every round (worst case)")
+    print(
+        "\nStatic subscriber sets are learned almost perfectly after one "
+        "round; the faster the sets rotate, the more history mispredicts, "
+        "with intersection losing sensitivity and last/union losing PVP."
+    )
+
+
+if __name__ == "__main__":
+    main()

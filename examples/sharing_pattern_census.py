@@ -1,0 +1,57 @@
+"""Census the sharing patterns of the benchmark suite.
+
+Run:  python examples/sharing_pattern_census.py
+
+The paper (Section 1) frames its predictors as pattern-agnostic: migratory,
+wide, and producer-consumer sharing all flow through the same bitmaps.
+This example classifies each benchmark's blocks into that taxonomy and then
+shows how predictor accuracy per benchmark follows its pattern mix -- the
+producer-consumer-heavy traces are where intersection predictors earn
+their PVP, and the migratory-heavy ones are where every scheme struggles.
+"""
+
+from repro import ScreeningStats, evaluate_scheme_fast, parse_scheme
+from repro.harness.runner import TraceSet
+from repro.trace.patterns import SharingPattern, census
+
+
+def main() -> None:
+    suite = TraceSet()
+    scheme = parse_scheme("inter(add12)2[direct]")
+
+    header = (
+        f"{'benchmark':10s} {'prod-cons':>9s} {'migratory':>9s} "
+        f"{'wide':>6s} {'unshared':>8s}   {'inter pvp':>9s}"
+    )
+    print(header)
+    print("-" * len(header))
+    rows = []
+    for name in suite.benchmarks:
+        trace = suite.trace(name)
+        tally = census(trace)
+        screening = ScreeningStats.from_counts(evaluate_scheme_fast(scheme, trace))
+        pvp = screening.pvp if screening.pvp is not None else 0.0
+        rows.append((tally.event_fraction(SharingPattern.MIGRATORY), pvp, name))
+        print(
+            f"{name:10s} "
+            f"{tally.event_fraction(SharingPattern.PRODUCER_CONSUMER):9.2f} "
+            f"{tally.event_fraction(SharingPattern.MIGRATORY):9.2f} "
+            f"{tally.event_fraction(SharingPattern.WIDE_SHARING):6.2f} "
+            f"{tally.event_fraction(SharingPattern.UNSHARED):8.2f}   "
+            f"{pvp:9.3f}"
+        )
+
+    worst = min(rows, key=lambda row: row[1])
+    best = max(rows, key=lambda row: row[1])
+    print(
+        f"\nThe hardest benchmark for the intersection predictor is "
+        f"{worst[2]} (pvp {worst[1]:.2f}), whose migratory events are "
+        f"random-successor cell updates; the easiest is {best[2]} "
+        f"(pvp {best[1]:.2f}), where reader sets recur.  Pattern mix, not "
+        "prevalence, decides how predictable a benchmark is -- the entropy "
+        "argument of the paper's introduction."
+    )
+
+
+if __name__ == "__main__":
+    main()

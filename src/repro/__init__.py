@@ -1,0 +1,46 @@
+"""repro: coherence communication prediction in shared-memory multiprocessors.
+
+A full reproduction of Kaxiras & Young (HPCA 2000): the predictor taxonomy
+(access x prediction x update), the screening-test metrics (prevalence,
+sensitivity, PVP), the memory-system and workload substrates that generate
+sharing traces, and the harness that regenerates every table and figure of
+the paper's evaluation.
+
+Quickstart::
+
+    from repro import parse_scheme, evaluate_scheme_fast, ScreeningStats
+    from repro.harness import default_trace_set
+
+    trace = default_trace_set().trace("barnes")
+    counts = evaluate_scheme_fast(parse_scheme("inter(pid+add6)4[direct]"), trace)
+    print(ScreeningStats.from_counts(counts))
+"""
+
+from repro.core import (
+    IndexSpec,
+    Scheme,
+    UpdateMode,
+    enumerate_schemes,
+    evaluate_scheme,
+    evaluate_scheme_fast,
+    parse_scheme,
+)
+from repro.metrics import ConfusionCounts, ScreeningStats
+from repro.trace import SharingEvent, SharingTrace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "IndexSpec",
+    "Scheme",
+    "UpdateMode",
+    "enumerate_schemes",
+    "evaluate_scheme",
+    "evaluate_scheme_fast",
+    "parse_scheme",
+    "ConfusionCounts",
+    "ScreeningStats",
+    "SharingEvent",
+    "SharingTrace",
+    "__version__",
+]

@@ -1,0 +1,114 @@
+"""Reference (sequential, obviously-correct) scheme evaluation.
+
+This evaluator walks a sharing trace event by event, maintaining a real
+predictor table keyed by the scheme's index, and scores each prediction
+against the epoch's eventual truth bitmap.  It is the semantic definition of
+every update mode; the fast numpy engine in :mod:`repro.core.vectorized` is
+property-tested against it.
+
+Update-mode timing implemented here (see DESIGN.md section 3):
+
+* DIRECT: at each event, the reader set just invalidated (``inval``) enters
+  the entry the event consults, then the entry predicts.  The first event on
+  a block closes no epoch and performs no update.
+* FORWARDED: when event *i* closes the epoch opened by event *j*, the
+  feedback ``truth[j]`` is delivered to entry ``key[j]`` (the entry that
+  made prediction *j*) at event *i*, before event *i*'s own prediction.
+  Each event closes at most one epoch, so delivery order is unambiguous.
+* ORDERED: feedback ``truth[i]`` reaches entry ``key[i]`` immediately after
+  prediction *i* -- i.e. before the entry's next use, even if the epoch is
+  still open then (the idealized scheme of paper Figure 4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.schemes import Scheme
+from repro.core.update import UpdateMode
+from repro.metrics.confusion import ConfusionCounts
+from repro.trace.events import SharingTrace
+from repro.util.bitmaps import bitmap_mask
+
+
+def evaluate_scheme(
+    scheme: Scheme,
+    trace: SharingTrace,
+    exclude_writer: bool = True,
+    counts: Optional[ConfusionCounts] = None,
+) -> ConfusionCounts:
+    """Run ``scheme`` over ``trace`` and return accumulated confusion counts.
+
+    Args:
+        scheme: the predictor configuration (function, index, depth, update).
+        trace: the sharing-event stream to predict.
+        exclude_writer: mask the writer's own bit out of every prediction
+            (forwarding data to their producer is meaningless).  The bit
+            still counts as a decision, landing in the true-negative cell,
+            so totals stay at ``len(trace) * num_nodes``.
+        counts: optional accumulator to merge into (for multi-trace runs).
+
+    Returns:
+        The :class:`ConfusionCounts` accumulator.
+    """
+    if counts is None:
+        counts = ConfusionCounts()
+    num_nodes = trace.num_nodes
+    function = scheme.make_function(num_nodes)
+    index = scheme.index
+    mode = scheme.update
+    decision_mask = bitmap_mask(num_nodes)
+
+    table: Dict[int, object] = {}
+
+    def entry_for(key: int) -> object:
+        entry = table.get(key)
+        if entry is None:
+            entry = function.new_entry()
+            table[key] = entry
+        return entry
+
+    # Forwarded update: key under which each still-open epoch predicted, so
+    # its truth can be routed there when the epoch closes.  Indexed by block
+    # because the closing event identifies the epoch via its block.
+    pending_key_by_block: Dict[int, int] = {}
+
+    for position in range(len(trace)):
+        event = trace[position]
+        key = index.key(event.writer, event.pc, event.home, event.block, num_nodes)
+
+        if mode is UpdateMode.DIRECT:
+            if event.has_inval:
+                function.update(entry_for(key), event.inval)
+        elif mode is UpdateMode.FORWARDED:
+            if event.has_inval:
+                # This event closes its block's previous epoch; deliver that
+                # epoch's truth (== this event's inval bitmap) to the entry
+                # that predicted it.
+                origin_key = pending_key_by_block[event.block]
+                function.update(entry_for(origin_key), event.inval)
+            pending_key_by_block[event.block] = key
+
+        prediction = function.predict(entry_for(key))
+        if exclude_writer:
+            prediction &= ~(1 << event.writer)
+        counts.record(prediction, event.truth, decision_mask)
+
+        if mode is UpdateMode.ORDERED:
+            function.update(entry_for(key), event.truth)
+
+    return counts
+
+
+def evaluate_scheme_multi(
+    scheme: Scheme, traces, exclude_writer: bool = True
+) -> ConfusionCounts:
+    """Evaluate one scheme across several traces with a fresh table per trace.
+
+    Predictor state never carries over between benchmarks (each benchmark is
+    a separate machine run in the paper); the confusion counts accumulate.
+    """
+    counts = ConfusionCounts()
+    for trace in traces:
+        evaluate_scheme(scheme, trace, exclude_writer=exclude_writer, counts=counts)
+    return counts

@@ -1,0 +1,183 @@
+"""Prediction functions over bitmap history (paper Section 3.2).
+
+Each function defines the state of one predictor entry, how that state turns
+into a predicted sharing bitmap, and how invalidation feedback updates it.
+The bitmap-history family (last / union / intersection / overlap-last) keeps
+the most recent ``depth`` feedback bitmaps; two-level PAs prediction lives in
+:mod:`repro.core.twolevel`.
+
+Identities the paper relies on (and our tests assert):
+
+* last == union(depth=1) == intersection(depth=1);
+* union predictions always contain intersection predictions for the same
+  history, so union sensitivity >= intersection sensitivity event by event.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import deque
+from typing import Deque, List
+
+
+class PredictionFunction(ABC):
+    """Strategy object: state layout + prediction + update for one entry."""
+
+    #: the function name used in scheme notation ("union", "inter", ...)
+    name: str = ""
+
+    def __init__(self, depth: int, num_nodes: int):
+        if depth < 1:
+            raise ValueError(f"history depth must be >= 1, got {depth}")
+        self.depth = depth
+        self.num_nodes = num_nodes
+
+    @abstractmethod
+    def new_entry(self) -> object:
+        """Create the initial (empty-history) state for one table entry."""
+
+    @abstractmethod
+    def predict(self, entry: object) -> int:
+        """Produce a predicted sharing bitmap from entry state."""
+
+    @abstractmethod
+    def update(self, entry: object, feedback: int) -> None:
+        """Absorb one feedback bitmap (a true-reader set) into entry state."""
+
+    @abstractmethod
+    def entry_bits(self) -> int:
+        """Storage cost of one entry in bits (paper Section 5.4 accounting)."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(depth={self.depth}, num_nodes={self.num_nodes})"
+
+
+class _BitmapHistoryFunction(PredictionFunction):
+    """Shared machinery: entries are bounded deques of feedback bitmaps."""
+
+    def new_entry(self) -> Deque[int]:
+        return deque(maxlen=self.depth)
+
+    def update(self, entry: Deque[int], feedback: int) -> None:
+        entry.append(feedback)
+
+    def entry_bits(self) -> int:
+        return self.depth * self.num_nodes
+
+
+class UnionFunction(_BitmapHistoryFunction):
+    """Predict the union of the stored bitmaps.
+
+    Union speculates on *any* reader seen recently: high sensitivity, lower
+    PVP, and both move further in those directions as depth grows.
+    """
+
+    name = "union"
+
+    def predict(self, entry: Deque[int]) -> int:
+        prediction = 0
+        for bitmap in entry:
+            prediction |= bitmap
+        return prediction
+
+
+class IntersectionFunction(_BitmapHistoryFunction):
+    """Predict the intersection of the stored bitmaps.
+
+    Intersection speculates only on *stable* readers: the paper's top-PVP
+    schemes are all deep-history intersections.  An entry with a single
+    stored bitmap predicts that bitmap (so depth 1 equals last-prediction).
+    """
+
+    name = "inter"
+
+    def predict(self, entry: Deque[int]) -> int:
+        iterator = iter(entry)
+        try:
+            prediction = next(iterator)
+        except StopIteration:
+            return 0
+        for bitmap in iterator:
+            prediction &= bitmap
+        return prediction
+
+
+class LastFunction(UnionFunction):
+    """Predict the most recent feedback bitmap (union/inter at depth 1)."""
+
+    name = "last"
+
+    def __init__(self, depth: int, num_nodes: int):
+        if depth != 1:
+            raise ValueError(f"last-prediction has depth 1 by definition, got {depth}")
+        super().__init__(depth=1, num_nodes=num_nodes)
+
+
+class OverlapLastFunction(_BitmapHistoryFunction):
+    """Kaxiras & Goodman's guarded last-prediction (paper Section 3.5).
+
+    Predict the most recent bitmap only when it overlaps the one before it;
+    a reader set disjoint from its predecessor signals an unstable (e.g.
+    migratory) relationship, so the predictor abstains.  The paper names
+    this function ("overlap-last") but does not simulate it; we do.
+
+    The entry keeps two bitmaps regardless of the requested depth, and with
+    only one bitmap stored the function predicts it (nothing contradicts it
+    yet).
+    """
+
+    name = "overlap"
+
+    def __init__(self, depth: int, num_nodes: int):
+        if depth != 1:
+            raise ValueError(f"overlap-last has depth 1 by definition, got {depth}")
+        super().__init__(depth=1, num_nodes=num_nodes)
+
+    def new_entry(self) -> Deque[int]:
+        return deque(maxlen=2)
+
+    def predict(self, entry: Deque[int]) -> int:
+        if not entry:
+            return 0
+        if len(entry) == 1:
+            return entry[-1]
+        last, previous = entry[-1], entry[-2]
+        return last if last & previous else 0
+
+    def entry_bits(self) -> int:
+        return 2 * self.num_nodes
+
+
+_FUNCTION_CLASSES = {
+    "last": LastFunction,
+    "union": UnionFunction,
+    "inter": IntersectionFunction,
+    "intersection": IntersectionFunction,
+    "overlap": OverlapLastFunction,
+    "overlap-last": OverlapLastFunction,
+}
+
+
+def make_function(name: str, depth: int, num_nodes: int) -> PredictionFunction:
+    """Instantiate a prediction function by scheme-notation name.
+
+    "pas" and the confidence-gated variants are imported lazily to avoid
+    module cycles.
+    """
+    normalized = name.strip().lower()
+    if normalized == "pas":
+        from repro.core.twolevel import PAsFunction
+
+        return PAsFunction(depth=depth, num_nodes=num_nodes)
+    if normalized in ("cunion", "cinter"):
+        from repro.core.confidence import (
+            ConfidentIntersectionFunction,
+            ConfidentUnionFunction,
+        )
+
+        gated = {"cunion": ConfidentUnionFunction, "cinter": ConfidentIntersectionFunction}
+        return gated[normalized](depth=depth, num_nodes=num_nodes)
+    if normalized not in _FUNCTION_CLASSES:
+        known: List[str] = sorted(set(_FUNCTION_CLASSES)) + ["pas", "cunion", "cinter"]
+        raise ValueError(f"unknown prediction function {name!r}; known: {known}")
+    return _FUNCTION_CLASSES[normalized](depth=depth, num_nodes=num_nodes)

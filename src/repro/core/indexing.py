@@ -1,0 +1,200 @@
+"""Predictor access: indexing the global predictor (paper Section 3.1).
+
+When a store creates new data, four pieces of information are available:
+the writing processor (*pid*), the program counter of the store (*pc*), the
+home directory of the block (*dir*), and the block address (*addr*).  Any
+subset of these can index a single *global* predictor; which subset is used
+determines both behaviour and where the predictor can physically live:
+
+* pid in the index  -> the table can be sliced across the processors,
+* dir in the index  -> the table can be sliced across the directories,
+* neither           -> the predictor is necessarily centralized.
+
+To keep a distributed implementation exactly equivalent to the global
+abstraction, pid and dir are used whole (all ``log2 N`` bits or none), while
+pc and addr may be truncated to any bit budget (paper Section 3.1).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass
+from typing import Iterator, List
+
+
+@dataclass(frozen=True)
+class IndexSpec:
+    """A point in the access axis: which fields index the predictor.
+
+    Attributes:
+        use_pid: include the full processor id in the index.
+        pc_bits: number of low-order pc bits in the index (0 = unused).
+        use_dir: include the full home-directory id in the index.
+        addr_bits: number of low-order block-address bits (0 = unused).
+    """
+
+    use_pid: bool = False
+    pc_bits: int = 0
+    use_dir: bool = False
+    addr_bits: int = 0
+
+    def __post_init__(self) -> None:
+        if self.pc_bits < 0:
+            raise ValueError(f"pc_bits must be non-negative, got {self.pc_bits}")
+        if self.addr_bits < 0:
+            raise ValueError(f"addr_bits must be non-negative, got {self.addr_bits}")
+
+    # ------------------------------------------------------------------
+    # Table 1 classification
+    # ------------------------------------------------------------------
+
+    @property
+    def class_number(self) -> int:
+        """Case number in the paper's Table 1 (pid:8, pc:4, dir:2, addr:1)."""
+        return (
+            (8 if self.use_pid else 0)
+            + (4 if self.pc_bits > 0 else 0)
+            + (2 if self.use_dir else 0)
+            + (1 if self.addr_bits > 0 else 0)
+        )
+
+    @property
+    def distributable_at_processors(self) -> bool:
+        """True when the table can be split one slice per processor."""
+        return self.use_pid
+
+    @property
+    def distributable_at_directories(self) -> bool:
+        """True when the table can be split one slice per directory."""
+        return self.use_dir
+
+    @property
+    def centralized(self) -> bool:
+        """True when neither pid nor dir indexing permits distribution."""
+        return not (self.use_pid or self.use_dir)
+
+    # ------------------------------------------------------------------
+    # Key extraction
+    # ------------------------------------------------------------------
+
+    def node_bits(self, num_nodes: int) -> int:
+        """Bits needed for a whole pid or dir field on an N-node system."""
+        if num_nodes < 1:
+            raise ValueError(f"num_nodes must be positive, got {num_nodes}")
+        return max(1, math.ceil(math.log2(num_nodes))) if num_nodes > 1 else 0
+
+    def index_bits(self, num_nodes: int) -> int:
+        """Total index width: the table has ``2**index_bits`` entries."""
+        node_bits = self.node_bits(num_nodes)
+        return (
+            (node_bits if self.use_pid else 0)
+            + self.pc_bits
+            + (node_bits if self.use_dir else 0)
+            + self.addr_bits
+        )
+
+    def key(self, pid: int, pc: int, home: int, block: int, num_nodes: int) -> int:
+        """Compute the predictor-entry index for one event.
+
+        Field order (pid, pc, dir, addr) is fixed so that keys are stable
+        across the reference and vectorized evaluators.
+        """
+        node_bits = self.node_bits(num_nodes)
+        value = 0
+        if self.use_pid:
+            value = (value << node_bits) | (pid & ((1 << node_bits) - 1))
+        if self.pc_bits:
+            value = (value << self.pc_bits) | (pc & ((1 << self.pc_bits) - 1))
+        if self.use_dir:
+            value = (value << node_bits) | (home & ((1 << node_bits) - 1))
+        if self.addr_bits:
+            value = (value << self.addr_bits) | (block & ((1 << self.addr_bits) - 1))
+        return value
+
+    @property
+    def pure_address_based(self) -> bool:
+        """True when only dir/addr index the predictor.
+
+        For such schemes the entry used by an event is a function of the
+        block alone, which makes direct, forwarded, and ordered update
+        equivalent (paper Section 3.4).
+        """
+        return not self.use_pid and self.pc_bits == 0
+
+    # ------------------------------------------------------------------
+    # Naming
+    # ------------------------------------------------------------------
+
+    @property
+    def label(self) -> str:
+        """The index part of the paper's scheme notation, e.g. ``pid+pc8+add6``."""
+        parts: List[str] = []
+        if self.use_pid:
+            parts.append("pid")
+        if self.pc_bits:
+            parts.append(f"pc{self.pc_bits}")
+        if self.use_dir:
+            parts.append("dir")
+        if self.addr_bits:
+            parts.append(f"add{self.addr_bits}")
+        return "+".join(parts)
+
+    _FIELD_RE = re.compile(r"^(pid|dir|pc(\d+)|(?:add|addr|mem)(\d+))$")
+
+    @classmethod
+    def parse(cls, text: str) -> "IndexSpec":
+        """Parse an index label.
+
+        Accepts the paper's spellings, including the ``mem`` alias it uses
+        for Lai & Falsafi's address field:
+
+        >>> IndexSpec.parse("pid+mem8") == IndexSpec(use_pid=True, addr_bits=8)
+        True
+        """
+        text = text.strip()
+        if not text:
+            return cls()
+        use_pid = False
+        use_dir = False
+        pc_bits = 0
+        addr_bits = 0
+        for field in text.split("+"):
+            field = field.strip()
+            match = cls._FIELD_RE.match(field)
+            if match is None:
+                raise ValueError(f"unrecognized index field {field!r} in {text!r}")
+            if field == "pid":
+                use_pid = True
+            elif field == "dir":
+                use_dir = True
+            elif match.group(2) is not None:
+                pc_bits = int(match.group(2))
+            else:
+                addr_bits = int(match.group(3))
+        return cls(use_pid=use_pid, pc_bits=pc_bits, use_dir=use_dir, addr_bits=addr_bits)
+
+
+def table1_rows(num_nodes: int = 16) -> Iterator[dict]:
+    """Enumerate the 16 indexing classes of the paper's Table 1.
+
+    Yields one row per class with its distribution options, using a single
+    pc/addr bit to stand in for "the field is present".
+    """
+    for case in range(16):
+        spec = IndexSpec(
+            use_pid=bool(case & 8),
+            pc_bits=1 if case & 4 else 0,
+            use_dir=bool(case & 2),
+            addr_bits=1 if case & 1 else 0,
+        )
+        yield {
+            "case": case,
+            "pid": spec.use_pid,
+            "pc": spec.pc_bits > 0,
+            "dir": spec.use_dir,
+            "addr": spec.addr_bits > 0,
+            "at_processors": spec.distributable_at_processors,
+            "at_directories": spec.distributable_at_directories,
+            "centralized": spec.centralized,
+        }

@@ -1,0 +1,96 @@
+"""Scheme naming: ``prediction-function(index)depth[update]`` (paper §3.5).
+
+A :class:`Scheme` pins down all three taxonomy axes plus the history depth.
+Examples from the paper, all of which round-trip through
+:func:`parse_scheme`:
+
+* ``last()1`` — the storage-free baseline (predict the system's last
+  invalidation bitmap);
+* ``inter(pid+pc8)2[direct]`` — Kaxiras & Goodman's instruction-based
+  intersection predictor;
+* ``union(dir+pid+add8)1[forward]`` — Lai & Falsafi's last-bitmap predictor
+  at the directories (the paper also spells the address field ``mem8``);
+* ``union(dir+add14)4`` — the paper's top-sensitivity scheme.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field, replace
+
+from repro.core.functions import PredictionFunction, make_function
+from repro.core.indexing import IndexSpec
+from repro.core.update import UpdateMode
+
+_SCHEME_RE = re.compile(
+    r"^\s*(?P<function>[a-zA-Z-]+)\s*"
+    r"\(\s*(?P<index>[^)]*)\)\s*"
+    r"(?P<depth>\d+)?\s*"
+    r"(?:\[\s*(?P<update>[a-zA-Z-]+)\s*\])?\s*$"
+)
+
+
+@dataclass(frozen=True)
+class Scheme:
+    """One point in the predictor design space."""
+
+    function: str
+    index: IndexSpec = field(default_factory=IndexSpec)
+    depth: int = 1
+    update: UpdateMode = UpdateMode.DIRECT
+
+    def __post_init__(self) -> None:
+        if self.depth < 1:
+            raise ValueError(f"depth must be >= 1, got {self.depth}")
+        normalized = self.function.strip().lower()
+        if normalized != self.function:
+            object.__setattr__(self, "function", normalized)
+        # Fail fast on unknown function names / invalid depths.
+        self.make_function(num_nodes=16)
+
+    def make_function(self, num_nodes: int) -> PredictionFunction:
+        """Instantiate this scheme's prediction function for an N-node system."""
+        return make_function(self.function, self.depth, num_nodes)
+
+    def with_update(self, update: UpdateMode) -> "Scheme":
+        """The same scheme under a different update mode."""
+        return replace(self, update=update)
+
+    # ------------------------------------------------------------------
+    # Naming
+    # ------------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """Paper notation without the update suffix, e.g. ``inter(pid+add6)4``."""
+        return f"{self.function}({self.index.label}){self.depth}"
+
+    @property
+    def full_name(self) -> str:
+        """Paper notation with the update suffix."""
+        return f"{self.name}[{self.update.value}]"
+
+    def __str__(self) -> str:
+        return self.full_name
+
+
+def parse_scheme(text: str, default_update: UpdateMode = UpdateMode.DIRECT) -> Scheme:
+    """Parse the paper's scheme notation into a :class:`Scheme`.
+
+    The depth defaults to 1 when omitted (the paper writes
+    ``last(pid+mem8)`` for a depth-1 scheme) and the update mode defaults to
+    ``default_update`` when the bracket suffix is absent.
+    """
+    match = _SCHEME_RE.match(text)
+    if match is None:
+        raise ValueError(
+            f"cannot parse scheme {text!r}; expected function(index)depth[update]"
+        )
+    depth_text = match.group("depth")
+    update_text = match.group("update")
+    return Scheme(
+        function=match.group("function"),
+        index=IndexSpec.parse(match.group("index")),
+        depth=int(depth_text) if depth_text else 1,
+        update=UpdateMode.parse(update_text) if update_text else default_update,
+    )

@@ -1,0 +1,84 @@
+"""Design-space enumeration (paper Section 5.4).
+
+The paper sweeps "the space of predictor schemes up to an implementation
+cost of 2^24 bits".  This module generates that space: every combination of
+prediction function, index-field widths, and history depth whose storage
+fits the budget.  Pid and dir are all-or-nothing (Section 3.1); pc and addr
+widths step over an even grid.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence
+
+from repro.core.cost import fits_budget
+from repro.core.indexing import IndexSpec
+from repro.core.schemes import Scheme
+from repro.core.update import UpdateMode
+
+#: pc/addr widths used by the sweep; matches the granularity of the paper's
+#: figure labels (even bit counts up to 16).
+DEFAULT_FIELD_WIDTHS: Sequence[int] = (0, 2, 4, 6, 8, 10, 12, 14, 16)
+
+#: history depths for bitmap functions (the paper's maximum is 4)
+DEFAULT_DEPTHS: Sequence[int] = (1, 2, 3, 4)
+
+#: PAs depths: entry cost is exponential in depth, so the sweep keeps these
+#: small (the paper also evaluates PAs at depths 1, 2, and 4).
+DEFAULT_PAS_DEPTHS: Sequence[int] = (1, 2, 4)
+
+
+def enumerate_index_specs(
+    field_widths: Sequence[int] = DEFAULT_FIELD_WIDTHS,
+    max_index_bits: Optional[int] = None,
+    num_nodes: int = 16,
+) -> Iterator[IndexSpec]:
+    """All index specs over the width grid, optionally capped in total width."""
+    for use_pid in (False, True):
+        for use_dir in (False, True):
+            for pc_bits in field_widths:
+                for addr_bits in field_widths:
+                    spec = IndexSpec(
+                        use_pid=use_pid,
+                        pc_bits=pc_bits,
+                        use_dir=use_dir,
+                        addr_bits=addr_bits,
+                    )
+                    if (
+                        max_index_bits is not None
+                        and spec.index_bits(num_nodes) > max_index_bits
+                    ):
+                        continue
+                    yield spec
+
+
+def enumerate_schemes(
+    max_log2_bits: float = 24.0,
+    update: UpdateMode = UpdateMode.DIRECT,
+    num_nodes: int = 16,
+    field_widths: Sequence[int] = DEFAULT_FIELD_WIDTHS,
+    depths: Sequence[int] = DEFAULT_DEPTHS,
+    pas_depths: Sequence[int] = DEFAULT_PAS_DEPTHS,
+    include_pas: bool = True,
+) -> List[Scheme]:
+    """The sweep space: every scheme within the storage budget.
+
+    Depth-1 union and intersection are the same function (last-bitmap
+    prediction), so only the union spelling is emitted at depth 1; the
+    result contains no duplicate behaviours.
+    """
+    schemes: List[Scheme] = []
+    for spec in enumerate_index_specs(field_widths, num_nodes=num_nodes):
+        for function in ("union", "inter"):
+            for depth in depths:
+                if function == "inter" and depth == 1:
+                    continue  # identical to union depth 1
+                scheme = Scheme(function=function, index=spec, depth=depth, update=update)
+                if fits_budget(scheme, max_log2_bits, num_nodes):
+                    schemes.append(scheme)
+        if include_pas:
+            for depth in pas_depths:
+                scheme = Scheme(function="pas", index=spec, depth=depth, update=update)
+                if fits_budget(scheme, max_log2_bits, num_nodes):
+                    schemes.append(scheme)
+    return schemes

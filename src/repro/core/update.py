@@ -1,0 +1,61 @@
+"""Predictor update timing (paper Section 3.4).
+
+All history originates at invalidations: when a block changes writers, the
+directory learns exactly which nodes read the previous version.  The three
+update modes differ in *which entry* receives that reader set and *when*:
+
+* ``DIRECT`` — the entry consulted by the current event absorbs whatever
+  reader set the current invalidation reveals, before predicting.  For
+  instruction-indexed predictors this may credit one writer with another
+  writer's readers (the paper's Figure 3 heuristic).
+* ``FORWARDED`` — the reader set of an epoch is routed to the entry that
+  predicted that epoch, arriving when the epoch closes.  This requires
+  last-writer (pid/pc) bookkeeping per block.
+* ``ORDERED`` — idealized forwarded update: every feedback reaches its entry
+  before the entry's next prediction, even when the epoch has not closed yet
+  (information from the future; implementable only for schemes whose entries
+  cannot be reused before their feedback returns).
+
+For pure dir/addr indexing the three modes coincide, because an entry's next
+use *is* the event that closes its epoch.  (Precisely: they coincide when
+the entry-to-block mapping is injective.  Truncating the addr field until
+concurrently-live blocks alias into one entry reintroduces a difference --
+ordered update then sees a still-open neighbouring epoch's readers that
+direct update never receives.  The paper states the equivalence for the
+untruncated case.)
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class UpdateMode(Enum):
+    """When invalidation feedback reaches a predictor entry."""
+
+    DIRECT = "direct"
+    FORWARDED = "forwarded"
+    ORDERED = "ordered"
+
+    @classmethod
+    def parse(cls, text: str) -> "UpdateMode":
+        """Parse the bracket suffix of the paper's notation.
+
+        Accepts the abbreviations used in the paper's tables ("forward",
+        "fwd", "perfect" appears once as a typo for ordered -- not accepted).
+        """
+        normalized = text.strip().lower()
+        aliases = {
+            "direct": cls.DIRECT,
+            "forwarded": cls.FORWARDED,
+            "forward": cls.FORWARDED,
+            "fwd": cls.FORWARDED,
+            "ordered": cls.ORDERED,
+            "ordered-fwd": cls.ORDERED,
+        }
+        if normalized not in aliases:
+            raise ValueError(f"unknown update mode {text!r}")
+        return aliases[normalized]
+
+    def __str__(self) -> str:
+        return self.value

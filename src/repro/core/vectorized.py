@@ -1,0 +1,334 @@
+"""Fast trace evaluation: numpy passes instead of a per-event interpreter.
+
+The design-space sweeps of paper Section 5.4 evaluate thousands of schemes
+over every benchmark trace, so the per-scheme cost must be a handful of
+vectorized passes.  The key observation is that for bitmap-history functions
+(last/union/intersection/overlap-last) the history an entry holds at event
+*i* is simply the last ``depth`` feedback values delivered to ``key[i]``
+before the prediction -- and every update mode reduces to a different
+*(delivery time, feedback value)* labelling of the same event stream:
+
+==========  =======================  ==================  ==================
+mode        feedback source          value               delivery time
+==========  =======================  ==================  ==================
+DIRECT      events with ``has_inval``  ``inval[j]``        ``j`` (inclusive)
+FORWARDED   events with ``close<E``    ``truth[j]``        ``close[j]`` (inclusive)
+ORDERED     all events                 ``truth[j]``        ``j`` (exclusive)
+==========  =======================  ==================  ==================
+
+"Inclusive" means a feedback delivered *at* event *i* is visible to event
+*i*'s own prediction (direct update happens at the consulting event;
+forwarded feedback is processed by the directory before the closing event
+predicts); "exclusive" means it becomes visible only to later predictions.
+Delivery times are unique within a mode (an event closes at most one epoch),
+so one ``searchsorted`` over a composite ``(key, time)`` ordering recovers
+each prediction's history window exactly.
+
+PAs entries carry counter state that depends on the full feedback sequence,
+not a window, so they take an optimized sequential path instead
+(:func:`_evaluate_pas`); it shares the same delivery-time semantics.
+
+``evaluate_scheme_fast`` is property-tested against the reference evaluator
+in ``tests/core/test_vectorized_equivalence.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.schemes import Scheme
+from repro.core.update import UpdateMode
+from repro.metrics.confusion import ConfusionCounts
+from repro.trace.events import SharingTrace
+from repro.util.bitmaps import POPCOUNT16, bitmap_mask
+
+_BITMAP_FUNCTIONS = ("last", "union", "inter", "overlap")
+
+
+def evaluate_scheme_fast(
+    scheme: Scheme,
+    trace: SharingTrace,
+    exclude_writer: bool = True,
+    counts: Optional[ConfusionCounts] = None,
+) -> ConfusionCounts:
+    """Drop-in fast replacement for :func:`repro.core.evaluator.evaluate_scheme`."""
+    if counts is None:
+        counts = ConfusionCounts()
+    if len(trace) == 0:
+        return counts
+    if scheme.function in _BITMAP_FUNCTIONS:
+        predictions = _predict_bitmap_scheme(scheme, trace)
+    elif scheme.function == "pas":
+        predictions = _evaluate_pas(scheme, trace)
+    else:
+        # Generic sequential path: any PredictionFunction (e.g. the
+        # confidence-gated extensions) evaluates correctly, just without
+        # the vectorized speedup.
+        predictions = _evaluate_sequential(scheme, trace)
+
+    if exclude_writer:
+        writer_bit = (np.uint32(1) << trace.writer.astype(np.uint32)).astype(np.uint32)
+        predictions = predictions & ~writer_bit
+
+    _score(predictions, trace, counts)
+    return counts
+
+
+# ----------------------------------------------------------------------
+# Bitmap-history schemes
+# ----------------------------------------------------------------------
+
+
+def _compute_keys(scheme: Scheme, trace: SharingTrace) -> np.ndarray:
+    """Vectorized mirror of :meth:`IndexSpec.key` over the whole trace."""
+    spec = scheme.index
+    num_nodes = trace.num_nodes
+    node_bits = spec.node_bits(num_nodes)
+    node_mask = (1 << node_bits) - 1
+    keys = np.zeros(len(trace), dtype=np.int64)
+    if spec.use_pid:
+        keys = (keys << node_bits) | (trace.writer & node_mask)
+    if spec.pc_bits:
+        keys = (keys << spec.pc_bits) | (trace.pc & ((1 << spec.pc_bits) - 1))
+    if spec.use_dir:
+        keys = (keys << node_bits) | (trace.home & node_mask)
+    if spec.addr_bits:
+        keys = (keys << spec.addr_bits) | (trace.block & ((1 << spec.addr_bits) - 1))
+    return keys
+
+
+def _feedback_stream(
+    scheme: Scheme, trace: SharingTrace, keys: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, str]:
+    """Return (feedback keys, values, delivery times, searchsorted side)."""
+    length = len(trace)
+    mode = scheme.update
+    if mode is UpdateMode.DIRECT:
+        selector = trace.has_inval
+        return keys[selector], trace.inval[selector], np.nonzero(selector)[0], "right"
+    if mode is UpdateMode.FORWARDED:
+        selector = trace.close < length
+        return keys[selector], trace.truth[selector], trace.close[selector], "right"
+    if mode is UpdateMode.ORDERED:
+        return keys, trace.truth, np.arange(length, dtype=np.int64), "left"
+    raise AssertionError(f"unhandled update mode {mode}")  # pragma: no cover
+
+
+def _predict_bitmap_scheme(scheme: Scheme, trace: SharingTrace) -> np.ndarray:
+    length = len(trace)
+    keys = _compute_keys(scheme, trace)
+    fb_keys, fb_values, fb_times, side = _feedback_stream(scheme, trace, keys)
+
+    # Composite (key, time) ordering.  time <= length, so (length + 1) keeps
+    # keys in distinct, non-overlapping ranges.
+    stride = np.int64(length + 1)
+    fb_composite = fb_keys * stride + fb_times
+    order = np.argsort(fb_composite, kind="stable")
+    fb_composite = fb_composite[order]
+    fb_values = fb_values[order].astype(np.uint32)
+
+    use_composite = keys * stride + np.arange(length, dtype=np.int64)
+    positions = np.searchsorted(fb_composite, use_composite, side=side)
+    group_starts = np.searchsorted(fb_composite, keys * stride, side="left")
+    available = positions - group_starts
+
+    # Overlap-last keeps two bitmaps regardless of nominal depth.
+    window = 2 if scheme.function == "overlap" else scheme.depth
+    gathered = np.zeros((window, length), dtype=np.uint32)
+    valid_to = np.minimum(available, window)
+    for slot in range(1, window + 1):
+        indices = positions - slot
+        in_window = indices >= group_starts
+        gathered[slot - 1, in_window] = fb_values[indices[in_window]]
+
+    full_mask = np.uint32(bitmap_mask(trace.num_nodes))
+    if scheme.function in ("union", "last"):
+        predictions = np.zeros(length, dtype=np.uint32)
+        for slot in range(window):
+            predictions |= gathered[slot]
+    elif scheme.function == "inter":
+        predictions = np.full(length, full_mask, dtype=np.uint32)
+        for slot in range(window):
+            active = valid_to > slot
+            predictions[active] &= gathered[slot, active]
+        predictions[available == 0] = 0
+    else:  # overlap-last
+        newest = gathered[0]
+        previous = gathered[1]
+        overlaps = (newest & previous) != 0
+        predictions = np.where(
+            available >= 2,
+            np.where(overlaps, newest, np.uint32(0)),
+            newest,  # 0 or 1 bitmaps stored: predict what is there (0 if none)
+        ).astype(np.uint32)
+    return predictions
+
+
+# ----------------------------------------------------------------------
+# PAs schemes (sequential, but with a tight flat-state inner loop)
+# ----------------------------------------------------------------------
+
+
+def _evaluate_pas(scheme: Scheme, trace: SharingTrace) -> np.ndarray:
+    """Sequential PAs evaluation producing the per-event prediction array.
+
+    Entry state is kept as flat Python lists (one history int per node, one
+    byte per counter) inside a dict keyed by the scheme index; the inner
+    loops bind everything to locals because this path is the cost ceiling of
+    the whole design-space sweep.
+    """
+    length = len(trace)
+    num_nodes = trace.num_nodes
+    depth = scheme.depth
+    mask = (1 << depth) - 1
+    counters_per_entry = num_nodes << depth
+    mode = scheme.update
+
+    keys = _compute_keys(scheme, trace).tolist()
+    truth = trace.truth.tolist()
+    inval = trace.inval.tolist()
+    has_inval = trace.has_inval.tolist()
+    blocks = trace.block.tolist()
+
+    # table[key] = [histories list, counters bytearray]
+    table: dict = {}
+    pending_key_by_block: dict = {}
+    predictions = np.zeros(length, dtype=np.uint32)
+    node_range = range(num_nodes)
+
+    def get_entry(key: int) -> list:
+        entry = table.get(key)
+        if entry is None:
+            entry = [[0] * num_nodes, bytearray([1]) * counters_per_entry]
+            table[key] = entry
+        return entry
+
+    def apply_feedback(entry: list, feedback: int) -> None:
+        histories, counters = entry
+        for node in node_range:
+            history = histories[node]
+            slot = (node << depth) | history
+            if (feedback >> node) & 1:
+                if counters[slot] < 3:
+                    counters[slot] += 1
+                histories[node] = ((history << 1) | 1) & mask
+            else:
+                if counters[slot] > 0:
+                    counters[slot] -= 1
+                histories[node] = (history << 1) & mask
+
+    direct = mode is UpdateMode.DIRECT
+    forwarded = mode is UpdateMode.FORWARDED
+    ordered = mode is UpdateMode.ORDERED
+
+    for position in range(length):
+        key = keys[position]
+        if direct:
+            if has_inval[position]:
+                apply_feedback(get_entry(key), inval[position])
+        elif forwarded:
+            block = blocks[position]
+            if has_inval[position]:
+                apply_feedback(get_entry(pending_key_by_block[block]), inval[position])
+            pending_key_by_block[block] = key
+
+        entry = get_entry(key)
+        histories, counters = entry
+        prediction = 0
+        for node in node_range:
+            if counters[(node << depth) | histories[node]] >= 2:
+                prediction |= 1 << node
+        predictions[position] = prediction
+
+        if ordered:
+            apply_feedback(entry, truth[position])
+
+    return predictions
+
+
+# ----------------------------------------------------------------------
+# Generic sequential path (arbitrary prediction functions)
+# ----------------------------------------------------------------------
+
+
+def _evaluate_sequential(scheme: Scheme, trace: SharingTrace) -> np.ndarray:
+    """Per-event evaluation with a real function object.
+
+    Mirrors the reference evaluator's update timing exactly, but produces
+    the raw prediction array so scoring/masking stay shared with the fast
+    paths (equivalence is covered by the same property tests).
+    """
+    length = len(trace)
+    function = scheme.make_function(trace.num_nodes)
+    keys = _compute_keys(scheme, trace).tolist()
+    truth = trace.truth.tolist()
+    inval = trace.inval.tolist()
+    has_inval = trace.has_inval.tolist()
+    blocks = trace.block.tolist()
+    mode = scheme.update
+
+    table: dict = {}
+    pending_key_by_block: dict = {}
+    predictions = np.zeros(length, dtype=np.uint32)
+
+    def entry_for(key: int):
+        entry = table.get(key)
+        if entry is None:
+            entry = function.new_entry()
+            table[key] = entry
+        return entry
+
+    for position in range(length):
+        key = keys[position]
+        if mode is UpdateMode.DIRECT:
+            if has_inval[position]:
+                function.update(entry_for(key), inval[position])
+        elif mode is UpdateMode.FORWARDED:
+            block = blocks[position]
+            if has_inval[position]:
+                function.update(
+                    entry_for(pending_key_by_block[block]), inval[position]
+                )
+            pending_key_by_block[block] = key
+        entry = entry_for(key)
+        predictions[position] = function.predict(entry)
+        if mode is UpdateMode.ORDERED:
+            function.update(entry, truth[position])
+    return predictions
+
+
+# ----------------------------------------------------------------------
+# Scoring
+# ----------------------------------------------------------------------
+
+
+def _popcount_array(values: np.ndarray) -> np.ndarray:
+    """Population count of a uint32 array via the 16-bit lookup table."""
+    low = POPCOUNT16[values & np.uint32(0xFFFF)]
+    high = POPCOUNT16[values >> np.uint32(16)]
+    return low.astype(np.int64) + high.astype(np.int64)
+
+
+def _score(predictions: np.ndarray, trace: SharingTrace, counts: ConfusionCounts) -> None:
+    full_mask = np.uint32(bitmap_mask(trace.num_nodes))
+    truth = trace.truth
+    true_positive = int(_popcount_array(predictions & truth).sum())
+    false_positive = int(_popcount_array(predictions & ~truth & full_mask).sum())
+    false_negative = int(_popcount_array(~predictions & truth & full_mask).sum())
+    total = len(trace) * trace.num_nodes
+    counts.true_positive += true_positive
+    counts.false_positive += false_positive
+    counts.false_negative += false_negative
+    counts.true_negative += total - true_positive - false_positive - false_negative
+
+
+def evaluate_scheme_fast_multi(
+    scheme: Scheme, traces, exclude_writer: bool = True
+) -> ConfusionCounts:
+    """Evaluate one scheme across several traces (fresh state per trace)."""
+    counts = ConfusionCounts()
+    for trace in traces:
+        evaluate_scheme_fast(scheme, trace, exclude_writer=exclude_writer, counts=counts)
+    return counts

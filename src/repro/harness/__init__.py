@@ -1,0 +1,12 @@
+"""Experiment harness: regenerate every table and figure of the paper.
+
+* :mod:`repro.harness.runner` — trace generation with on-disk caching;
+* :mod:`repro.harness.experiments` — one entry point per paper table/figure;
+* :mod:`repro.harness.tables` — plain-text rendering of result rows;
+* :mod:`repro.harness.cli` — ``repro-bench <experiment>``.
+"""
+
+from repro.harness.runner import TraceSet, default_trace_set
+from repro.harness.experiments import EXPERIMENTS, run_experiment
+
+__all__ = ["TraceSet", "default_trace_set", "EXPERIMENTS", "run_experiment"]

@@ -1,0 +1,91 @@
+"""Command-line entry point: ``repro-bench <experiment> [...]``.
+
+Examples::
+
+    repro-bench table6              # prevalence of sharing
+    repro-bench table8 table9       # top-10 PVP tables (runs the sweep)
+    repro-bench fig6 --chart        # ASCII rendition of Figure 6
+    repro-bench all                 # every paper table and figure
+    repro-bench ext-patterns        # extension experiments (DESIGN.md §5)
+    repro-bench fig6 --no-cache     # force recomputation
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.harness.experiments import EXPERIMENTS, all_experiments, run_experiment
+from repro.harness.figures import render_figure
+from repro.harness.runner import TraceSet
+from repro.harness.tables import render_table
+
+_FIGURE_EXPERIMENTS = {"fig6", "fig7", "fig8", "fig9"}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    experiments = all_experiments()
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description=(
+            "Regenerate tables/figures from 'Coherence Communication "
+            "Prediction in Shared-Memory Multiprocessors' (HPCA 2000)."
+        ),
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        help=(
+            f"experiment names ({', '.join(experiments)}), "
+            "'all' (paper tables/figures), or 'ext' (all extensions)"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore cached results and recompute",
+    )
+    parser.add_argument(
+        "--chart",
+        action="store_true",
+        help="render figure experiments as ASCII bar charts",
+    )
+    parser.add_argument(
+        "--benchmarks",
+        default=None,
+        help="comma-separated benchmark subset (default: full suite)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="workload seed (default 0)")
+    args = parser.parse_args(argv)
+
+    names: List[str] = []
+    for name in args.experiments:
+        if name == "all":
+            names.extend(EXPERIMENTS)
+        elif name == "ext":
+            names.extend(sorted(set(experiments) - set(EXPERIMENTS)))
+        else:
+            names.append(name)
+    unknown = [name for name in names if name not in experiments]
+    if unknown:
+        parser.error(f"unknown experiments {unknown}; known: {sorted(experiments)}")
+
+    benchmarks = args.benchmarks.split(",") if args.benchmarks else None
+    trace_set = TraceSet(benchmarks=benchmarks, seed=args.seed)
+
+    for name in names:
+        started = time.time()
+        result = run_experiment(name, trace_set, use_cache=not args.no_cache)
+        elapsed = time.time() - started
+        if args.chart and name in _FIGURE_EXPERIMENTS:
+            print(render_figure(result))
+        else:
+            print(render_table(result))
+        print(f"\n[{name} completed in {elapsed:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,608 @@
+"""Every table and figure of the paper's evaluation, as runnable experiments.
+
+Each experiment takes a :class:`~repro.harness.runner.TraceSet` and returns
+an :class:`~repro.harness.results.ExperimentResult` whose rows mirror the
+paper's rows (or a figure's point series).  Expensive experiments cache
+their results on disk, keyed by the trace-set fingerprint.
+
+Statistics follow the paper's reporting: per-benchmark screening statistics
+are combined by arithmetic average across the suite (paper Figures 6-9 say
+"arithmetic average over all benchmarks"; the ``prev`` column of Tables
+8-11 is likewise the suite average).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.cost import reported_size_log2_bits, size_log2_bits
+from repro.core.indexing import IndexSpec, table1_rows
+from repro.core.schemes import Scheme, parse_scheme
+from repro.core.space import enumerate_schemes
+from repro.core.update import UpdateMode
+from repro.core.vectorized import evaluate_scheme_fast
+from repro.harness.results import ExperimentResult, cached_result
+from repro.harness.runner import TraceSet
+from repro.metrics.confusion import ConfusionCounts
+from repro.metrics.screening import ScreeningStats
+from repro.trace.stats import compute_trace_stats
+
+#: Paper reference values, used in report notes for side-by-side comparison.
+PAPER_PREVALENCE = {
+    "barnes": 15.10,
+    "em3d": 3.19,
+    "gauss": 9.92,
+    "mp3d": 9.02,
+    "ocean": 2.14,
+    "unstruct": 12.83,
+    "water": 12.13,
+}
+
+#: Minimum suite-average sensitivity for a scheme to be ranked by PVP.
+#: Guards the top-PVP tables against degenerate schemes that make a handful
+#: of lucky predictions; the paper's own top-PVP schemes all have
+#: sensitivity >= 0.32, so this threshold changes nothing legitimate.
+MIN_SENSITIVITY_FOR_PVP_RANK = 0.05
+
+
+# ----------------------------------------------------------------------
+# Shared evaluation helpers
+# ----------------------------------------------------------------------
+
+
+def suite_average(scheme: Scheme, traces) -> Dict[str, float]:
+    """Evaluate a scheme per benchmark and average the statistics."""
+    prevalences: List[float] = []
+    sensitivities: List[float] = []
+    pvps: List[float] = []
+    pooled = ConfusionCounts()
+    for trace in traces:
+        counts = evaluate_scheme_fast(scheme, trace)
+        pooled.merge(counts)
+        stats = ScreeningStats.from_counts(counts)
+        if stats.prevalence is not None:
+            prevalences.append(stats.prevalence)
+        if stats.sensitivity is not None:
+            sensitivities.append(stats.sensitivity)
+        # PVP is undefined on a benchmark where the scheme predicted
+        # nothing; such benchmarks are excluded from the average (the missed
+        # opportunity is already charged to sensitivity).
+        if stats.pvp is not None:
+            pvps.append(stats.pvp)
+    average = lambda values: sum(values) / len(values) if values else 0.0
+    return {
+        "prev": average(prevalences),
+        "sens": average(sensitivities),
+        "pvp": average(pvps),
+        "pooled_tp": pooled.true_positive,
+        "pooled_fp": pooled.false_positive,
+    }
+
+
+def _scheme_row(scheme: Scheme, traces, num_nodes: int = 16) -> Dict:
+    stats = suite_average(scheme, traces)
+    return {
+        "scheme": scheme.name,
+        "update": scheme.update.value,
+        "size": round(size_log2_bits(scheme, num_nodes), 2),
+        "prev": round(stats["prev"], 4),
+        "pvp": round(stats["pvp"], 4),
+        "sens": round(stats["sens"], 4),
+        "pooled_tp": stats["pooled_tp"],
+        "pooled_fp": stats["pooled_fp"],
+    }
+
+
+# ----------------------------------------------------------------------
+# Table 1: indexing taxonomy
+# ----------------------------------------------------------------------
+
+
+def table1(trace_set: TraceSet, use_cache: bool = True) -> ExperimentResult:
+    """The 16 indexing classes and where each can be distributed."""
+    result = ExperimentResult(
+        name="table1",
+        title="Table 1: indexing schemes for the global predictor",
+        columns=["case", "pid", "pc", "dir", "addr", "at_proc", "at_dir", "comment"],
+    )
+    for row in table1_rows(trace_set.num_nodes):
+        comment = ""
+        if row["centralized"]:
+            comment = "centralized"
+        if row["case"] == 2:
+            comment = "1 entry per directory"
+        if row["case"] == 8:
+            comment = "1 entry per processor"
+        if row["case"] == 0:
+            comment = "1-entry, centralized"
+        result.rows.append(
+            {
+                "case": row["case"],
+                "pid": "Y" if row["pid"] else "",
+                "pc": "Y" if row["pc"] else "",
+                "dir": "Y" if row["dir"] else "",
+                "addr": "Y" if row["addr"] else "",
+                "at_proc": "Y" if row["at_processors"] else "",
+                "at_dir": "Y" if row["at_directories"] else "",
+                "comment": comment,
+            }
+        )
+    result.notes.append(
+        "Static enumeration from repro.core.indexing; matches the paper exactly."
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Table 5: store instruction and cache block statistics
+# ----------------------------------------------------------------------
+
+
+def table5(trace_set: TraceSet, use_cache: bool = True) -> ExperimentResult:
+    def compute() -> ExperimentResult:
+        result = ExperimentResult(
+            name="table5",
+            title="Table 5: store instruction and cache block statistics",
+            columns=[
+                "benchmark",
+                "max_static_stores",
+                "max_predicted_stores",
+                "blocks_touched",
+                "store_misses",
+            ],
+        )
+        for name in trace_set.benchmarks:
+            trace = trace_set.trace(name)
+            stats = compute_trace_stats(trace)
+            summary = trace_set.protocol_summary(name)
+            result.rows.append(
+                {
+                    "benchmark": name,
+                    "max_static_stores": summary["max_static_stores_per_node"],
+                    "max_predicted_stores": summary["max_predicted_stores_per_node"],
+                    "blocks_touched": stats.blocks_touched,
+                    "store_misses": stats.events,
+                }
+            )
+        result.notes.append(
+            "Executable size is not meaningful for synthetic workloads and is "
+            "omitted; static store counts are per-node distinct store pcs."
+        )
+        return result
+
+    return cached_result("table5", trace_set.fingerprint(), compute, use_cache)
+
+
+# ----------------------------------------------------------------------
+# Table 6: prevalence of sharing
+# ----------------------------------------------------------------------
+
+
+def table6(trace_set: TraceSet, use_cache: bool = True) -> ExperimentResult:
+    def compute() -> ExperimentResult:
+        result = ExperimentResult(
+            name="table6",
+            title="Table 6: prevalence of sharing",
+            columns=[
+                "benchmark",
+                "sharing_events",
+                "sharing_decisions",
+                "prevalence_pct",
+                "paper_pct",
+            ],
+        )
+        prevalences = []
+        for name in trace_set.benchmarks:
+            stats = compute_trace_stats(trace_set.trace(name))
+            prevalences.append(stats.prevalence)
+            result.rows.append(
+                {
+                    "benchmark": name,
+                    "sharing_events": stats.sharing_events,
+                    "sharing_decisions": stats.sharing_decisions,
+                    "prevalence_pct": round(100 * stats.prevalence, 2),
+                    "paper_pct": PAPER_PREVALENCE.get(name, float("nan")),
+                }
+            )
+        average = 100 * sum(prevalences) / len(prevalences) if prevalences else 0.0
+        result.notes.append(
+            f"Suite arithmetic-average prevalence: {average:.2f}% "
+            f"(paper: 9.19%, i.e. a degree of sharing of 1.5)."
+        )
+        return result
+
+    return cached_result("table6", trace_set.fingerprint(), compute, use_cache)
+
+
+# ----------------------------------------------------------------------
+# Table 7: schemes reported by earlier work
+# ----------------------------------------------------------------------
+
+#: (description, scheme text) in the paper's Table 7 order.
+PRIOR_SCHEMES: Sequence[Tuple[str, str]] = (
+    ("baseline-last", "last()1"),
+    ("Kaxiras-instr.-last", "last(pid+pc8)1"),
+    ("Kaxiras-instr.-inter.", "inter(pid+pc8)2"),
+    ("Lai-address+pid-last", "last(pid+mem8)1"),
+)
+
+
+def table7(trace_set: TraceSet, use_cache: bool = True) -> ExperimentResult:
+    def compute() -> ExperimentResult:
+        result = ExperimentResult(
+            name="table7",
+            title="Table 7: schemes reported by earlier work",
+            columns=["update", "description", "scheme", "size", "sens", "pvp"],
+        )
+        traces = trace_set.traces()
+        for update in (UpdateMode.DIRECT, UpdateMode.FORWARDED):
+            for description, text in PRIOR_SCHEMES:
+                if update is UpdateMode.FORWARDED and description == "baseline-last":
+                    continue  # the paper lists the baseline under direct only
+                scheme = parse_scheme(text, default_update=update)
+                stats = suite_average(scheme, traces)
+                result.rows.append(
+                    {
+                        "update": update.value,
+                        "description": description,
+                        "scheme": scheme.name,
+                        "size": round(
+                            reported_size_log2_bits(scheme, trace_set.num_nodes), 2
+                        ),
+                        "sens": round(stats["sens"], 2),
+                        "pvp": round(stats["pvp"], 2),
+                    }
+                )
+        result.notes.append(
+            "Paper values (direct): baseline sens .57/pvp .66; Kaxiras-last "
+            ".57/.66; Kaxiras-inter .45/.80; Lai-last .57/.66.  The baseline "
+            "is reported at size 0 because the directory already stores the "
+            "last sharing bitmap."
+        )
+        return result
+
+    return cached_result("table7", trace_set.fingerprint(), compute, use_cache)
+
+
+# ----------------------------------------------------------------------
+# Tables 8-11: design-space sweep and top-10 rankings
+# ----------------------------------------------------------------------
+
+#: PAs schemes use a coarser index grid in the sweep: their entries are an
+#: order of magnitude larger, so the fine grid adds cost without adding
+#: contenders (the paper found none of them in any top-10 list).
+SWEEP_PAS_WIDTHS: Sequence[int] = (0, 2, 4, 6, 8)
+
+
+def _sweep_rows(trace_set: TraceSet, update: UpdateMode, use_cache: bool) -> List[Dict]:
+    def compute() -> ExperimentResult:
+        traces = trace_set.traces()
+        schemes = enumerate_schemes(
+            max_log2_bits=24.0,
+            update=update,
+            num_nodes=trace_set.num_nodes,
+            include_pas=False,
+        )
+        schemes += enumerate_schemes(
+            max_log2_bits=24.0,
+            update=update,
+            num_nodes=trace_set.num_nodes,
+            field_widths=SWEEP_PAS_WIDTHS,
+            depths=(),
+            include_pas=True,
+        )
+        result = ExperimentResult(
+            name=f"sweep-{update.value}",
+            title=f"Design-space sweep, {update.value} update",
+            columns=["scheme", "size", "prev", "pvp", "sens"],
+        )
+        for scheme in schemes:
+            result.rows.append(_scheme_row(scheme, traces, trace_set.num_nodes))
+        return result
+
+    result = cached_result(
+        f"sweep-{update.value}", trace_set.fingerprint(), compute, use_cache
+    )
+    return result.rows
+
+
+def _top10(
+    trace_set: TraceSet,
+    update: UpdateMode,
+    metric: str,
+    name: str,
+    title: str,
+    use_cache: bool,
+) -> ExperimentResult:
+    rows = _sweep_rows(trace_set, update, use_cache)
+    if metric == "pvp":
+        eligible = [row for row in rows if row["sens"] >= MIN_SENSITIVITY_FOR_PVP_RANK]
+    else:
+        eligible = list(rows)
+    ranked = sorted(
+        eligible, key=lambda row: (-row[metric], row["size"], row["scheme"])
+    )[:10]
+    result = ExperimentResult(
+        name=name,
+        title=title,
+        columns=["scheme", "size", "prev", "pvp", "sens"],
+        rows=[
+            {
+                "scheme": row["scheme"],
+                "size": row["size"],
+                "prev": row["prev"],
+                "pvp": row["pvp"],
+                "sens": row["sens"],
+            }
+            for row in ranked
+        ],
+    )
+    pas_rows = [row for row in rows if row["scheme"].startswith("pas")]
+    if pas_rows:
+        best_pas = max(pas_rows, key=lambda row: row[metric])
+        result.notes.append(
+            f"Best two-level (PAs) scheme by {metric}: {best_pas['scheme']} "
+            f"({metric}={best_pas[metric]:.3f}) -- absent from the top 10, "
+            "matching the paper's finding that pattern predictors never rank."
+        )
+    return result
+
+
+def table8(trace_set: TraceSet, use_cache: bool = True) -> ExperimentResult:
+    return _top10(
+        trace_set,
+        UpdateMode.DIRECT,
+        "pvp",
+        "table8",
+        "Table 8: top 10 PVP, direct update",
+        use_cache,
+    )
+
+
+def table9(trace_set: TraceSet, use_cache: bool = True) -> ExperimentResult:
+    return _top10(
+        trace_set,
+        UpdateMode.FORWARDED,
+        "pvp",
+        "table9",
+        "Table 9: top 10 PVP, forwarded update",
+        use_cache,
+    )
+
+
+def table10(trace_set: TraceSet, use_cache: bool = True) -> ExperimentResult:
+    return _top10(
+        trace_set,
+        UpdateMode.DIRECT,
+        "sens",
+        "table10",
+        "Table 10: top 10 sensitivity, direct update",
+        use_cache,
+    )
+
+
+def table11(trace_set: TraceSet, use_cache: bool = True) -> ExperimentResult:
+    return _top10(
+        trace_set,
+        UpdateMode.FORWARDED,
+        "sens",
+        "table11",
+        "Table 11: top 10 sensitivity, forwarded update",
+        use_cache,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figures 6-9: access/prediction/update interaction
+# ----------------------------------------------------------------------
+
+#: Figure 6/7 x-axis: 16 index combinations within a 16-bit budget, one per
+#: Table-1 class, exactly as labelled in the paper ((addr, dir, pc, pid)).
+FIGURE6_COMBOS: Sequence[Tuple[int, bool, int, bool]] = (
+    # (addr_bits, use_dir, pc_bits, use_pid)
+    (0, False, 0, False),
+    (16, False, 0, False),
+    (0, True, 0, False),
+    (12, True, 0, False),
+    (0, False, 16, False),
+    (8, False, 8, False),
+    (0, True, 12, False),
+    (6, True, 6, False),
+    (0, False, 0, True),
+    (12, False, 0, True),
+    (0, True, 0, True),
+    (8, True, 0, True),
+    (0, False, 12, True),
+    (6, False, 6, True),
+    (0, True, 8, True),
+    (4, True, 4, True),
+)
+
+#: Figure 8 x-axis: the same classes within a 12-bit budget (PAs entries
+#: are too large for 16 index bits).
+FIGURE8_COMBOS: Sequence[Tuple[int, bool, int, bool]] = (
+    (0, False, 0, False),
+    (12, False, 0, False),
+    (0, True, 0, False),
+    (8, True, 0, False),
+    (0, False, 12, False),
+    (6, False, 6, False),
+    (0, True, 8, False),
+    (4, True, 4, False),
+    (0, False, 0, True),
+    (8, False, 0, True),
+    (0, True, 0, True),
+    (4, True, 0, True),
+    (0, False, 8, True),
+    (4, False, 4, True),
+    (0, True, 4, True),
+    (2, True, 2, True),
+)
+
+
+def _combo_spec(combo: Tuple[int, bool, int, bool]) -> IndexSpec:
+    addr_bits, use_dir, pc_bits, use_pid = combo
+    return IndexSpec(use_pid=use_pid, pc_bits=pc_bits, use_dir=use_dir, addr_bits=addr_bits)
+
+
+def _figure_sweep(
+    trace_set: TraceSet,
+    name: str,
+    title: str,
+    function: str,
+    depth: int,
+    combos: Sequence[Tuple[int, bool, int, bool]],
+    modes: Sequence[UpdateMode],
+    use_cache: bool,
+) -> ExperimentResult:
+    def compute() -> ExperimentResult:
+        traces = trace_set.traces()
+        result = ExperimentResult(
+            name=name,
+            title=title,
+            columns=["index", "update", "sens", "pvp", "size"],
+        )
+        for mode in modes:
+            for combo in combos:
+                spec = _combo_spec(combo)
+                scheme = Scheme(function=function, index=spec, depth=depth, update=mode)
+                stats = suite_average(scheme, traces)
+                result.rows.append(
+                    {
+                        "index": spec.label or "(none)",
+                        "update": mode.value,
+                        "sens": round(stats["sens"], 4),
+                        "pvp": round(stats["pvp"], 4),
+                        "size": round(size_log2_bits(scheme, trace_set.num_nodes), 2),
+                    }
+                )
+        return result
+
+    return cached_result(name, trace_set.fingerprint(), compute, use_cache)
+
+
+_ALL_MODES = (UpdateMode.DIRECT, UpdateMode.FORWARDED, UpdateMode.ORDERED)
+
+
+def figure6(trace_set: TraceSet, use_cache: bool = True) -> ExperimentResult:
+    return _figure_sweep(
+        trace_set,
+        "fig6",
+        "Figure 6: intersection prediction (depth 2, 16-bit max index)",
+        "inter",
+        2,
+        FIGURE6_COMBOS,
+        _ALL_MODES,
+        use_cache,
+    )
+
+
+def figure7(trace_set: TraceSet, use_cache: bool = True) -> ExperimentResult:
+    return _figure_sweep(
+        trace_set,
+        "fig7",
+        "Figure 7: union prediction (depth 2, 16-bit max index)",
+        "union",
+        2,
+        FIGURE6_COMBOS,
+        _ALL_MODES,
+        use_cache,
+    )
+
+
+def figure8(trace_set: TraceSet, use_cache: bool = True) -> ExperimentResult:
+    return _figure_sweep(
+        trace_set,
+        "fig8",
+        "Figure 8: PAs prediction (depth 1, 12-bit max index)",
+        "pas",
+        1,
+        FIGURE8_COMBOS,
+        _ALL_MODES,
+        use_cache,
+    )
+
+
+def figure9(trace_set: TraceSet, use_cache: bool = True) -> ExperimentResult:
+    """Figure 9: history depth 2 vs 4 under direct update, per function."""
+
+    def compute() -> ExperimentResult:
+        traces = trace_set.traces()
+        result = ExperimentResult(
+            name="fig9",
+            title="Figure 9: direct update, history depths 2 and 4",
+            columns=["function", "index", "depth", "sens", "pvp"],
+        )
+        panels = (
+            ("inter", FIGURE6_COMBOS),
+            ("union", FIGURE6_COMBOS),
+            ("pas", FIGURE8_COMBOS),
+        )
+        for function, combos in panels:
+            for depth in (2, 4):
+                for combo in combos:
+                    spec = _combo_spec(combo)
+                    scheme = Scheme(
+                        function=function,
+                        index=spec,
+                        depth=depth,
+                        update=UpdateMode.DIRECT,
+                    )
+                    stats = suite_average(scheme, traces)
+                    result.rows.append(
+                        {
+                            "function": function,
+                            "index": spec.label or "(none)",
+                            "depth": depth,
+                            "sens": round(stats["sens"], 4),
+                            "pvp": round(stats["pvp"], 4),
+                        }
+                    )
+        return result
+
+    return cached_result("fig9", trace_set.fingerprint(), compute, use_cache)
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+
+EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
+    "table1": table1,
+    "table5": table5,
+    "table6": table6,
+    "table7": table7,
+    "table8": table8,
+    "table9": table9,
+    "table10": table10,
+    "table11": table11,
+    "fig6": figure6,
+    "fig7": figure7,
+    "fig8": figure8,
+    "fig9": figure9,
+}
+
+
+def all_experiments() -> Dict[str, Callable[..., ExperimentResult]]:
+    """Paper experiments plus the extension experiments of DESIGN.md §5.
+
+    Imported lazily to avoid a module cycle (extensions build on the
+    helpers defined here).
+    """
+    from repro.harness.extensions import EXTENSION_EXPERIMENTS
+
+    combined = dict(EXPERIMENTS)
+    combined.update(EXTENSION_EXPERIMENTS)
+    return combined
+
+
+def run_experiment(
+    name: str, trace_set: Optional[TraceSet] = None, use_cache: bool = True
+) -> ExperimentResult:
+    """Run one experiment by name (paper tables/figures or extensions)."""
+    experiments = all_experiments()
+    if name not in experiments:
+        raise ValueError(f"unknown experiment {name!r}; known: {sorted(experiments)}")
+    if trace_set is None:
+        trace_set = TraceSet()
+    return experiments[name](trace_set, use_cache=use_cache)

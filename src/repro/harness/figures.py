@@ -1,0 +1,60 @@
+"""ASCII rendering of the paper's figure series.
+
+The paper's Figures 6-9 are grouped bar charts of sensitivity and PVP per
+index combination.  ``render_figure`` draws the same series as aligned
+horizontal bars so `repro-bench fig6 --chart` reproduces the figure's
+visual shape in a terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.harness.results import ExperimentResult
+
+_BAR_WIDTH = 40
+
+
+def _bar(value: float, width: int = _BAR_WIDTH) -> str:
+    filled = int(round(max(0.0, min(1.0, value)) * width))
+    return "#" * filled + "." * (width - filled)
+
+
+def render_series(
+    title: str, points: Sequence[Tuple[str, float, float]]
+) -> str:
+    """One panel: rows of ``label  sens-bar  pvp-bar``."""
+    label_width = max((len(label) for label, *_ in points), default=5)
+    lines = [title, ""]
+    header = (
+        f"{'index':{label_width}s}  "
+        f"{'sensitivity':{_BAR_WIDTH}s} {'':7s}{'PVP':{_BAR_WIDTH}s}"
+    )
+    lines.append(header)
+    for label, sens, pvp in points:
+        lines.append(
+            f"{label:{label_width}s}  {_bar(sens)} {sens:5.2f}  {_bar(pvp)} {pvp:5.2f}"
+        )
+    return "\n".join(lines)
+
+
+def render_figure(result: ExperimentResult) -> str:
+    """Render a fig6/fig7/fig8 result (index x update grids) as panels."""
+    panels: Dict[str, List[Tuple[str, float, float]]] = {}
+    order: List[str] = []
+    for row in result.rows:
+        key = row.get("update", row.get("depth", ""))
+        panel_name = str(key)
+        if "function" in row:  # fig9 rows carry a function dimension
+            panel_name = f"{row['function']} depth {row['depth']}"
+        if panel_name not in panels:
+            panels[panel_name] = []
+            order.append(panel_name)
+        panels[panel_name].append((row["index"], row["sens"], row["pvp"]))
+    sections = [result.title, "=" * len(result.title)]
+    for panel_name in order:
+        sections.append("")
+        sections.append(
+            render_series(f"-- {panel_name.upper()} --", panels[panel_name])
+        )
+    return "\n".join(sections)

@@ -1,0 +1,75 @@
+"""Experiment result container and on-disk result caching.
+
+Design-space sweeps take minutes; their outputs are small tables.  Results
+are cached as JSON keyed by the experiment name, the trace-set fingerprint,
+and a schema version, so reruns (and the pytest benchmarks) are instant
+once computed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+#: bump to invalidate cached experiment results
+RESULT_SCHEMA = 3
+
+
+@dataclass
+class ExperimentResult:
+    """One regenerated table or figure: named columns, dict rows, notes."""
+
+    name: str
+    title: str
+    columns: List[str]
+    rows: List[Dict] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def to_json(self) -> dict:
+        return {
+            "name": self.name,
+            "title": self.title,
+            "columns": self.columns,
+            "rows": self.rows,
+            "notes": self.notes,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "ExperimentResult":
+        return cls(
+            name=data["name"],
+            title=data["title"],
+            columns=list(data["columns"]),
+            rows=list(data["rows"]),
+            notes=list(data.get("notes", [])),
+        )
+
+
+def default_results_dir() -> Path:
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return Path(override) / "results"
+    return Path(__file__).resolve().parents[3] / "data" / "results"
+
+
+def cached_result(
+    name: str,
+    fingerprint: str,
+    compute: Callable[[], ExperimentResult],
+    use_cache: bool = True,
+    results_dir: Optional[Path] = None,
+) -> ExperimentResult:
+    """Fetch a result from the JSON cache or compute and store it."""
+    directory = results_dir if results_dir is not None else default_results_dir()
+    path = directory / f"{name}-{fingerprint}-v{RESULT_SCHEMA}.json"
+    if use_cache and path.exists():
+        with open(path, "r", encoding="utf-8") as handle:
+            return ExperimentResult.from_json(json.load(handle))
+    result = compute()
+    directory.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(result.to_json(), handle, indent=1)
+    return result

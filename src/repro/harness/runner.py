@@ -1,0 +1,162 @@
+"""Trace generation and caching for the experiment harness.
+
+Generating a benchmark trace means running the full protocol simulation
+over a few hundred thousand memory references, so traces are cached as
+``.npz`` files keyed by a fingerprint of everything that determines them
+(benchmark, seed, node count, cache geometry, scheduler quantum, and the
+package's trace-format version).  Delete the cache directory (default
+``<repo>/data/traces``, override with ``REPRO_CACHE_DIR``) to force
+regeneration.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.memory.cache import CacheConfig
+from repro.memory.system import MultiprocessorSystem, SystemConfig
+from repro.trace.events import SharingTrace
+from repro.trace.io import load_trace, save_trace
+from repro.workloads.registry import BENCHMARK_NAMES, make_workload
+
+#: bump when trace semantics change, to invalidate caches
+TRACE_SCHEMA = 7
+
+
+def default_cache_dir() -> Path:
+    """The trace cache directory (created on demand)."""
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return Path(override)
+    return Path(__file__).resolve().parents[3] / "data" / "traces"
+
+
+def generate_trace(
+    benchmark: str,
+    num_nodes: int = 16,
+    seed: int = 0,
+    cache_bytes: Optional[int] = None,
+    quantum: int = 4,
+    workload_params: Optional[dict] = None,
+):
+    """Run one benchmark through the protocol and return (trace, stats).
+
+    ``cache_bytes`` defaults to the workload's suggested (scaled) cache
+    size; see EXPERIMENTS.md for the scaling rationale.
+    """
+    workload = make_workload(
+        benchmark, num_nodes=num_nodes, seed=seed, **(workload_params or {})
+    )
+    if cache_bytes is None:
+        cache_bytes = getattr(workload, "suggested_cache_bytes", 32 * 1024)
+    associativity = getattr(workload, "suggested_cache_associativity", 4)
+    config = SystemConfig(
+        num_nodes=num_nodes,
+        cache=CacheConfig(
+            size_bytes=cache_bytes, associativity=associativity, line_size=64
+        ),
+    )
+    system = MultiprocessorSystem(config, trace_name=benchmark)
+    system.run(workload.accesses(quantum=quantum))
+    return system.finalize_trace(), system.stats
+
+
+class TraceSet:
+    """The benchmark suite's traces, generated lazily and cached on disk."""
+
+    def __init__(
+        self,
+        benchmarks: Optional[List[str]] = None,
+        num_nodes: int = 16,
+        seed: int = 0,
+        quantum: int = 4,
+        cache_dir: Optional[Path] = None,
+    ):
+        self.benchmarks = list(benchmarks) if benchmarks is not None else list(BENCHMARK_NAMES)
+        self.num_nodes = num_nodes
+        self.seed = seed
+        self.quantum = quantum
+        self.cache_dir = cache_dir if cache_dir is not None else default_cache_dir()
+        self._traces: Dict[str, SharingTrace] = {}
+
+    def _fingerprint(self, benchmark: str) -> str:
+        key = (
+            f"schema={TRACE_SCHEMA};bench={benchmark};nodes={self.num_nodes};"
+            f"seed={self.seed};quantum={self.quantum}"
+        )
+        return hashlib.sha256(key.encode("utf-8")).hexdigest()[:16]
+
+    def _cache_path(self, benchmark: str) -> Path:
+        return self.cache_dir / f"{benchmark}-{self._fingerprint(benchmark)}.npz"
+
+    def trace(self, benchmark: str) -> SharingTrace:
+        """The benchmark's trace: memory, then disk cache, then generation."""
+        cached = self._traces.get(benchmark)
+        if cached is not None:
+            return cached
+        path = self._cache_path(benchmark)
+        if path.exists():
+            trace = load_trace(path)
+        else:
+            trace = self._generate_and_store(benchmark)
+        self._traces[benchmark] = trace
+        return trace
+
+    def _generate_and_store(self, benchmark: str) -> SharingTrace:
+        trace, stats = generate_trace(
+            benchmark,
+            num_nodes=self.num_nodes,
+            seed=self.seed,
+            quantum=self.quantum,
+        )
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        save_trace(trace, self._cache_path(benchmark))
+        summary = {
+            "accesses": stats.reads + stats.writes,
+            "reads": stats.reads,
+            "writes": stats.writes,
+            "read_misses": stats.read_misses,
+            "write_misses": stats.write_misses,
+            "write_upgrades": stats.write_upgrades,
+            "silent_writes": stats.silent_writes,
+            "invalidations_sent": stats.invalidations_sent,
+            "writebacks": stats.writebacks,
+            "replacements": stats.replacements,
+            "max_static_stores_per_node": stats.max_static_stores_per_node(),
+            "max_predicted_stores_per_node": stats.max_predicted_stores_per_node(),
+        }
+        with open(self._stats_path(benchmark), "w", encoding="utf-8") as handle:
+            json.dump(summary, handle, indent=1)
+        return trace
+
+    def _stats_path(self, benchmark: str) -> Path:
+        return self.cache_dir / f"{benchmark}-{self._fingerprint(benchmark)}.stats.json"
+
+    def protocol_summary(self, benchmark: str) -> dict:
+        """Protocol statistics recorded when the trace was generated."""
+        path = self._stats_path(benchmark)
+        if not path.exists():
+            self._traces.pop(benchmark, None)
+            self._generate_and_store(benchmark)
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+
+    def traces(self) -> List[SharingTrace]:
+        """All benchmark traces, in suite order."""
+        return [self.trace(name) for name in self.benchmarks]
+
+    def fingerprint(self) -> str:
+        """A stable id for this trace set (used to key derived result caches)."""
+        parts = ";".join(
+            f"{name}:{self._fingerprint(name)}" for name in self.benchmarks
+        )
+        return hashlib.sha256(parts.encode("utf-8")).hexdigest()[:16]
+
+
+def default_trace_set() -> TraceSet:
+    """The suite at default scale -- what all paper experiments run on."""
+    return TraceSet()

@@ -1,0 +1,36 @@
+"""Plain-text rendering of experiment results."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.harness.results import ExperimentResult
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, bool):
+        return "Y" if value else ""
+    if isinstance(value, float):
+        return f"{value:.3f}".rstrip("0").rstrip(".") if value == value else "nan"
+    return str(value)
+
+
+def render_table(result: ExperimentResult) -> str:
+    """Render a result as an aligned monospace table with its notes."""
+    header = list(result.columns)
+    body: List[List[str]] = [
+        [_format_cell(row.get(column, "")) for column in header] for row in result.rows
+    ]
+    widths = [
+        max(len(header[i]), max((len(row[i]) for row in body), default=0))
+        for i in range(len(header))
+    ]
+    lines = [result.title, ""]
+    lines.append("  ".join(header[i].ljust(widths[i]) for i in range(len(header))))
+    lines.append("  ".join("-" * widths[i] for i in range(len(header))))
+    for row in body:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(header))))
+    for note in result.notes:
+        lines.append("")
+        lines.append(f"note: {note}")
+    return "\n".join(lines)

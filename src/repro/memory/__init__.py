@@ -1,0 +1,28 @@
+"""Distributed shared-memory substrate (stands in for the paper's RSIM).
+
+A 16-node (configurable) system of per-node coherence caches kept coherent
+by a full-map directory running an MSI invalidation protocol.  Feeding it a
+stream of per-node memory references produces exactly what the predictor
+study needs: the sharing-event trace (who wrote, under which pc, homed
+where, and who read before the next write) plus protocol statistics.
+
+Timing is deliberately not modelled: the paper argues (Section 5.1) that
+its metrics are timing-independent, and ours are computed the same way.
+"""
+
+from repro.memory.address import AddressSpace, HomePolicy
+from repro.memory.cache import CacheConfig, SetAssociativeCache
+from repro.memory.directory import Directory, DirectoryEntry, DirState
+from repro.memory.system import MultiprocessorSystem, SystemConfig
+
+__all__ = [
+    "AddressSpace",
+    "HomePolicy",
+    "CacheConfig",
+    "SetAssociativeCache",
+    "Directory",
+    "DirectoryEntry",
+    "DirState",
+    "MultiprocessorSystem",
+    "SystemConfig",
+]

@@ -1,0 +1,71 @@
+"""Address geometry and home-directory placement.
+
+Blocks are identified by their block number (``address >> log2(line_size)``)
+throughout the system; byte addresses only exist at the workload boundary.
+
+Home placement supports the paper's setup: data placement "is either done
+explicitly by the programmer or by RSIM which uses a first-touch policy on a
+cache-line granularity".  First-touch is the default; round-robin
+interleaving is available for experiments on placement sensitivity.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Dict
+
+
+class HomePolicy(Enum):
+    """How a block's home directory is chosen."""
+
+    FIRST_TOUCH = "first-touch"
+    INTERLEAVED = "interleaved"
+
+
+class AddressSpace:
+    """Byte-address to block-number mapping plus home assignment."""
+
+    def __init__(
+        self,
+        num_nodes: int,
+        line_size: int = 64,
+        home_policy: HomePolicy = HomePolicy.FIRST_TOUCH,
+    ):
+        if line_size <= 0 or line_size & (line_size - 1):
+            raise ValueError(f"line_size must be a positive power of two, got {line_size}")
+        if num_nodes < 1:
+            raise ValueError(f"num_nodes must be positive, got {num_nodes}")
+        self.num_nodes = num_nodes
+        self.line_size = line_size
+        self.offset_bits = line_size.bit_length() - 1
+        self.home_policy = home_policy
+        self._homes: Dict[int, int] = {}
+
+    def block_of(self, address: int) -> int:
+        """Block number containing a byte address."""
+        if address < 0:
+            raise ValueError(f"addresses must be non-negative, got {address}")
+        return address >> self.offset_bits
+
+    def home_of(self, block: int, toucher: int) -> int:
+        """Home directory of a block, assigning it on first touch.
+
+        Under ``FIRST_TOUCH`` the first node to reference the block becomes
+        its home (and keeps it forever); under ``INTERLEAVED`` homes rotate
+        by block number.
+        """
+        home = self._homes.get(block)
+        if home is None:
+            if not 0 <= toucher < self.num_nodes:
+                raise ValueError(f"toucher {toucher} out of range for {self.num_nodes} nodes")
+            if self.home_policy is HomePolicy.INTERLEAVED:
+                home = block % self.num_nodes
+            else:
+                home = toucher
+            self._homes[block] = home
+        return home
+
+    @property
+    def blocks_touched(self) -> int:
+        """Number of distinct blocks that have been assigned a home."""
+        return len(self._homes)

@@ -1,0 +1,285 @@
+"""The MSI invalidation protocol engine.
+
+Processes per-node reads and writes against the caches and directory,
+generating the machine's coherence behaviour:
+
+* **read miss** — fetch a shared copy; a modified owner is downgraded to
+  shared (sharing writeback).  The reader's access bit is set in the open
+  epoch (unless it is the epoch's own writer).
+* **write** — silent if the writer already holds the line modified;
+  otherwise a coherence store (write miss, or write fault when the writer
+  holds a shared copy), which invalidates every other copy, closes the
+  block's epoch, and opens a new one.  These coherence stores are exactly
+  the paper's prediction events.
+* **replacement** — LRU victim is written back (modified) or silently
+  dropped with a replacement hint (shared).  Evicted readers keep their
+  epoch access bits: they truly read the data.
+
+The engine is timing-free; requests complete atomically in program
+interleaving order, which is all the sharing study needs (paper Section 5.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.memory.address import AddressSpace
+from repro.memory.cache import EXCLUSIVE, MODIFIED, SHARED, CacheConfig, SetAssociativeCache
+from repro.memory.directory import Directory, DirectoryEntry, DirState
+from repro.trace.builder import SharingTraceBuilder
+from repro.util.bitmaps import iter_set_bits
+
+
+@dataclass
+class ProtocolStats:
+    """Counters for Table-5-style statistics and protocol sanity checks."""
+
+    reads: int = 0
+    writes: int = 0
+    read_hits: int = 0
+    read_misses: int = 0
+    silent_writes: int = 0
+    exclusive_grants: int = 0  # MESI only: read misses granted E
+    exclusive_upgrades: int = 0  # MESI only: silent E -> M writes
+    write_misses: int = 0
+    write_upgrades: int = 0
+    invalidations_sent: int = 0
+    writebacks: int = 0
+    replacements: int = 0
+    # static-store tracking: distinct store pcs per node, and the subset
+    # that generated prediction events
+    store_pcs_by_node: List[Set[int]] = field(default_factory=list)
+    predicted_pcs_by_node: List[Set[int]] = field(default_factory=list)
+
+    @property
+    def coherence_store_misses(self) -> int:
+        """Stores that performed a coherence action (= prediction events)."""
+        return self.write_misses + self.write_upgrades
+
+    def max_static_stores_per_node(self) -> int:
+        return max((len(pcs) for pcs in self.store_pcs_by_node), default=0)
+
+    def max_predicted_stores_per_node(self) -> int:
+        return max((len(pcs) for pcs in self.predicted_pcs_by_node), default=0)
+
+
+class CoherenceProtocol:
+    """MSI + full-map directory over one cache per node."""
+
+    def __init__(
+        self,
+        num_nodes: int,
+        cache_config: CacheConfig,
+        address_space: AddressSpace,
+        trace_name: str = "trace",
+        use_exclusive_state: bool = False,
+    ):
+        if address_space.num_nodes != num_nodes:
+            raise ValueError(
+                f"address space is for {address_space.num_nodes} nodes, protocol for {num_nodes}"
+            )
+        if address_space.line_size != cache_config.line_size:
+            raise ValueError(
+                f"line size mismatch: address space {address_space.line_size}, "
+                f"cache {cache_config.line_size}"
+            )
+        self.num_nodes = num_nodes
+        self.use_exclusive_state = use_exclusive_state
+        self.address_space = address_space
+        self.caches = [SetAssociativeCache(cache_config) for _ in range(num_nodes)]
+        self.directory = Directory()
+        self.builder = SharingTraceBuilder(num_nodes, name=trace_name)
+        self.stats = ProtocolStats(
+            store_pcs_by_node=[set() for _ in range(num_nodes)],
+            predicted_pcs_by_node=[set() for _ in range(num_nodes)],
+        )
+
+    # ------------------------------------------------------------------
+    # Requests
+    # ------------------------------------------------------------------
+
+    def read(self, node: int, address: int) -> None:
+        """Process a load by ``node``."""
+        self.stats.reads += 1
+        block = self.address_space.block_of(address)
+        cache = self.caches[node]
+        if cache.get_state(block) is not None:
+            cache.touch(block)
+            self.stats.read_hits += 1
+            return
+
+        self.stats.read_misses += 1
+        home = self.address_space.home_of(block, node)
+        entry = self.directory.entry(block, home)
+
+        fill_state = SHARED
+        if entry.state is DirState.EXCLUSIVE and entry.owner != node:
+            # Owner supplies data and downgrades to shared; a dirty copy is
+            # written back, a clean E copy just drops to S.
+            owner_cache = self.caches[entry.owner]
+            owner_state = owner_cache.get_state(block)
+            if owner_state == MODIFIED:
+                owner_cache.set_state(block, SHARED)
+                self.stats.writebacks += 1
+            elif owner_state == EXCLUSIVE:
+                owner_cache.set_state(block, SHARED)
+            entry.state = DirState.SHARED
+        elif entry.state is DirState.UNCACHED:
+            if self.use_exclusive_state and entry.sharers == 0:
+                # MESI: the sole reader of an uncached block gets the line
+                # exclusive-clean, so a subsequent write by it is silent.
+                entry.state = DirState.EXCLUSIVE
+                entry.owner = node
+                fill_state = EXCLUSIVE
+                self.stats.exclusive_grants += 1
+            else:
+                entry.state = DirState.SHARED
+                entry.owner = None
+
+        entry.add_sharer(node)
+        if entry.epoch_writer is not None and entry.epoch_writer != node:
+            entry.epoch_readers |= 1 << node
+        self.builder.add_reader(block, node)
+        self._fill(node, block, fill_state)
+
+    def write(self, node: int, address: int, pc: int) -> None:
+        """Process a store by ``node`` under static store ``pc``."""
+        self.stats.writes += 1
+        block = self.address_space.block_of(address)
+        self.stats.store_pcs_by_node[node].add(pc)
+        cache = self.caches[node]
+        state = cache.get_state(block)
+        if state == MODIFIED:
+            cache.touch(block)
+            self.stats.silent_writes += 1
+            return
+        if state == EXCLUSIVE:
+            # MESI: silent upgrade -- no coherence action, no prediction
+            # event, and (as on real hardware) the directory never learns a
+            # new value was created until the next remote access.
+            cache.set_state(block, MODIFIED)
+            cache.touch(block)
+            self.stats.silent_writes += 1
+            self.stats.exclusive_upgrades += 1
+            return
+
+        if state == SHARED:
+            self.stats.write_upgrades += 1
+        else:
+            self.stats.write_misses += 1
+        self.stats.predicted_pcs_by_node[node].add(pc)
+
+        home = self.address_space.home_of(block, node)
+        entry = self.directory.entry(block, home)
+
+        # Invalidate every other copy in the machine.
+        for sharer in iter_set_bits(entry.sharers & ~(1 << node)):
+            invalidated = self.caches[sharer].invalidate(block)
+            if invalidated is not None:
+                self.stats.invalidations_sent += 1
+                if invalidated == MODIFIED:
+                    self.stats.writebacks += 1
+
+        # Close the previous epoch, open the new one (the prediction event).
+        self.builder.add_event(writer=node, pc=pc, home=home, block=block)
+        entry.state = DirState.EXCLUSIVE
+        entry.owner = node
+        entry.sharers = 1 << node
+        entry.epoch_writer = node
+        entry.epoch_readers = 0
+        entry.epoch_event = len(self.builder) - 1
+        self._fill(node, block, MODIFIED)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _fill(self, node: int, block: int, state: int) -> None:
+        """Install a line in ``node``'s cache, handling the LRU victim."""
+        victim = self.caches[node].insert(block, state)
+        if victim is None:
+            return
+        victim_block, victim_state = victim
+        self.stats.replacements += 1
+        victim_entry = self.directory.get(victim_block)
+        if victim_entry is None:  # pragma: no cover - cached blocks have entries
+            raise AssertionError(f"cache held block {victim_block} unknown to directory")
+        victim_entry.remove_sharer(node)
+        if victim_state == MODIFIED:
+            # Dirty writeback: home memory now holds the value; nobody caches it.
+            self.stats.writebacks += 1
+            victim_entry.state = DirState.UNCACHED
+            victim_entry.owner = None
+        elif victim_entry.sharers == 0:
+            # Replacement hint emptied the sharer set.
+            victim_entry.state = DirState.UNCACHED
+            victim_entry.owner = None
+        # Note: the epoch bookkeeping survives eviction on purpose; sharing
+        # epochs are delimited by writes, not by residency.
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+
+    def finalize_trace(self):
+        """Build the immutable sharing trace for everything processed so far."""
+        return self.builder.finalize()
+
+    def check_invariants(self) -> None:
+        """Cross-check caches against the directory (used by tests).
+
+        * single-writer: a modified line is cached exactly once;
+        * presence: every cached copy has its directory presence bit set,
+          and vice versa;
+        * state agreement: EXCLUSIVE entries have a modified owner copy,
+          SHARED entries have no modified copies.
+        """
+        cached_state: Dict[Tuple[int, int], int] = {}
+        for node, cache in enumerate(self.caches):
+            for block in cache.resident_blocks():
+                cached_state[(node, block)] = cache.get_state(block)
+
+        for (node, block), state in cached_state.items():
+            entry = self.directory.get(block)
+            if entry is None:
+                raise AssertionError(f"node {node} caches block {block} with no entry")
+            if not entry.has_sharer(node):
+                raise AssertionError(
+                    f"node {node} caches block {block} without a presence bit"
+                )
+            if state in (MODIFIED, EXCLUSIVE):
+                if entry.state is not DirState.EXCLUSIVE or entry.owner != node:
+                    raise AssertionError(
+                        f"exclusive/modified copy of block {block} at node {node} but "
+                        f"directory says {entry.state}/{entry.owner}"
+                    )
+
+        for block, entry in self.directory.entries.items():
+            for node in iter_set_bits(entry.sharers):
+                if (node, block) not in cached_state:
+                    raise AssertionError(
+                        f"directory lists node {node} for block {block} but cache lacks it"
+                    )
+            if entry.state is DirState.EXCLUSIVE:
+                if entry.owner is None or cached_state.get((entry.owner, block)) not in (
+                    MODIFIED,
+                    EXCLUSIVE,
+                ):
+                    raise AssertionError(
+                        f"EXCLUSIVE block {block} lacks an owner copy in M or E"
+                    )
+            exclusive_holders = [
+                node
+                for node in iter_set_bits(entry.sharers)
+                if cached_state.get((node, block)) in (MODIFIED, EXCLUSIVE)
+            ]
+            if entry.state is not DirState.EXCLUSIVE and exclusive_holders:
+                raise AssertionError(
+                    f"block {block} in state {entry.state} has exclusive copies at "
+                    f"{exclusive_holders}"
+                )
+            if len(exclusive_holders) > 1:
+                raise AssertionError(
+                    f"block {block} has multiple exclusive copies at {exclusive_holders}"
+                )

@@ -1,0 +1,13 @@
+"""Screening-test statistics for sharing prediction (paper Section 4).
+
+The paper's second contribution is importing the vocabulary of
+epidemiological screening into sharing prediction: *prevalence* bounds the
+benefit any predictor can deliver, *sensitivity* measures captured
+opportunity, and *PVP* (predictive value of a positive test) measures the
+usefulness of generated forwarding traffic.
+"""
+
+from repro.metrics.confusion import ConfusionCounts
+from repro.metrics.screening import ScreeningStats, gastwirth_pvp_interval
+
+__all__ = ["ConfusionCounts", "ScreeningStats", "gastwirth_pvp_interval"]

@@ -1,0 +1,79 @@
+"""Confusion counts for per-bit sharing decisions.
+
+Each prediction event contributes one binary decision per node (paper
+Figure 5): the node either was or was not a true reader, and the predictor
+either did or did not flag it.  ``ConfusionCounts`` accumulates the four
+cells of that confusion matrix across an entire trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.bitmaps import popcount
+
+
+@dataclass
+class ConfusionCounts:
+    """Accumulated true/false positive/negative counts.
+
+    Attributes:
+        true_positive: predicted shared, actually shared (useful forwards).
+        false_positive: predicted shared, not shared (wasted traffic).
+        false_negative: not predicted, actually shared (missed opportunity).
+        true_negative: not predicted, not shared (correctly quiet).
+    """
+
+    true_positive: int = 0
+    false_positive: int = 0
+    false_negative: int = 0
+    true_negative: int = 0
+
+    @property
+    def total(self) -> int:
+        """All decisions made (events x nodes)."""
+        return (
+            self.true_positive
+            + self.false_positive
+            + self.false_negative
+            + self.true_negative
+        )
+
+    @property
+    def actual_positive(self) -> int:
+        """Decisions where sharing actually occurred."""
+        return self.true_positive + self.false_negative
+
+    @property
+    def predicted_positive(self) -> int:
+        """Decisions where the predictor flagged sharing (forwarding traffic)."""
+        return self.true_positive + self.false_positive
+
+    def record(self, predicted: int, actual: int, decision_mask: int) -> None:
+        """Score one event's predicted bitmap against its actual bitmap.
+
+        ``decision_mask`` restricts which bits count as decisions (normally
+        all node bits; the writer's own bit still counts and lands in the
+        true-negative cell when predictions exclude the writer).
+        """
+        predicted &= decision_mask
+        actual &= decision_mask
+        self.true_positive += popcount(predicted & actual)
+        self.false_positive += popcount(predicted & ~actual & decision_mask)
+        self.false_negative += popcount(~predicted & actual & decision_mask)
+        self.true_negative += popcount(~predicted & ~actual & decision_mask)
+
+    def merge(self, other: "ConfusionCounts") -> None:
+        """Add another set of counts into this one (e.g. across benchmarks)."""
+        self.true_positive += other.true_positive
+        self.false_positive += other.false_positive
+        self.false_negative += other.false_negative
+        self.true_negative += other.true_negative
+
+    def __add__(self, other: "ConfusionCounts") -> "ConfusionCounts":
+        return ConfusionCounts(
+            true_positive=self.true_positive + other.true_positive,
+            false_positive=self.false_positive + other.false_positive,
+            false_negative=self.false_negative + other.false_negative,
+            true_negative=self.true_negative + other.true_negative,
+        )

@@ -1,0 +1,110 @@
+"""Screening statistics: prevalence, sensitivity, PVP (paper Table 2).
+
+Also implements the two statistics the paper names but does not use
+(specificity and PVN, footnote 7) and a Gastwirth-style precision interval
+for PVP under low prevalence (Section 5.3 cites Gastwirth [10] for how low
+base rates amplify measurement error).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.metrics.confusion import ConfusionCounts
+
+
+def _ratio(numerator: int, denominator: int) -> Optional[float]:
+    """A safe ratio: ``None`` when the denominator is empty.
+
+    Returning ``None`` (rather than 0 or NaN) forces callers to decide how an
+    undefined statistic should be reported; harness tables render it as "-".
+    """
+    if denominator == 0:
+        return None
+    return numerator / denominator
+
+
+@dataclass(frozen=True)
+class ScreeningStats:
+    """The paper's Table 2 statistics derived from confusion counts."""
+
+    prevalence: Optional[float]
+    sensitivity: Optional[float]
+    pvp: Optional[float]
+    specificity: Optional[float]
+    pvn: Optional[float]
+
+    @classmethod
+    def from_counts(cls, counts: ConfusionCounts) -> "ScreeningStats":
+        """Derive every statistic from one confusion matrix.
+
+        prevalence  = (TP + FN) / (TP + TN + FP + FN)
+        sensitivity = TP / (TP + FN)
+        PVP         = TP / (TP + FP)
+        specificity = TN / (TN + FP)          (footnote 7, not used in paper)
+        PVN         = TN / (TN + FN)          (footnote 7, not used in paper)
+        """
+        return cls(
+            prevalence=_ratio(counts.actual_positive, counts.total),
+            sensitivity=_ratio(counts.true_positive, counts.actual_positive),
+            pvp=_ratio(counts.true_positive, counts.predicted_positive),
+            specificity=_ratio(
+                counts.true_negative, counts.true_negative + counts.false_positive
+            ),
+            pvn=_ratio(
+                counts.true_negative, counts.true_negative + counts.false_negative
+            ),
+        )
+
+    @property
+    def degree_of_sharing(self) -> Optional[float]:
+        """Prevalence re-expressed as the average reader count per event.
+
+        The paper equates prevalence with Weber & Gupta's degree of sharing:
+        9.19% prevalence over 16 nodes is "a degree of sharing of 1.5".
+        """
+        if self.prevalence is None:
+            return None
+        return self.prevalence * 16
+
+
+def gastwirth_pvp_interval(
+    counts: ConfusionCounts, confidence: float = 0.95
+) -> Tuple[float, float]:
+    """Normal-approximation confidence interval for measured PVP.
+
+    Gastwirth [10] shows that for rare conditions the *measured* predictive
+    value of a positive test carries large uncertainty because the positive
+    pool is dominated by false positives.  We surface that with a standard
+    binomial interval over the predicted-positive pool: narrow when the
+    predictor commits to many positives, wide when positives are scarce —
+    exactly the low-prevalence caveat of paper Section 5.3.
+    """
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must lie in (0, 1), got {confidence}")
+    positives = counts.predicted_positive
+    if positives == 0:
+        return (0.0, 1.0)
+    pvp = counts.true_positive / positives
+    # Two-sided normal quantile via the inverse error function.
+    z = math.sqrt(2.0) * _erfinv(confidence)
+    half_width = z * math.sqrt(pvp * (1.0 - pvp) / positives)
+    return (max(0.0, pvp - half_width), min(1.0, pvp + half_width))
+
+
+def _erfinv(x: float) -> float:
+    """Inverse error function (Winitzki's approximation, ~1e-4 accurate).
+
+    Avoids a scipy dependency in the core metrics path; tests cross-check
+    against ``scipy.special.erfinv``.
+    """
+    if not -1.0 < x < 1.0:
+        raise ValueError(f"erfinv domain is (-1, 1), got {x}")
+    a = 0.147
+    ln_term = math.log(1.0 - x * x)
+    first = 2.0 / (math.pi * a) + ln_term / 2.0
+    inner = first * first - ln_term / a
+    result = math.sqrt(math.sqrt(inner) - first)
+    return math.copysign(result, x)

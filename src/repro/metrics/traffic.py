@@ -1,0 +1,121 @@
+"""Data-forwarding traffic accounting (paper footnote 8 and Section 6).
+
+The paper evaluates prediction accuracy in isolation, but footnote 8 and
+the summary's bandwidth-latency discussion sketch the traffic economics a
+forwarding protocol implies.  This module makes those economics explicit
+for a scheme's confusion counts under a simple message model:
+
+* every **true positive** forward replaces a demand request+response pair
+  with one forwarded-data message: one message saved, and the consumer's
+  miss latency potentially hidden;
+* every **false positive** forward adds one wasted data message (and the
+  cache pollution the paper acknowledges but does not model);
+* every **false negative** is a demand miss that prediction could have
+  hidden: the request+response pair remains.
+
+All counts are per sharing decision; multiply by the machine's line size
+for bytes.  The model deliberately charges a data-sized message for every
+forward and response, and a header-sized message for requests, with the
+ratio configurable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.metrics.confusion import ConfusionCounts
+
+
+@dataclass(frozen=True)
+class TrafficModel:
+    """Relative message costs (a request header vs a data-carrying message).
+
+    Defaults approximate a 64-byte line with 8-byte headers: a data message
+    costs 9 units (header + line), a request costs 1.
+    """
+
+    request_cost: float = 1.0
+    data_cost: float = 9.0
+
+    def __post_init__(self) -> None:
+        if self.request_cost < 0 or self.data_cost <= 0:
+            raise ValueError(
+                f"costs must be positive (request={self.request_cost}, "
+                f"data={self.data_cost})"
+            )
+
+
+@dataclass(frozen=True)
+class TrafficReport:
+    """Traffic consequences of one scheme's confusion counts."""
+
+    #: forwards that were consumed (true positives)
+    useful_forwards: int
+    #: forwards nobody read (false positives)
+    wasted_forwards: int
+    #: demand misses the scheme failed to cover (false negatives)
+    residual_misses: int
+    #: traffic units without prediction (every reader demand-fetches)
+    baseline_traffic: float
+    #: traffic units with prediction
+    predicted_traffic: float
+
+    @property
+    def forwarding_traffic(self) -> int:
+        """Total forwards sent -- the paper's TP + FP traffic measure."""
+        return self.useful_forwards + self.wasted_forwards
+
+    @property
+    def traffic_ratio(self) -> float:
+        """Predicted over baseline traffic; < 1 means prediction saves bytes."""
+        if self.baseline_traffic == 0:
+            return 1.0
+        return self.predicted_traffic / self.baseline_traffic
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of reader misses eliminated (== sensitivity)."""
+        covered = self.useful_forwards
+        total = covered + self.residual_misses
+        return covered / total if total else 0.0
+
+
+def traffic_report(
+    counts: ConfusionCounts, model: TrafficModel = TrafficModel()
+) -> TrafficReport:
+    """Derive the traffic economics of a scheme from its confusion counts.
+
+    Baseline (no prediction): every true reader issues a demand request and
+    receives a data response.  With prediction: true positives receive one
+    pushed data message (no request); false positives add a pushed data
+    message; false negatives still demand-fetch.
+    """
+    demand_pair = model.request_cost + model.data_cost
+    baseline = counts.actual_positive * demand_pair
+    predicted = (
+        counts.true_positive * model.data_cost
+        + counts.false_positive * model.data_cost
+        + counts.false_negative * demand_pair
+    )
+    return TrafficReport(
+        useful_forwards=counts.true_positive,
+        wasted_forwards=counts.false_positive,
+        residual_misses=counts.false_negative,
+        baseline_traffic=baseline,
+        predicted_traffic=predicted,
+    )
+
+
+def breakeven_pvp(model: TrafficModel = TrafficModel()) -> float:
+    """The PVP below which forwarding *increases* total traffic.
+
+    Each useful forward saves a request (``request_cost``); each wasted
+    forward costs a data message.  Forwarding is traffic-neutral when
+    ``TP * request_cost == FP * data_cost``, i.e. at
+    ``PVP = data / (data + request)``... solved for the TP fraction of all
+    forwards:
+
+    >>> round(breakeven_pvp(TrafficModel(request_cost=1, data_cost=9)), 3)
+    0.9
+    """
+    return model.data_cost / (model.data_cost + model.request_cost)

@@ -1,0 +1,22 @@
+"""Sharing traces: the interface between substrate and predictors.
+
+A sharing trace is the sequence of *prediction events* a run produces: one
+event per store that performed a coherence action (write miss or upgrade),
+annotated with everything predictors may index on (pid, pc, dir, addr) and
+with the ground truth the evaluators need (the epoch's eventual reader set,
+the reader set invalidated at the event, and the index of the event that
+closes the epoch).
+"""
+
+from repro.trace.events import SharingEvent, SharingTrace
+from repro.trace.io import load_trace, save_trace
+from repro.trace.stats import TraceStats, compute_trace_stats
+
+__all__ = [
+    "SharingEvent",
+    "SharingTrace",
+    "load_trace",
+    "save_trace",
+    "TraceStats",
+    "compute_trace_stats",
+]

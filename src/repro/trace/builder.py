@@ -1,0 +1,95 @@
+"""Incremental construction of sharing traces from protocol activity.
+
+The protocol engine reports two things as it runs: "node W wrote block B
+under pc P (a coherence store)" and "node R read block B".  The builder
+threads these into per-block epoch chains -- truth bitmaps, invalidation
+bitmaps, close indices -- and finalizes into an immutable
+:class:`~repro.trace.events.SharingTrace`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.trace.events import SharingTrace
+
+
+class SharingTraceBuilder:
+    """Accumulates prediction events and their epoch reader sets."""
+
+    def __init__(self, num_nodes: int, name: str = "trace"):
+        self.num_nodes = num_nodes
+        self.name = name
+        self._writer: List[int] = []
+        self._pc: List[int] = []
+        self._home: List[int] = []
+        self._block: List[int] = []
+        self._truth: List[int] = []
+        self._inval: List[int] = []
+        self._has_inval: List[bool] = []
+        self._close: List[int] = []
+        self._open_event_by_block: Dict[int, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._writer)
+
+    def add_event(self, writer: int, pc: int, home: int, block: int) -> int:
+        """Record a coherence store: closes the block's open epoch, opens a new one.
+
+        Returns the new event's index.
+        """
+        index = len(self._writer)
+        previous = self._open_event_by_block.get(block)
+        if previous is None:
+            inval, has_inval = 0, False
+        else:
+            inval, has_inval = self._truth[previous], True
+            self._close[previous] = index
+        self._writer.append(writer)
+        self._pc.append(pc)
+        self._home.append(home)
+        self._block.append(block)
+        self._truth.append(0)
+        self._inval.append(inval)
+        self._has_inval.append(has_inval)
+        self._close.append(-1)  # patched when the epoch closes / at finalize
+        self._open_event_by_block[block] = index
+        return index
+
+    def add_reader(self, block: int, node: int) -> None:
+        """Record that ``node`` truly read ``block`` during its open epoch.
+
+        Reads before the block's first coherence store (cold data) have no
+        epoch to credit and are ignored -- see DESIGN.md on why pre-write
+        reader sets are excluded from predictor feedback.
+        """
+        event = self._open_event_by_block.get(block)
+        if event is None:
+            return
+        if node == self._writer[event]:
+            return  # the producer re-reading its own data is not sharing
+        self._truth[event] |= 1 << node
+
+    def finalize(self) -> SharingTrace:
+        """Close all open epochs at end-of-trace and build the trace.
+
+        Mirrors the paper's use of "the final state of the memory" to
+        resolve sharing information for epochs still open when the program
+        ends (Section 5.1).
+        """
+        length = len(self._writer)
+        close = [length if value < 0 else value for value in self._close]
+        trace = SharingTrace(
+            num_nodes=self.num_nodes,
+            writer=self._writer,
+            pc=self._pc,
+            home=self._home,
+            block=self._block,
+            truth=self._truth,
+            inval=self._inval,
+            has_inval=self._has_inval,
+            close=close,
+            name=self.name,
+        )
+        trace.check_consistency()
+        return trace

@@ -1,0 +1,227 @@
+"""Sharing-event records and the array-backed trace container.
+
+Terminology (see DESIGN.md section 3):
+
+* An **event** is a store that performed a coherence action on a shared
+  block: a write miss or a write fault/upgrade.  Silent stores by the
+  current exclusive owner are not events.
+* The **epoch** opened by an event lasts until the next event on the same
+  block (or the end of the trace).  Its **truth bitmap** is the set of nodes
+  other than the writer that read the block during the epoch -- exactly what
+  an ideal predictor should have predicted at the event.
+* The **invalidation bitmap** of an event is the truth bitmap of the epoch
+  the event closes: the readers the directory invalidates.  It is the raw
+  feedback available to direct update.  The first event on a block closes no
+  epoch; its invalidation bitmap is invalid (``has_inval`` false).
+* ``close`` is the index of the event that closes this event's epoch, or
+  ``len(trace)`` when the epoch is still open at the end of the trace.
+  Forwarded update delivers ``truth[i]`` to entry ``key[i]`` at ``close[i]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence
+
+import numpy as np
+
+from repro.util.bitmaps import bitmap_mask
+
+
+@dataclass(frozen=True)
+class SharingEvent:
+    """One prediction event, in record form (convenient for tests)."""
+
+    writer: int
+    pc: int
+    home: int
+    block: int
+    truth: int
+    inval: int
+    has_inval: bool
+    close: int
+
+
+class SharingTrace:
+    """An immutable, array-backed sequence of sharing events.
+
+    The arrays make the vectorized evaluator a set of numpy passes; the
+    record view (:meth:`events`, indexing) keeps tests and the reference
+    evaluator readable.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        writer: Sequence[int],
+        pc: Sequence[int],
+        home: Sequence[int],
+        block: Sequence[int],
+        truth: Sequence[int],
+        inval: Sequence[int],
+        has_inval: Sequence[bool],
+        close: Sequence[int],
+        name: str = "trace",
+    ):
+        if num_nodes < 1:
+            raise ValueError(f"num_nodes must be positive, got {num_nodes}")
+        if num_nodes > 32:
+            raise ValueError(
+                f"bitmaps are stored as uint32; num_nodes must be <= 32, got {num_nodes}"
+            )
+        self.num_nodes = num_nodes
+        self.name = name
+        self.writer = np.asarray(writer, dtype=np.int64)
+        self.pc = np.asarray(pc, dtype=np.int64)
+        self.home = np.asarray(home, dtype=np.int64)
+        self.block = np.asarray(block, dtype=np.int64)
+        self.truth = np.asarray(truth, dtype=np.uint32)
+        self.inval = np.asarray(inval, dtype=np.uint32)
+        self.has_inval = np.asarray(has_inval, dtype=bool)
+        self.close = np.asarray(close, dtype=np.int64)
+        self._validate()
+
+    def _validate(self) -> None:
+        length = len(self.writer)
+        for field_name in ("pc", "home", "block", "truth", "inval", "has_inval", "close"):
+            field = getattr(self, field_name)
+            if len(field) != length:
+                raise ValueError(
+                    f"field {field_name} has length {len(field)}, expected {length}"
+                )
+        mask = bitmap_mask(self.num_nodes)
+        if length:
+            if int(self.writer.min()) < 0 or int(self.writer.max()) >= self.num_nodes:
+                raise ValueError("writer ids must lie in [0, num_nodes)")
+            if int(self.home.min()) < 0 or int(self.home.max()) >= self.num_nodes:
+                raise ValueError("home ids must lie in [0, num_nodes)")
+            if int(self.truth.max()) > mask or int(self.inval.max()) > mask:
+                raise ValueError("bitmaps contain bits beyond num_nodes")
+            writer_bits = (self.truth >> self.writer.astype(np.uint32)) & 1
+            if writer_bits.any():
+                raise ValueError("truth bitmaps must not include the writer's own bit")
+            if int(self.close.min()) < 0 or int(self.close.max()) > length:
+                raise ValueError("close indices must lie in [0, len(trace)]")
+
+    # ------------------------------------------------------------------
+    # Sequence protocol
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.writer)
+
+    def __getitem__(self, index: int) -> SharingEvent:
+        return SharingEvent(
+            writer=int(self.writer[index]),
+            pc=int(self.pc[index]),
+            home=int(self.home[index]),
+            block=int(self.block[index]),
+            truth=int(self.truth[index]),
+            inval=int(self.inval[index]),
+            has_inval=bool(self.has_inval[index]),
+            close=int(self.close[index]),
+        )
+
+    def events(self) -> Iterator[SharingEvent]:
+        """Iterate events in record form."""
+        for index in range(len(self)):
+            yield self[index]
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_events(
+        cls, num_nodes: int, events: Sequence[SharingEvent], name: str = "trace"
+    ) -> "SharingTrace":
+        """Build a trace from a list of fully-specified records."""
+        return cls(
+            num_nodes=num_nodes,
+            writer=[event.writer for event in events],
+            pc=[event.pc for event in events],
+            home=[event.home for event in events],
+            block=[event.block for event in events],
+            truth=[event.truth for event in events],
+            inval=[event.inval for event in events],
+            has_inval=[event.has_inval for event in events],
+            close=[event.close for event in events],
+            name=name,
+        )
+
+    @classmethod
+    def from_epochs(
+        cls,
+        num_nodes: int,
+        epochs: Sequence[tuple],
+        name: str = "trace",
+    ) -> "SharingTrace":
+        """Build a trace from bare ``(writer, pc, home, block, truth)`` tuples.
+
+        The per-block linkage (invalidation bitmaps, ``has_inval`` flags, and
+        close indices) is derived automatically -- this is the convenient
+        constructor for tests and synthetic traces.
+        """
+        length = len(epochs)
+        inval: List[int] = [0] * length
+        has_inval: List[bool] = [False] * length
+        close: List[int] = [length] * length
+        previous_event_on_block: dict = {}
+        for index, (writer, pc, home, block, truth) in enumerate(epochs):
+            if truth & (1 << writer):
+                raise ValueError(
+                    f"epoch {index}: truth bitmap includes writer {writer}"
+                )
+            previous = previous_event_on_block.get(block)
+            if previous is not None:
+                inval[index] = epochs[previous][4]
+                has_inval[index] = True
+                close[previous] = index
+            previous_event_on_block[block] = index
+        return cls(
+            num_nodes=num_nodes,
+            writer=[epoch[0] for epoch in epochs],
+            pc=[epoch[1] for epoch in epochs],
+            home=[epoch[2] for epoch in epochs],
+            block=[epoch[3] for epoch in epochs],
+            truth=[epoch[4] for epoch in epochs],
+            inval=inval,
+            has_inval=has_inval,
+            close=close,
+            name=name,
+        )
+
+    def check_consistency(self) -> None:
+        """Verify the per-block linkage invariants.
+
+        For every event *i* that closes an epoch *j* (``close[j] == i``):
+        ``block[i] == block[j]`` and ``inval[i] == truth[j]``; and events are
+        the only closers of their block's previous epoch.  Raises
+        ``ValueError`` on any violation.  Used by property tests and the
+        trace loader.
+        """
+        last_event_on_block: dict = {}
+        for index in range(len(self)):
+            block = int(self.block[index])
+            previous = last_event_on_block.get(block)
+            if previous is None:
+                if bool(self.has_inval[index]):
+                    raise ValueError(f"event {index}: first on block but has_inval set")
+            else:
+                if int(self.close[previous]) != index:
+                    raise ValueError(
+                        f"event {previous}: close={int(self.close[previous])}, "
+                        f"expected {index}"
+                    )
+                if not bool(self.has_inval[index]):
+                    raise ValueError(f"event {index}: closes an epoch but has_inval unset")
+                if int(self.inval[index]) != int(self.truth[previous]):
+                    raise ValueError(
+                        f"event {index}: inval != truth of closed epoch {previous}"
+                    )
+            last_event_on_block[block] = index
+        for block, last in last_event_on_block.items():
+            if int(self.close[last]) != len(self):
+                raise ValueError(
+                    f"event {last}: last on block {block} but close != len(trace)"
+                )

@@ -1,0 +1,126 @@
+"""Trace persistence.
+
+Traces are expensive to generate (a full protocol simulation) and cheap to
+store, so the harness caches them as ``.npz`` files.  A human-readable text
+format is also provided for debugging and for importing traces produced by
+other tools.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+import numpy as np
+
+from repro.trace.events import SharingTrace
+
+_FORMAT_VERSION = 1
+
+
+def save_trace(trace: SharingTrace, path: Union[str, os.PathLike]) -> None:
+    """Write a trace as a compressed ``.npz`` archive."""
+    np.savez_compressed(
+        path,
+        version=np.int64(_FORMAT_VERSION),
+        num_nodes=np.int64(trace.num_nodes),
+        name=np.array(trace.name),
+        writer=trace.writer,
+        pc=trace.pc,
+        home=trace.home,
+        block=trace.block,
+        truth=trace.truth,
+        inval=trace.inval,
+        has_inval=trace.has_inval,
+        close=trace.close,
+    )
+
+
+def load_trace(path: Union[str, os.PathLike]) -> SharingTrace:
+    """Load a trace written by :func:`save_trace`, verifying its invariants."""
+    with np.load(path, allow_pickle=False) as archive:
+        version = int(archive["version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"unsupported trace format version {version}")
+        trace = SharingTrace(
+            num_nodes=int(archive["num_nodes"]),
+            writer=archive["writer"],
+            pc=archive["pc"],
+            home=archive["home"],
+            block=archive["block"],
+            truth=archive["truth"],
+            inval=archive["inval"],
+            has_inval=archive["has_inval"],
+            close=archive["close"],
+            name=str(archive["name"]),
+        )
+    trace.check_consistency()
+    return trace
+
+
+def dump_text(trace: SharingTrace, path: Union[str, os.PathLike]) -> None:
+    """Write a trace as one whitespace-separated line per event.
+
+    Columns: writer pc home block truth inval has_inval close (bitmaps in
+    hex).  Meant for eyeballing and cross-tool exchange, not bulk storage.
+    """
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(f"# sharing-trace v{_FORMAT_VERSION} nodes={trace.num_nodes} "
+                     f"name={trace.name}\n")
+        handle.write("# writer pc home block truth inval has_inval close\n")
+        for event in trace.events():
+            handle.write(
+                f"{event.writer} {event.pc} {event.home} {event.block} "
+                f"{event.truth:#x} {event.inval:#x} {int(event.has_inval)} "
+                f"{event.close}\n"
+            )
+
+
+def parse_text(path: Union[str, os.PathLike]) -> SharingTrace:
+    """Read a trace written by :func:`dump_text`."""
+    num_nodes = None
+    name = "trace"
+    rows = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                for token in line[1:].split():
+                    if token.startswith("nodes="):
+                        num_nodes = int(token.split("=", 1)[1])
+                    elif token.startswith("name="):
+                        name = token.split("=", 1)[1]
+                continue
+            fields = line.split()
+            if len(fields) != 8:
+                raise ValueError(f"malformed trace line: {line!r}")
+            rows.append(
+                (
+                    int(fields[0]),
+                    int(fields[1]),
+                    int(fields[2]),
+                    int(fields[3]),
+                    int(fields[4], 16),
+                    int(fields[5], 16),
+                    bool(int(fields[6])),
+                    int(fields[7]),
+                )
+            )
+    if num_nodes is None:
+        raise ValueError("trace text is missing the 'nodes=' header")
+    trace = SharingTrace(
+        num_nodes=num_nodes,
+        writer=[row[0] for row in rows],
+        pc=[row[1] for row in rows],
+        home=[row[2] for row in rows],
+        block=[row[3] for row in rows],
+        truth=[row[4] for row in rows],
+        inval=[row[5] for row in rows],
+        has_inval=[row[6] for row in rows],
+        close=[row[7] for row in rows],
+        name=name,
+    )
+    trace.check_consistency()
+    return trace

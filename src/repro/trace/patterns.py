@@ -1,0 +1,159 @@
+"""Sharing-pattern classification (the vocabulary of paper Section 1).
+
+The paper deliberately refuses to filter sharing patterns out of its
+predictors ("we do not assume any other filter in the system which could
+distinguish sharing patterns"), but its analysis leans on the standard
+taxonomy of Weber & Gupta [28] and Kaxiras [13]: producer-consumer,
+migratory, wide sharing, and read-only data.  This module classifies each
+block of a sharing trace into that taxonomy, so workload models can be
+validated against the pattern mix they claim to produce and predictor
+results can be explained per pattern.
+
+Classification rules (per block, over its event chain):
+
+* ``READ_ONLY``   — written once (or never after initialization) and only
+  read afterwards: no communication to predict after the first epoch.
+* ``MIGRATORY``   — multiple writers and small reader sets (at most one
+  reader per epoch on average): the write token travels, each holder reads
+  then writes.
+* ``PRODUCER_CONSUMER`` — a dominant writer whose epochs are read by a
+  recurring set of consumers.
+* ``WIDE_SHARING``  — epochs read by many nodes at once (more than
+  ``wide_threshold`` readers on average).
+* ``UNSHARED``    — no epoch ever has a remote reader (private or
+  effectively private data).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List
+
+from repro.trace.events import SharingTrace
+from repro.util.bitmaps import popcount
+
+
+class SharingPattern(Enum):
+    """Weber & Gupta-style block-level sharing categories."""
+
+    UNSHARED = "unshared"
+    READ_ONLY = "read-only"
+    MIGRATORY = "migratory"
+    PRODUCER_CONSUMER = "producer-consumer"
+    WIDE_SHARING = "wide-sharing"
+
+
+@dataclass
+class BlockProfile:
+    """Raw per-block statistics the classifier derives patterns from."""
+
+    block: int
+    events: int = 0
+    writers: set = field(default_factory=set)
+    total_readers: int = 0
+    epochs_with_readers: int = 0
+    max_readers: int = 0
+    reader_sets: List[int] = field(default_factory=list)
+
+    @property
+    def mean_readers(self) -> float:
+        return self.total_readers / self.events if self.events else 0.0
+
+    @property
+    def reader_set_stability(self) -> float:
+        """Fraction of consecutive epoch pairs with identical reader sets.
+
+        1.0 means perfectly recurring consumers -- the producer-consumer
+        signature; migratory blocks score near 0 because the single reader
+        (the next writer) changes hand to hand.
+        """
+        shared = [bitmap for bitmap in self.reader_sets if bitmap]
+        if len(shared) < 2:
+            return 0.0
+        repeats = sum(1 for a, b in zip(shared, shared[1:]) if a == b)
+        return repeats / (len(shared) - 1)
+
+
+def profile_blocks(trace: SharingTrace) -> Dict[int, BlockProfile]:
+    """Accumulate per-block statistics over a trace."""
+    profiles: Dict[int, BlockProfile] = {}
+    for event in trace.events():
+        profile = profiles.get(event.block)
+        if profile is None:
+            profile = BlockProfile(block=event.block)
+            profiles[event.block] = profile
+        readers = popcount(event.truth)
+        profile.events += 1
+        profile.writers.add(event.writer)
+        profile.total_readers += readers
+        profile.max_readers = max(profile.max_readers, readers)
+        if readers:
+            profile.epochs_with_readers += 1
+        profile.reader_sets.append(event.truth)
+    return profiles
+
+
+def classify_block(
+    profile: BlockProfile,
+    wide_threshold: int = 4,
+    stability_threshold: float = 0.5,
+) -> SharingPattern:
+    """Assign one pattern to a block profile.
+
+    The precedence order matters: wide sharing trumps everything (many
+    readers is the defining observable); then stability separates
+    producer-consumer from migratory; single-writer blocks with recurring
+    readers are producer-consumer even at one reader per epoch.
+    """
+    if profile.total_readers == 0:
+        if profile.events <= 1 or len(profile.writers) == 1:
+            return SharingPattern.UNSHARED
+        return SharingPattern.MIGRATORY  # written around, never read: token-like
+    if profile.events == 1:
+        # a single write epoch whose value is then only read
+        return (
+            SharingPattern.WIDE_SHARING
+            if profile.max_readers >= wide_threshold
+            else SharingPattern.READ_ONLY
+        )
+    if profile.mean_readers >= wide_threshold:
+        return SharingPattern.WIDE_SHARING
+    if len(profile.writers) == 1:
+        return SharingPattern.PRODUCER_CONSUMER
+    if profile.reader_set_stability >= stability_threshold:
+        return SharingPattern.PRODUCER_CONSUMER
+    return SharingPattern.MIGRATORY
+
+
+@dataclass(frozen=True)
+class PatternCensus:
+    """Pattern mix of a trace, by block count and by event count."""
+
+    blocks: Dict[SharingPattern, int]
+    events: Dict[SharingPattern, int]
+
+    def block_fraction(self, pattern: SharingPattern) -> float:
+        total = sum(self.blocks.values())
+        return self.blocks.get(pattern, 0) / total if total else 0.0
+
+    def event_fraction(self, pattern: SharingPattern) -> float:
+        total = sum(self.events.values())
+        return self.events.get(pattern, 0) / total if total else 0.0
+
+    def dominant(self) -> SharingPattern:
+        """The pattern carrying the most prediction events."""
+        if not self.events:
+            return SharingPattern.UNSHARED
+        return max(self.events, key=lambda pattern: self.events[pattern])
+
+
+def census(trace: SharingTrace, wide_threshold: int = 4) -> PatternCensus:
+    """Classify every block of a trace and tally the mix."""
+    blocks: Dict[SharingPattern, int] = {}
+    events: Dict[SharingPattern, int] = {}
+    for profile in profile_blocks(trace).values():
+        pattern = classify_block(profile, wide_threshold=wide_threshold)
+        blocks[pattern] = blocks.get(pattern, 0) + 1
+        events[pattern] = events.get(pattern, 0) + profile.events
+    return PatternCensus(blocks=blocks, events=events)

@@ -1,0 +1,86 @@
+"""Trace-level statistics: the inputs to the paper's Tables 5 and 6.
+
+Everything here is computable from a :class:`SharingTrace` alone, so stats
+can be reproduced from cached traces without rerunning the protocol
+simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Set
+
+import numpy as np
+
+from repro.metrics.confusion import ConfusionCounts
+from repro.trace.events import SharingTrace
+from repro.util.bitmaps import POPCOUNT16
+
+
+def _popcount_column(values: np.ndarray) -> np.ndarray:
+    low = POPCOUNT16[values & np.uint32(0xFFFF)]
+    high = POPCOUNT16[values >> np.uint32(16)]
+    return low.astype(np.int64) + high.astype(np.int64)
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Per-benchmark statistics in the shape of paper Tables 5/6."""
+
+    name: str
+    num_nodes: int
+    events: int  # coherence store misses (prediction events)
+    blocks_touched: int  # distinct blocks appearing in the trace
+    max_static_stores_per_node: int  # distinct store pcs at the busiest node
+    max_predicted_stores_per_node: int  # (same; every traced store predicted)
+    sharing_events: int  # total set bits across truth bitmaps (Table 6 col 1)
+    sharing_decisions: int  # events x num_nodes (Table 6 col 2)
+
+    @property
+    def prevalence(self) -> float:
+        """Fraction of sharing decisions that were true sharing (Table 6)."""
+        if self.sharing_decisions == 0:
+            return 0.0
+        return self.sharing_events / self.sharing_decisions
+
+    @property
+    def degree_of_sharing(self) -> float:
+        """Average number of reader nodes per event (Weber & Gupta)."""
+        if self.events == 0:
+            return 0.0
+        return self.sharing_events / self.events
+
+
+def compute_trace_stats(trace: SharingTrace) -> TraceStats:
+    """Derive all statistics from one trace."""
+    length = len(trace)
+    sharing_events = int(_popcount_column(trace.truth).sum()) if length else 0
+    pcs_by_node: Dict[int, Set[int]] = {}
+    for writer, pc in zip(trace.writer.tolist(), trace.pc.tolist()):
+        pcs_by_node.setdefault(writer, set()).add(pc)
+    max_stores = max((len(pcs) for pcs in pcs_by_node.values()), default=0)
+    return TraceStats(
+        name=trace.name,
+        num_nodes=trace.num_nodes,
+        events=length,
+        blocks_touched=int(np.unique(trace.block).size) if length else 0,
+        max_static_stores_per_node=max_stores,
+        max_predicted_stores_per_node=max_stores,
+        sharing_events=sharing_events,
+        sharing_decisions=length * trace.num_nodes,
+    )
+
+
+def oracle_counts(trace: SharingTrace) -> ConfusionCounts:
+    """Confusion counts of a perfect predictor (all positives true).
+
+    Useful as the upper-bound row in reports: sensitivity and PVP are both
+    1, and prevalence equals the trace's base rate.
+    """
+    stats = compute_trace_stats(trace)
+    return ConfusionCounts(
+        true_positive=stats.sharing_events,
+        false_positive=0,
+        false_negative=0,
+        true_negative=stats.sharing_decisions - stats.sharing_events,
+    )

@@ -1,0 +1,85 @@
+"""Sharing-bitmap helpers.
+
+A *sharing bitmap* is the paper's fundamental datum: one bit per node, set
+when that node is (or is predicted to be) a reader of a cache block.  We
+represent bitmaps as plain Python ints (and ``numpy`` unsigned arrays in the
+vectorized evaluator), with bit *i* standing for node *i*.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List
+
+import numpy as np
+
+#: Precomputed population counts for all 16-bit values.  The vectorized
+#: evaluator scores millions of (bitmap, bitmap) pairs; a table lookup is the
+#: fastest portable way to count bits in numpy arrays.
+POPCOUNT16 = np.array([bin(value).count("1") for value in range(1 << 16)], dtype=np.uint8)
+
+
+def bitmap_mask(num_nodes: int) -> int:
+    """Return the bitmap with the low ``num_nodes`` bits set.
+
+    >>> bin(bitmap_mask(4))
+    '0b1111'
+    """
+    if num_nodes < 0:
+        raise ValueError(f"num_nodes must be non-negative, got {num_nodes}")
+    return (1 << num_nodes) - 1
+
+
+def bitmap_from_nodes(nodes: Iterable[int]) -> int:
+    """Build a bitmap from an iterable of node ids.
+
+    >>> bin(bitmap_from_nodes([0, 3]))
+    '0b1001'
+    """
+    bitmap = 0
+    for node in nodes:
+        if node < 0:
+            raise ValueError(f"node ids must be non-negative, got {node}")
+        bitmap |= 1 << node
+    return bitmap
+
+
+def iter_set_bits(bitmap: int) -> Iterator[int]:
+    """Yield the node ids whose bits are set, in increasing order.
+
+    >>> list(iter_set_bits(0b1001))
+    [0, 3]
+    """
+    if bitmap < 0:
+        raise ValueError(f"bitmap must be non-negative, got {bitmap}")
+    position = 0
+    while bitmap:
+        if bitmap & 1:
+            yield position
+        bitmap >>= 1
+        position += 1
+
+
+def popcount(bitmap: int) -> int:
+    """Count set bits in a non-negative int bitmap.
+
+    >>> popcount(0b1011)
+    3
+    """
+    if bitmap < 0:
+        raise ValueError(f"bitmap must be non-negative, got {bitmap}")
+    return bin(bitmap).count("1")
+
+
+def format_bitmap(bitmap: int, num_nodes: int) -> str:
+    """Render a bitmap as a fixed-width string, node 0 leftmost.
+
+    This matches the way the paper draws sharing bitmaps (one column per
+    node), which makes traces and test failures easy to eyeball.
+
+    >>> format_bitmap(0b101, 4)
+    '1010'
+    """
+    bits: List[str] = []
+    for node in range(num_nodes):
+        bits.append("1" if bitmap & (1 << node) else "0")
+    return "".join(bits)

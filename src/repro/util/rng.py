@@ -1,0 +1,60 @@
+"""Deterministic random number generation for workload models.
+
+Every workload must be exactly reproducible from its parameters so that
+traces can be cached and experiments rerun bit-for-bit.  ``DeterministicRng``
+is a thin façade over :class:`numpy.random.Generator` seeded from a stable
+string key, plus the couple of convenience draws the workloads need.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Sequence
+
+import numpy as np
+
+
+class DeterministicRng:
+    """A seeded RNG whose stream depends only on a string key.
+
+    The key is hashed with SHA-256 so that similar keys ("barnes:0",
+    "barnes:1") produce uncorrelated streams.
+    """
+
+    def __init__(self, key: str):
+        digest = hashlib.sha256(key.encode("utf-8")).digest()
+        seed = int.from_bytes(digest[:8], "little")
+        self.key = key
+        self._generator = np.random.Generator(np.random.PCG64(seed))
+
+    def integers(self, low: int, high: int) -> int:
+        """Draw one integer uniformly from [low, high)."""
+        return int(self._generator.integers(low, high))
+
+    def random(self) -> float:
+        """Draw one float uniformly from [0, 1)."""
+        return float(self._generator.random())
+
+    def choice(self, options: Sequence[int]) -> int:
+        """Pick one element of ``options`` uniformly."""
+        if len(options) == 0:
+            raise ValueError("cannot choose from an empty sequence")
+        return int(options[self.integers(0, len(options))])
+
+    def sample(self, population: Sequence[int], count: int) -> list:
+        """Sample ``count`` distinct elements of ``population``."""
+        if count > len(population):
+            raise ValueError(
+                f"cannot sample {count} items from population of {len(population)}"
+            )
+        indices = self._generator.choice(len(population), size=count, replace=False)
+        return [population[int(index)] for index in indices]
+
+    def shuffled(self, items: Sequence[int]) -> list:
+        """Return a shuffled copy of ``items``."""
+        order = self._generator.permutation(len(items))
+        return [items[int(index)] for index in order]
+
+    def spawn(self, subkey: str) -> "DeterministicRng":
+        """Derive an independent child stream from this RNG's key."""
+        return DeterministicRng(f"{self.key}/{subkey}")

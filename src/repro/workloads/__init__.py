@@ -1,0 +1,32 @@
+"""Synthetic SPLASH-like workload models (substitute for the paper's traces).
+
+Each module models one benchmark from the paper's Table 3 as a set of
+per-thread memory-reference programs with barrier/lock synchronization,
+reproducing that benchmark's documented *sharing structure* (who produces,
+who consumes, how stable the relationship is) rather than its numerics.
+See DESIGN.md section 2 for the substitution argument and EXPERIMENTS.md
+for per-benchmark calibration against the paper's Tables 5 and 6.
+"""
+
+from repro.workloads.base import Access, Atomic, Barrier, PcAllocator, Workload
+from repro.workloads.layout import MemoryLayout, SharedArray
+from repro.workloads.scheduler import interleave
+from repro.workloads.registry import (
+    BENCHMARK_NAMES,
+    default_workloads,
+    make_workload,
+)
+
+__all__ = [
+    "Access",
+    "Atomic",
+    "Barrier",
+    "PcAllocator",
+    "Workload",
+    "MemoryLayout",
+    "SharedArray",
+    "interleave",
+    "BENCHMARK_NAMES",
+    "default_workloads",
+    "make_workload",
+]

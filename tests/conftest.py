@@ -1,0 +1,63 @@
+"""Shared fixtures: small deterministic traces and workload systems."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.memory.cache import CacheConfig
+from repro.memory.system import MultiprocessorSystem, SystemConfig
+from repro.trace.events import SharingTrace
+from repro.util.rng import DeterministicRng
+
+
+def make_random_trace(
+    num_nodes: int = 16,
+    num_events: int = 400,
+    num_blocks: int = 24,
+    num_pcs: int = 6,
+    seed: str = "trace",
+    reader_rate: float = 0.15,
+) -> SharingTrace:
+    """A structured random trace: valid epochs, mixed sharing degrees."""
+    rng = DeterministicRng(seed)
+    epochs = []
+    for _ in range(num_events):
+        writer = rng.integers(0, num_nodes)
+        pc = rng.integers(1, num_pcs + 1)
+        block = rng.integers(0, num_blocks)
+        home = block % num_nodes
+        truth = 0
+        for node in range(num_nodes):
+            if node != writer and rng.random() < reader_rate:
+                truth |= 1 << node
+        epochs.append((writer, pc, home, block, truth))
+    return SharingTrace.from_epochs(num_nodes, epochs, name=f"random-{seed}")
+
+
+@pytest.fixture
+def random_trace() -> SharingTrace:
+    return make_random_trace()
+
+
+@pytest.fixture
+def tiny_trace() -> SharingTrace:
+    """Six hand-written events over two blocks on a 4-node machine."""
+    epochs = [
+        (0, 1, 0, 10, 0b0110),
+        (1, 2, 0, 10, 0b0001),
+        (0, 1, 0, 11, 0b0100),
+        (0, 1, 0, 10, 0b0110),
+        (2, 3, 1, 11, 0b1000),
+        (1, 2, 0, 10, 0b0001),
+    ]
+    return SharingTrace.from_epochs(4, epochs, name="tiny")
+
+
+@pytest.fixture
+def small_system() -> MultiprocessorSystem:
+    """A 4-node system with a tiny cache (2 sets x 2 ways)."""
+    config = SystemConfig(
+        num_nodes=4,
+        cache=CacheConfig(size_bytes=256, associativity=2, line_size=64),
+    )
+    return MultiprocessorSystem(config, trace_name="test")

@@ -1,0 +1,119 @@
+"""Confidence-gated prediction functions (extension)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.confidence import ConfidentIntersectionFunction, ConfidentUnionFunction
+from repro.core.evaluator import evaluate_scheme
+from repro.core.functions import UnionFunction, make_function
+from repro.core.schemes import parse_scheme
+from repro.core.vectorized import evaluate_scheme_fast
+from repro.metrics.screening import ScreeningStats
+from tests.conftest import make_random_trace
+
+bitmaps16 = st.integers(min_value=0, max_value=0xFFFF)
+
+
+def feed(function, history):
+    entry = function.new_entry()
+    for bitmap in history:
+        function.update(entry, bitmap)
+    return function.predict(entry)
+
+
+class TestGating:
+    def test_fresh_entry_predicts_nothing(self):
+        function = ConfidentUnionFunction(2, 16)
+        assert function.predict(function.new_entry()) == 0
+
+    def test_consistent_reader_becomes_confident(self):
+        """A node that reads every epoch is predicted once confidence builds."""
+        function = ConfidentUnionFunction(2, 16)
+        entry = function.new_entry()
+        for _ in range(3):
+            function.update(entry, 0b0100)
+        assert function.predict(entry) & 0b0100
+
+    def test_noisy_reader_is_gated_out(self):
+        """A bit the base function keeps getting wrong loses confidence and
+        is suppressed, even though union would predict it."""
+        base = UnionFunction(2, 16)
+        gated = ConfidentUnionFunction(2, 16)
+        base_entry = base.new_entry()
+        gated_entry = gated.new_entry()
+        # alternate a reader on/off: union predicts it half the time wrongly
+        history = [0b0010, 0, 0b0010, 0, 0b0010, 0]
+        for bitmap in history:
+            base.update(base_entry, bitmap)
+            gated.update(gated_entry, bitmap)
+        assert base.predict(base_entry) & 0b0010  # raw union still speculates
+        assert not gated.predict(gated_entry) & 0b0010  # confidence gates it
+
+    def test_entry_bits_include_counters(self):
+        assert ConfidentUnionFunction(2, 16).entry_bits() == 2 * 16 + 2 * 16
+        assert ConfidentIntersectionFunction(4, 16).entry_bits() == 4 * 16 + 2 * 16
+
+
+class TestFactoryAndSchemes:
+    def test_make_function(self):
+        assert isinstance(make_function("cunion", 2, 16), ConfidentUnionFunction)
+        assert isinstance(make_function("cinter", 2, 16), ConfidentIntersectionFunction)
+
+    def test_scheme_roundtrip(self):
+        scheme = parse_scheme("cunion(pid+add6)2[forwarded]")
+        assert parse_scheme(scheme.full_name) == scheme
+
+
+@given(st.lists(bitmaps16, max_size=20))
+def test_gated_prediction_subset_of_base(history):
+    """Gating can only remove bits from the base union prediction."""
+    base = feed(UnionFunction(3, 16), history)
+    gated = feed(ConfidentUnionFunction(3, 16), history)
+    assert gated & base == gated
+
+
+@pytest.mark.parametrize("mode", ["direct", "forwarded", "ordered"])
+@pytest.mark.parametrize("function", ["cunion", "cinter"])
+def test_fast_path_matches_reference(mode, function):
+    trace = make_random_trace(num_events=400, seed=f"conf-{function}-{mode}")
+    scheme = parse_scheme(f"{function}(pid+add4)2[{mode}]")
+    assert evaluate_scheme_fast(scheme, trace) == evaluate_scheme(scheme, trace)
+
+
+def test_confidence_raises_pvp_on_mixed_trace():
+    """Gating suppresses the unlearnable blocks and keeps the stable ones.
+
+    Half the blocks are perfect producer-consumer (readers {1,2} every
+    epoch), half have i.i.d. random readers.  Raw union speculates on both;
+    confidence gating abstains where it keeps being wrong, so PVP rises
+    while the stable blocks' sensitivity is retained.
+    """
+    from repro.trace.events import SharingTrace
+    from repro.util.rng import DeterministicRng
+
+    rng = DeterministicRng("mixed-confidence")
+    epochs = []
+    for round_index in range(120):
+        for block in range(10):
+            epochs.append((0, 1, 0, block, 0b0110))  # stable readers {1, 2}
+        for block in range(10, 20):
+            truth = 0
+            for node in range(1, 16):
+                if rng.random() < 0.15:
+                    truth |= 1 << node
+            epochs.append((0, 1, 0, block, truth))
+    trace = SharingTrace.from_epochs(16, epochs, name="mixed")
+
+    union = ScreeningStats.from_counts(
+        evaluate_scheme_fast(parse_scheme("union(add6)2[direct]"), trace)
+    )
+    gated = ScreeningStats.from_counts(
+        evaluate_scheme_fast(parse_scheme("cunion(add6)2[direct]"), trace)
+    )
+    assert gated.pvp is not None and union.pvp is not None
+    assert gated.pvp > union.pvp
+    assert gated.sensitivity <= union.sensitivity
+    # the stable half alone would give sensitivity ~0.5 of total sharing;
+    # gating must not destroy it
+    assert gated.sensitivity > 0.3

@@ -1,0 +1,87 @@
+"""Storage accounting, validated against the paper's size columns."""
+
+import math
+
+import pytest
+
+from repro.core.cost import (
+    entry_bits,
+    fits_budget,
+    reported_size_log2_bits,
+    size_log2_bits,
+    storage_bits,
+)
+from repro.core.schemes import parse_scheme
+
+
+class TestPaperSizeColumn:
+    """Every size below appears in the paper's Tables 7-11."""
+
+    @pytest.mark.parametrize(
+        "text,expected_log2",
+        [
+            ("last(pid+pc8)1", 16),  # Table 7
+            ("inter(pid+pc8)2", 17),  # Table 7
+            ("last(pid+mem8)1", 16),  # Table 7
+            ("inter(pid+add6)4", 16),  # Table 8
+            ("inter(pid+pc2+add6)4", 18),  # Table 8
+            ("inter(pid+add4)4", 14),  # Table 8
+            ("inter(pid+pc8+add6)4", 24),  # Table 9
+            ("union(dir+add14)4", 24),  # Table 10
+            ("union(add16)4", 22),  # Table 10
+            ("union(dir+add2)4", 12),  # Table 10
+            ("union(pid+dir+add4)4", 18),  # Table 11
+        ],
+    )
+    def test_matches_paper(self, text, expected_log2):
+        assert size_log2_bits(parse_scheme(text)) == pytest.approx(expected_log2)
+
+    def test_depth3_is_fractional(self):
+        # inter(pid+add8)3 appears in Table 8 at size "18" (the paper rounds)
+        value = size_log2_bits(parse_scheme("inter(pid+add8)3"))
+        assert 17.5 < value < 18.1
+
+
+class TestEntryBits:
+    def test_bitmap_entries(self):
+        assert entry_bits(parse_scheme("union(pid)2")) == 32
+        assert entry_bits(parse_scheme("last()1")) == 16
+
+    def test_pas_entries_count_both_levels(self):
+        # N*depth history + N * 2^depth 2-bit counters
+        assert entry_bits(parse_scheme("pas()2")) == 16 * 2 + 16 * 4 * 2
+
+    def test_overlap_entry_is_two_bitmaps(self):
+        assert entry_bits(parse_scheme("overlap()1")) == 32
+
+
+class TestBaselineReporting:
+    def test_baseline_reported_as_zero(self):
+        assert reported_size_log2_bits(parse_scheme("last()1")) == 0.0
+
+    def test_baseline_honest_cost_nonzero(self):
+        assert storage_bits(parse_scheme("last()1")) == 16
+
+    def test_indexed_last_not_zero(self):
+        assert reported_size_log2_bits(parse_scheme("last(pid)1")) > 0
+
+    def test_deeper_no_index_not_zero(self):
+        assert reported_size_log2_bits(parse_scheme("union()2")) > 0
+
+
+class TestBudget:
+    def test_fits_paper_budget(self):
+        assert fits_budget(parse_scheme("union(dir+add14)4"), 24.0)
+
+    def test_over_budget(self):
+        assert not fits_budget(parse_scheme("union(pid+dir+pc16+add16)4"), 24.0)
+
+    def test_boundary_inclusive(self):
+        scheme = parse_scheme("union(dir+add14)4")  # exactly 2^24 bits
+        assert size_log2_bits(scheme) == pytest.approx(24.0)
+        assert fits_budget(scheme, 24.0)
+
+    def test_storage_scales_with_nodes(self):
+        scheme = parse_scheme("union(pid)1")
+        assert storage_bits(scheme, num_nodes=16) == 16 * 16
+        assert storage_bits(scheme, num_nodes=32) == 32 * 32

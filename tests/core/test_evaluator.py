@@ -1,0 +1,156 @@
+"""Reference evaluator semantics: update-mode timing, scoring, masking."""
+
+import pytest
+
+from repro.core.evaluator import evaluate_scheme, evaluate_scheme_multi
+from repro.core.schemes import parse_scheme
+from repro.metrics.confusion import ConfusionCounts
+from repro.trace.events import SharingTrace
+
+
+def trace_of(num_nodes, epochs, name="t"):
+    return SharingTrace.from_epochs(num_nodes, epochs, name=name)
+
+
+class TestDirectUpdate:
+    def test_learns_previous_epoch_readers(self):
+        """Same block written twice with stable readers: second event is hit."""
+        trace = trace_of(
+            4,
+            [
+                (0, 1, 0, 5, 0b0110),  # epoch A: readers {1,2}
+                (0, 1, 0, 5, 0b0110),  # epoch B: same readers
+                (0, 1, 0, 5, 0b0110),
+            ],
+        )
+        counts = evaluate_scheme(parse_scheme("last(add4)1[direct]"), trace)
+        # event 0: no feedback yet -> predict empty -> 2 FN
+        # events 1, 2: inval {1,2} -> predict {1,2} -> 4 TP
+        assert counts.true_positive == 4
+        assert counts.false_negative == 2
+        assert counts.false_positive == 0
+
+    def test_first_event_on_block_gets_no_update(self):
+        """Cold blocks deliver no feedback (DESIGN.md: epoch -1 excluded)."""
+        trace = trace_of(4, [(0, 1, 0, 5, 0b0110), (1, 2, 0, 6, 0b0001)])
+        counts = evaluate_scheme(parse_scheme("last()1[direct]"), trace)
+        # the single global entry never receives feedback within this trace
+        # before either prediction (block 6's event is that block's first)
+        assert counts.true_positive == 0
+
+    def test_direct_misattributes_across_writers(self):
+        """Paper Figure 3: with pid indexing, writer B's event absorbs A's
+        readers into B's entry -- the direct-update heuristic."""
+        trace = trace_of(
+            4,
+            [
+                (0, 1, 0, 5, 0b0010),  # A writes, reader {1}
+                (2, 1, 0, 5, 0b0010),  # B writes: invalidates A's readers
+                (2, 1, 0, 5, 0b0000),
+            ],
+        )
+        counts = evaluate_scheme(parse_scheme("last(pid)1[direct]"), trace)
+        # event 1 (writer 2): direct update feeds {1} into writer-2's entry,
+        # prediction {1} happens to be right here...
+        # event 2 (writer 2): feeds {1} (epoch closed by event 2 had truth
+        # {1}) -> predicts {1}, truth empty -> 1 FP.
+        assert counts.false_positive == 1
+        assert counts.true_positive == 1
+
+
+class TestForwardedUpdate:
+    def test_routes_history_to_predicting_entry(self):
+        """Writer A's readers reach A's entry even when B invalidates them."""
+        trace = trace_of(
+            4,
+            [
+                (0, 1, 0, 5, 0b0010),  # A's epoch: reader {1}
+                (2, 1, 0, 5, 0b0000),  # B closes A's epoch; truth empty
+                (0, 1, 0, 6, 0b0010),  # A predicts on another block
+            ],
+        )
+        counts = evaluate_scheme(parse_scheme("last(pid)1[forwarded]"), trace)
+        # At event 1 the feedback {1} was forwarded to A's entry; event 2 by
+        # A predicts {1} and is right: 1 TP at event 2.
+        assert counts.true_positive == 1
+
+    def test_feedback_arrives_only_at_epoch_close(self):
+        """Paper Figure 4: A's second prediction precedes the feedback."""
+        trace = trace_of(
+            4,
+            [
+                (0, 1, 0, 5, 0b0010),  # A writes X; epoch open until event 2
+                (0, 1, 0, 6, 0b0010),  # A writes Y *before* X's epoch closes
+                (2, 1, 0, 5, 0b0000),  # X's epoch closes here
+            ],
+        )
+        counts = evaluate_scheme(parse_scheme("last(pid)1[forwarded]"), trace)
+        # A's entry is empty at both of A's predictions: 2 FN, no TP.
+        assert counts.true_positive == 0
+        assert counts.false_negative == 2
+
+
+class TestOrderedUpdate:
+    def test_feedback_available_before_next_use(self):
+        """Ordered update fixes the Figure 4 case forwarded update misses."""
+        trace = trace_of(
+            4,
+            [
+                (0, 1, 0, 5, 0b0010),
+                (0, 1, 0, 6, 0b0010),  # sees truth of event 0 despite open epoch
+                (2, 1, 0, 5, 0b0000),
+            ],
+        )
+        counts = evaluate_scheme(parse_scheme("last(pid)1[ordered]"), trace)
+        assert counts.true_positive == 1  # event 1 predicts {1} correctly
+
+    def test_not_available_at_same_event(self):
+        """An event's own truth is never visible to its own prediction."""
+        trace = trace_of(4, [(0, 1, 0, 5, 0b0110)])
+        counts = evaluate_scheme(parse_scheme("last(pid)1[ordered]"), trace)
+        assert counts.true_positive == 0
+        assert counts.false_negative == 2
+
+
+class TestScoring:
+    def test_totals_are_events_times_nodes(self, random_trace):
+        counts = evaluate_scheme(parse_scheme("union(add4)2[direct]"), random_trace)
+        assert counts.total == len(random_trace) * random_trace.num_nodes
+
+    def test_writer_bit_excluded_by_default(self):
+        """A predictor that would flag the writer itself is masked."""
+        trace = trace_of(
+            4,
+            [
+                (0, 1, 0, 5, 0b0010),  # reader {1}
+                (1, 1, 0, 5, 0b0001),  # writer 1 writes; truth {0}
+            ],
+        )
+        # last(add4): at event 1, raw prediction is {1} == the writer itself.
+        masked = evaluate_scheme(parse_scheme("last(add4)1[direct]"), trace)
+        assert masked.false_positive == 0
+        unmasked = evaluate_scheme(
+            parse_scheme("last(add4)1[direct]"), trace, exclude_writer=False
+        )
+        assert unmasked.false_positive == 1
+
+    def test_accumulator_parameter(self, tiny_trace):
+        acc = ConfusionCounts()
+        returned = evaluate_scheme(parse_scheme("last()1"), tiny_trace, counts=acc)
+        assert returned is acc
+        assert acc.total == len(tiny_trace) * tiny_trace.num_nodes
+
+
+class TestMultiTrace:
+    def test_state_does_not_leak_between_traces(self, tiny_trace):
+        """Each benchmark gets a fresh predictor table."""
+        scheme = parse_scheme("last(add4)1[direct]")
+        twice = evaluate_scheme_multi(scheme, [tiny_trace, tiny_trace])
+        once = evaluate_scheme(scheme, tiny_trace)
+        assert twice.true_positive == 2 * once.true_positive
+        assert twice.false_positive == 2 * once.false_positive
+
+    def test_empty_trace(self):
+        trace = SharingTrace.from_epochs(4, [], name="empty")
+        counts = evaluate_scheme(parse_scheme("last()1"), trace)
+        assert counts.total == 0

@@ -1,0 +1,153 @@
+"""Prediction functions: last, union, intersection, overlap-last."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.functions import (
+    IntersectionFunction,
+    LastFunction,
+    OverlapLastFunction,
+    UnionFunction,
+    make_function,
+)
+
+bitmaps16 = st.integers(min_value=0, max_value=0xFFFF)
+
+
+def feed(function, history):
+    entry = function.new_entry()
+    for bitmap in history:
+        function.update(entry, bitmap)
+    return function.predict(entry)
+
+
+class TestLast:
+    def test_empty_predicts_nothing(self):
+        function = LastFunction(1, 16)
+        assert function.predict(function.new_entry()) == 0
+
+    def test_predicts_most_recent(self):
+        assert feed(LastFunction(1, 16), [0b01, 0b10]) == 0b10
+
+    def test_depth_must_be_one(self):
+        with pytest.raises(ValueError):
+            LastFunction(2, 16)
+
+
+class TestUnion:
+    def test_union_of_history(self):
+        assert feed(UnionFunction(3, 16), [0b001, 0b010, 0b100]) == 0b111
+
+    def test_window_bounded_by_depth(self):
+        # depth 2: the first bitmap falls out of the window
+        assert feed(UnionFunction(2, 16), [0b100, 0b001, 0b010]) == 0b011
+
+    def test_entry_bits(self):
+        assert UnionFunction(3, 16).entry_bits() == 48
+
+
+class TestIntersection:
+    def test_intersection_of_history(self):
+        assert feed(IntersectionFunction(3, 16), [0b011, 0b110, 0b010]) == 0b010
+
+    def test_single_bitmap_predicted_as_is(self):
+        assert feed(IntersectionFunction(4, 16), [0b1010]) == 0b1010
+
+    def test_empty_predicts_nothing(self):
+        function = IntersectionFunction(2, 16)
+        assert function.predict(function.new_entry()) == 0
+
+    def test_disjoint_history_predicts_nothing(self):
+        assert feed(IntersectionFunction(2, 16), [0b01, 0b10]) == 0
+
+
+class TestOverlapLast:
+    def test_single_bitmap_predicted(self):
+        assert feed(OverlapLastFunction(1, 16), [0b0110]) == 0b0110
+
+    def test_overlapping_history_predicts_last(self):
+        assert feed(OverlapLastFunction(1, 16), [0b011, 0b110]) == 0b110
+
+    def test_disjoint_history_abstains(self):
+        assert feed(OverlapLastFunction(1, 16), [0b001, 0b110]) == 0
+
+    def test_recovers_after_disjoint(self):
+        assert feed(OverlapLastFunction(1, 16), [0b001, 0b110, 0b100]) == 0b100
+
+    def test_entry_is_two_bitmaps(self):
+        assert OverlapLastFunction(1, 16).entry_bits() == 32
+
+
+class TestMakeFunction:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("last", LastFunction),
+            ("union", UnionFunction),
+            ("inter", IntersectionFunction),
+            ("intersection", IntersectionFunction),
+            ("overlap", OverlapLastFunction),
+            ("overlap-last", OverlapLastFunction),
+        ],
+    )
+    def test_by_name(self, name, cls):
+        depth = 1 if cls in (LastFunction, OverlapLastFunction) else 3
+        assert isinstance(make_function(name, depth, 16), cls)
+
+    def test_pas_by_name(self):
+        from repro.core.twolevel import PAsFunction
+
+        assert isinstance(make_function("pas", 2, 16), PAsFunction)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            make_function("nope", 1, 16)
+
+    def test_zero_depth_rejected(self):
+        with pytest.raises(ValueError):
+            make_function("union", 0, 16)
+
+
+# ----------------------------------------------------------------------
+# Properties the paper relies on
+# ----------------------------------------------------------------------
+
+
+@given(st.lists(bitmaps16, min_size=1, max_size=12))
+def test_union_contains_intersection(history):
+    """For identical histories, union predictions contain intersection's."""
+    union = feed(UnionFunction(4, 16), history)
+    inter = feed(IntersectionFunction(4, 16), history)
+    assert union | inter == union  # inter subset of union
+
+
+@given(st.lists(bitmaps16, min_size=1, max_size=12))
+def test_depth_one_union_inter_last_identical(history):
+    """last == union(depth 1) == inter(depth 1) (paper Section 3.2)."""
+    last = feed(LastFunction(1, 16), history)
+    union1 = feed(UnionFunction(1, 16), history)
+    inter1 = feed(IntersectionFunction(1, 16), history)
+    assert last == union1 == inter1 == history[-1]
+
+
+@given(st.lists(bitmaps16, min_size=1, max_size=12))
+def test_union_monotone_in_depth(history):
+    """Deeper union never predicts less."""
+    shallow = feed(UnionFunction(2, 16), history)
+    deep = feed(UnionFunction(4, 16), history)
+    assert shallow | deep == deep
+
+
+@given(st.lists(bitmaps16, min_size=1, max_size=12))
+def test_intersection_antitone_in_depth(history):
+    """Deeper intersection never predicts more."""
+    shallow = feed(IntersectionFunction(2, 16), history)
+    deep = feed(IntersectionFunction(4, 16), history)
+    assert deep & shallow == deep
+
+
+@given(st.lists(bitmaps16, min_size=2, max_size=12))
+def test_overlap_prediction_is_last_or_nothing(history):
+    prediction = feed(OverlapLastFunction(1, 16), history)
+    assert prediction in (0, history[-1])

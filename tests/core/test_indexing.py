@@ -1,0 +1,105 @@
+"""IndexSpec: key extraction, Table 1 classification, parsing."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.indexing import IndexSpec, table1_rows
+
+
+class TestClassification:
+    def test_class_numbers_match_table1(self):
+        assert IndexSpec().class_number == 0
+        assert IndexSpec(addr_bits=4).class_number == 1
+        assert IndexSpec(use_dir=True).class_number == 2
+        assert IndexSpec(pc_bits=8).class_number == 4
+        assert IndexSpec(use_pid=True).class_number == 8
+        assert IndexSpec(use_pid=True, pc_bits=1, use_dir=True, addr_bits=1).class_number == 15
+
+    def test_distribution_rules(self):
+        # pid -> processors, dir -> directories, both -> either, none -> centralized
+        assert IndexSpec(use_pid=True).distributable_at_processors
+        assert not IndexSpec(use_pid=True).distributable_at_directories
+        assert IndexSpec(use_dir=True).distributable_at_directories
+        assert IndexSpec().centralized
+        assert IndexSpec(pc_bits=8, addr_bits=8).centralized
+        both = IndexSpec(use_pid=True, use_dir=True)
+        assert both.distributable_at_processors and both.distributable_at_directories
+
+    def test_pure_address_based(self):
+        assert IndexSpec(use_dir=True, addr_bits=8).pure_address_based
+        assert IndexSpec(addr_bits=8).pure_address_based
+        assert not IndexSpec(use_pid=True, addr_bits=8).pure_address_based
+        assert not IndexSpec(pc_bits=2, addr_bits=8).pure_address_based
+
+    def test_table1_has_16_rows(self):
+        rows = list(table1_rows())
+        assert len(rows) == 16
+        assert [row["case"] for row in rows] == list(range(16))
+        # four rows are centralized (0, 1, 4, 5 in the paper)
+        centralized = [row["case"] for row in rows if row["centralized"]]
+        assert centralized == [0, 1, 4, 5]
+
+
+class TestKeyExtraction:
+    def test_no_index_single_entry(self):
+        spec = IndexSpec()
+        assert spec.key(3, 99, 7, 1234, 16) == 0
+        assert spec.index_bits(16) == 0
+
+    def test_field_order_and_truncation(self):
+        spec = IndexSpec(use_pid=True, pc_bits=2, use_dir=True, addr_bits=3)
+        # pid=0b0101, pc low 2 bits of 0b111=0b11, dir=0b0010, addr low 3 of 0b11111=0b111
+        key = spec.key(pid=5, pc=7, home=2, block=31, num_nodes=16)
+        assert key == (5 << 9) | (3 << 7) | (2 << 3) | 7
+
+    def test_index_bits(self):
+        spec = IndexSpec(use_pid=True, pc_bits=8, addr_bits=6)
+        assert spec.index_bits(16) == 4 + 8 + 6
+
+    def test_node_bits_scales_with_machine(self):
+        spec = IndexSpec(use_pid=True)
+        assert spec.index_bits(16) == 4
+        assert spec.index_bits(32) == 5
+        assert spec.index_bits(2) == 1
+
+    def test_negative_bits_rejected(self):
+        with pytest.raises(ValueError):
+            IndexSpec(pc_bits=-1)
+
+
+class TestLabelParsing:
+    @pytest.mark.parametrize(
+        "label",
+        ["", "pid", "dir", "pc8", "add6", "pid+pc8", "pid+pc2+dir+add6", "dir+add14"],
+    )
+    def test_roundtrip(self, label):
+        spec = IndexSpec.parse(label)
+        assert IndexSpec.parse(spec.label) == spec
+
+    def test_mem_alias(self):
+        assert IndexSpec.parse("pid+mem8") == IndexSpec(use_pid=True, addr_bits=8)
+
+    def test_addr_alias(self):
+        assert IndexSpec.parse("addr4") == IndexSpec(addr_bits=4)
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError):
+            IndexSpec.parse("pid+bogus3")
+
+
+@given(
+    st.booleans(),
+    st.integers(min_value=0, max_value=16),
+    st.booleans(),
+    st.integers(min_value=0, max_value=16),
+    st.integers(min_value=0, max_value=15),
+    st.integers(min_value=0, max_value=2**20),
+    st.integers(min_value=0, max_value=15),
+    st.integers(min_value=0, max_value=2**20),
+)
+def test_key_fits_index_bits(use_pid, pc_bits, use_dir, addr_bits, pid, pc, home, block):
+    """Keys always fit in the declared index width."""
+    spec = IndexSpec(use_pid=use_pid, pc_bits=pc_bits, use_dir=use_dir, addr_bits=addr_bits)
+    key = spec.key(pid, pc, home, block, 16)
+    assert 0 <= key < (1 << spec.index_bits(16))

@@ -1,0 +1,102 @@
+"""Scheme notation: construction, naming, parsing (paper Section 3.5)."""
+
+import pytest
+
+from repro.core.indexing import IndexSpec
+from repro.core.schemes import Scheme, parse_scheme
+from repro.core.update import UpdateMode
+
+
+class TestNaming:
+    def test_paper_example(self):
+        scheme = Scheme(
+            function="union",
+            index=IndexSpec(use_pid=True, use_dir=True, addr_bits=4),
+            depth=2,
+            update=UpdateMode.DIRECT,
+        )
+        assert scheme.name == "union(pid+dir+add4)2"
+        assert scheme.full_name == "union(pid+dir+add4)2[direct]"
+
+    def test_baseline_name(self):
+        assert Scheme(function="last").name == "last()1"
+
+    def test_str_is_full_name(self):
+        assert str(Scheme(function="last")) == "last()1[direct]"
+
+
+class TestParsing:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "last()1",
+            "union(pid+dir+add4)2[direct]",
+            "inter(dir+add8)1",
+            "inter(pid+pc8)2[forwarded]",
+            "union(dir+add14)4",
+            "pas(pid+pc4)2[ordered]",
+            "overlap(pid+pc8)1",
+        ],
+    )
+    def test_roundtrip(self, text):
+        scheme = parse_scheme(text)
+        assert parse_scheme(scheme.full_name) == scheme
+
+    def test_depth_defaults_to_one(self):
+        # The paper writes last(pid+mem8) without a depth.
+        assert parse_scheme("last(pid+mem8)").depth == 1
+
+    def test_update_default_parameter(self):
+        scheme = parse_scheme("last()1", default_update=UpdateMode.FORWARDED)
+        assert scheme.update is UpdateMode.FORWARDED
+
+    def test_explicit_update_wins(self):
+        scheme = parse_scheme("last()1[ordered]", default_update=UpdateMode.DIRECT)
+        assert scheme.update is UpdateMode.ORDERED
+
+    def test_forward_abbreviation(self):
+        # The paper writes union(dir+pid+add8)1[forward].
+        assert parse_scheme("last()1[forward]").update is UpdateMode.FORWARDED
+
+    def test_mem_field_parses(self):
+        scheme = parse_scheme("last(pid+mem8)1")
+        assert scheme.index == IndexSpec(use_pid=True, addr_bits=8)
+
+    @pytest.mark.parametrize("bad", ["", "union", "union(pid", "union()0", "union()2[bogus]"])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(ValueError):
+            parse_scheme(bad)
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(ValueError):
+            parse_scheme("frobnicate(pid)2")
+
+
+class TestValidation:
+    def test_zero_depth_rejected(self):
+        with pytest.raises(ValueError):
+            Scheme(function="union", depth=0)
+
+    def test_last_with_depth_two_rejected(self):
+        with pytest.raises(ValueError):
+            Scheme(function="last", depth=2)
+
+    def test_function_normalized_to_lowercase(self):
+        assert Scheme(function="UNION").function == "union"
+
+    def test_with_update(self):
+        scheme = parse_scheme("union(dir+add4)2[direct]")
+        forwarded = scheme.with_update(UpdateMode.FORWARDED)
+        assert forwarded.update is UpdateMode.FORWARDED
+        assert forwarded.name == scheme.name
+
+
+class TestUpdateModeParse:
+    def test_aliases(self):
+        assert UpdateMode.parse("fwd") is UpdateMode.FORWARDED
+        assert UpdateMode.parse("ordered-fwd") is UpdateMode.ORDERED
+        assert UpdateMode.parse("DIRECT") is UpdateMode.DIRECT
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            UpdateMode.parse("sideways")

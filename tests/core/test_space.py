@@ -1,0 +1,80 @@
+"""Design-space enumeration (the Tables 8-11 sweep)."""
+
+import pytest
+
+from repro.core.cost import size_log2_bits
+from repro.core.space import (
+    DEFAULT_FIELD_WIDTHS,
+    enumerate_index_specs,
+    enumerate_schemes,
+)
+from repro.core.update import UpdateMode
+
+
+class TestIndexSpecs:
+    def test_grid_size(self):
+        specs = list(enumerate_index_specs())
+        assert len(specs) == 2 * 2 * len(DEFAULT_FIELD_WIDTHS) ** 2
+
+    def test_no_duplicates(self):
+        specs = list(enumerate_index_specs())
+        assert len(set(specs)) == len(specs)
+
+    def test_max_index_bits_cap(self):
+        for spec in enumerate_index_specs(max_index_bits=12):
+            assert spec.index_bits(16) <= 12
+
+    def test_all_16_classes_present(self):
+        classes = {spec.class_number for spec in enumerate_index_specs()}
+        assert classes == set(range(16))
+
+
+class TestEnumerateSchemes:
+    def test_all_within_budget(self):
+        for scheme in enumerate_schemes(max_log2_bits=20.0):
+            assert size_log2_bits(scheme) <= 20.0 + 1e-9
+
+    def test_no_duplicate_behaviours(self):
+        """Depth-1 intersection is omitted (identical to depth-1 union)."""
+        schemes = enumerate_schemes(max_log2_bits=24.0)
+        assert not any(
+            scheme.function == "inter" and scheme.depth == 1 for scheme in schemes
+        )
+        names = [scheme.name for scheme in schemes]
+        assert len(set(names)) == len(names)
+
+    def test_update_mode_propagates(self):
+        schemes = enumerate_schemes(max_log2_bits=16.0, update=UpdateMode.FORWARDED)
+        assert all(scheme.update is UpdateMode.FORWARDED for scheme in schemes)
+
+    def test_pas_can_be_excluded(self):
+        schemes = enumerate_schemes(max_log2_bits=24.0, include_pas=False)
+        assert not any(scheme.function == "pas" for scheme in schemes)
+
+    def test_pas_grid_is_restrictable(self):
+        schemes = enumerate_schemes(
+            max_log2_bits=24.0,
+            depths=(),
+            field_widths=(0, 4),
+            include_pas=True,
+        )
+        assert schemes and all(scheme.function == "pas" for scheme in schemes)
+
+    def test_budget_shrinks_space(self):
+        big = enumerate_schemes(max_log2_bits=24.0)
+        small = enumerate_schemes(max_log2_bits=16.0)
+        assert len(small) < len(big)
+        assert {scheme.full_name for scheme in small} <= {
+            scheme.full_name for scheme in big
+        }
+
+    def test_paper_winners_in_space(self):
+        """The paper's Tables 8-11 winners are reachable points."""
+        names = {scheme.name for scheme in enumerate_schemes(max_log2_bits=24.0)}
+        for winner in (
+            "inter(pid+add6)4",
+            "inter(pid+pc8+add6)4",
+            "union(dir+add14)4",
+            "union(pid+dir+add4)4",
+        ):
+            assert winner in names

@@ -1,0 +1,73 @@
+"""CLI smoke tests (fast experiments only)."""
+
+import pytest
+
+from repro.harness.cli import main
+
+
+@pytest.fixture(autouse=True)
+def isolated_caches(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+
+
+class TestCli:
+    def test_table1(self, capsys):
+        assert main(["table1", "--benchmarks", "ocean"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "[table1 completed" in out
+
+    def test_multiple_experiments(self, capsys):
+        assert main(["table5", "table6", "--benchmarks", "ocean"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 5" in out and "Table 6" in out
+
+    def test_chart_mode(self, capsys):
+        assert main(["fig6", "--chart", "--benchmarks", "ocean"]) == 0
+        out = capsys.readouterr().out
+        assert "-- DIRECT --" in out
+        assert "#" in out  # bars rendered
+
+    def test_unknown_experiment_errors(self):
+        with pytest.raises(SystemExit):
+            main(["table99"])
+
+    def test_benchmark_subset(self, capsys):
+        assert main(["table6", "--benchmarks", "ocean,water"]) == 0
+        out = capsys.readouterr().out
+        assert "ocean" in out and "water" in out
+        assert "barnes" not in out
+
+    def test_seed_flag(self, capsys):
+        assert main(["table6", "--benchmarks", "ocean", "--seed", "5"]) == 0
+
+    def test_no_cache_flag(self, capsys):
+        assert main(["table6", "--benchmarks", "ocean"]) == 0
+        assert main(["table6", "--benchmarks", "ocean", "--no-cache"]) == 0
+
+
+class TestFigureRendering:
+    def test_render_figure_panels(self):
+        from repro.harness.figures import render_figure
+        from repro.harness.results import ExperimentResult
+
+        result = ExperimentResult(
+            name="fig6",
+            title="demo",
+            columns=["index", "update", "sens", "pvp"],
+            rows=[
+                {"index": "pid", "update": "direct", "sens": 0.5, "pvp": 0.7},
+                {"index": "dir", "update": "direct", "sens": 0.2, "pvp": 0.9},
+                {"index": "pid", "update": "ordered", "sens": 0.6, "pvp": 0.8},
+            ],
+        )
+        text = render_figure(result)
+        assert "-- DIRECT --" in text and "-- ORDERED --" in text
+        assert text.count("pid") == 2
+
+    def test_bars_clip_to_unit_range(self):
+        from repro.harness.figures import _bar
+
+        assert _bar(1.5).count("#") == 40
+        assert _bar(-0.5).count("#") == 0
+        assert len(_bar(0.5)) == 40

@@ -1,0 +1,163 @@
+"""Experiment registry: every table/figure runs and has the right shape.
+
+Heavy experiments run on a reduced trace set (ocean + water) with a
+temporary cache directory, so these tests stay fast and hermetic.
+"""
+
+import pytest
+
+from repro.harness.experiments import (
+    EXPERIMENTS,
+    FIGURE6_COMBOS,
+    FIGURE8_COMBOS,
+    _combo_spec,
+    run_experiment,
+    suite_average,
+    table1,
+)
+from repro.harness.runner import TraceSet
+from repro.core.schemes import parse_scheme
+
+
+@pytest.fixture(scope="module")
+def small_suite(tmp_path_factory):
+    return TraceSet(
+        benchmarks=["ocean", "water"],
+        cache_dir=tmp_path_factory.mktemp("traces"),
+    )
+
+
+@pytest.fixture(scope="module", autouse=True)
+def isolated_results(tmp_path_factory):
+    """One results cache for the whole module, so the sweep runs once."""
+    import os
+
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("results"))
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = previous
+
+
+class TestRegistry:
+    def test_all_paper_experiments_present(self):
+        expected = {
+            "table1",
+            "table5",
+            "table6",
+            "table7",
+            "table8",
+            "table9",
+            "table10",
+            "table11",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+        }
+        assert expected <= set(EXPERIMENTS)
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ValueError):
+            run_experiment("table99")
+
+
+class TestTable1:
+    def test_sixteen_cases(self, small_suite):
+        result = table1(small_suite)
+        assert len(result.rows) == 16
+        assert result.rows[2]["comment"] == "1 entry per directory"
+        assert result.rows[8]["comment"] == "1 entry per processor"
+
+
+class TestStatsTables:
+    def test_table5_rows(self, small_suite):
+        result = run_experiment("table5", small_suite, use_cache=False)
+        assert [row["benchmark"] for row in result.rows] == ["ocean", "water"]
+        assert all(row["store_misses"] > 0 for row in result.rows)
+
+    def test_table6_prevalence_in_range(self, small_suite):
+        result = run_experiment("table6", small_suite, use_cache=False)
+        for row in result.rows:
+            assert 0.0 < row["prevalence_pct"] < 100.0
+
+    def test_table7_has_both_updates(self, small_suite):
+        result = run_experiment("table7", small_suite, use_cache=False)
+        updates = {row["update"] for row in result.rows}
+        assert updates == {"direct", "forwarded"}
+        baseline = [row for row in result.rows if row["description"] == "baseline-last"]
+        assert len(baseline) == 1 and baseline[0]["size"] == 0
+
+
+class TestFigures:
+    def test_fig6_grid(self, small_suite):
+        result = run_experiment("fig6", small_suite, use_cache=False)
+        assert len(result.rows) == 16 * 3  # combos x update modes
+        for row in result.rows:
+            assert 0.0 <= row["sens"] <= 1.0
+            assert 0.0 <= row["pvp"] <= 1.0
+
+    def test_fig9_panels(self, small_suite):
+        result = run_experiment("fig9", small_suite, use_cache=False)
+        functions = {row["function"] for row in result.rows}
+        assert functions == {"inter", "union", "pas"}
+        depths = {row["depth"] for row in result.rows}
+        assert depths == {2, 4}
+
+    def test_combo_tables_cover_all_classes(self):
+        for combos in (FIGURE6_COMBOS, FIGURE8_COMBOS):
+            classes = {_combo_spec(combo).class_number for combo in combos}
+            assert classes == set(range(16))
+
+    def test_fig6_combos_fit_16_bits(self):
+        for combo in FIGURE6_COMBOS:
+            assert _combo_spec(combo).index_bits(16) <= 16
+
+    def test_fig8_combos_fit_12_bits(self):
+        for combo in FIGURE8_COMBOS:
+            assert _combo_spec(combo).index_bits(16) <= 12
+
+
+class TestSuiteAverage:
+    def test_fields(self, small_suite):
+        stats = suite_average(parse_scheme("last()1"), small_suite.traces())
+        assert set(stats) == {"prev", "sens", "pvp", "pooled_tp", "pooled_fp"}
+        assert 0.0 <= stats["sens"] <= 1.0
+
+    def test_oracle_like_scheme_beats_baseline_sens(self, small_suite):
+        traces = small_suite.traces()
+        baseline = suite_average(parse_scheme("last()1[direct]"), traces)
+        union = suite_average(parse_scheme("union(dir+add12)4[ordered]"), traces)
+        assert union["sens"] > baseline["sens"]
+
+
+class TestTopTenTables:
+    def test_table8_on_small_suite(self, small_suite):
+        result = run_experiment("table8", small_suite, use_cache=True)
+        assert 0 < len(result.rows) <= 10
+        # ranked by pvp descending
+        pvps = [row["pvp"] for row in result.rows]
+        assert pvps == sorted(pvps, reverse=True)
+        # the paper's structural finding: intersection schemes win PVP
+        inter_rows = [row for row in result.rows if row["scheme"].startswith("inter")]
+        assert len(inter_rows) >= len(result.rows) - 2
+        # and the note confirms PAs was swept but never ranked
+        assert any("PAs" in note for note in result.notes)
+
+    def test_table10_union_wins_sensitivity(self, small_suite):
+        result = run_experiment("table10", small_suite, use_cache=True)
+        sens = [row["sens"] for row in result.rows]
+        assert sens == sorted(sens, reverse=True)
+        union_rows = [row for row in result.rows if row["scheme"].startswith("union")]
+        assert len(union_rows) >= len(result.rows) - 2
+
+    def test_sweep_cache_reused(self, small_suite):
+        """table8 and table10 share the direct-update sweep cache."""
+        import time
+
+        run_experiment("table8", small_suite, use_cache=True)
+        started = time.time()
+        run_experiment("table10", small_suite, use_cache=True)
+        assert time.time() - started < 5.0

@@ -1,0 +1,99 @@
+"""Extension experiments (DESIGN.md §5)."""
+
+import pytest
+
+from repro.harness.experiments import all_experiments, run_experiment
+from repro.harness.runner import TraceSet
+
+
+@pytest.fixture(scope="module")
+def small_suite(tmp_path_factory):
+    return TraceSet(
+        benchmarks=["ocean", "mp3d"],
+        cache_dir=tmp_path_factory.mktemp("traces"),
+    )
+
+
+@pytest.fixture(scope="module", autouse=True)
+def isolated_results(tmp_path_factory):
+    import os
+
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("results"))
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = previous
+
+
+class TestRegistry:
+    def test_extensions_registered(self):
+        names = set(all_experiments())
+        assert {
+            "ext-patterns",
+            "ext-traffic",
+            "ext-overlap",
+            "ext-robustness",
+            "ext-scaling",
+        } <= names
+
+
+class TestPatternsCensus:
+    def test_rows_and_fractions(self, small_suite):
+        result = run_experiment("ext-patterns", small_suite, use_cache=False)
+        assert [row["benchmark"] for row in result.rows] == ["ocean", "mp3d"]
+        for row in result.rows:
+            total = sum(
+                row[key]
+                for key in (
+                    "producer-consumer",
+                    "migratory",
+                    "wide-sharing",
+                    "read-only",
+                    "unshared",
+                )
+            )
+            assert total == pytest.approx(1.0, abs=0.01)
+
+    def test_mp3d_migratory_dominant(self, small_suite):
+        result = run_experiment("ext-patterns", small_suite, use_cache=False)
+        mp3d = next(row for row in result.rows if row["benchmark"] == "mp3d")
+        assert mp3d["dominant"] == "migratory"
+
+
+class TestTraffic:
+    def test_union_wastes_more_than_intersection(self, small_suite):
+        result = run_experiment("ext-traffic", small_suite, use_cache=False)
+        rows = {row["scheme"]: row for row in result.rows}
+        inter = rows["inter(add12)2[direct]"]
+        union = rows["union(add12)4[direct]"]
+        assert union["wasted_forwards"] > inter["wasted_forwards"]
+        assert union["coverage"] > inter["coverage"]
+
+    def test_traffic_ratio_positive(self, small_suite):
+        result = run_experiment("ext-traffic", small_suite, use_cache=False)
+        assert all(row["traffic_ratio"] > 0 for row in result.rows)
+
+
+class TestOverlap:
+    def test_overlap_trades_sens_for_pvp(self, small_suite):
+        result = run_experiment("ext-overlap", small_suite, use_cache=False)
+        rows = {(row["scheme"], row["update"]): row for row in result.rows}
+        for update in ("direct", "forwarded"):
+            last = rows[("last(pid+pc8)1", update)]
+            overlap = rows[("overlap(pid+pc8)1", update)]
+            # abstention can only reduce positives -> sensitivity never up
+            assert overlap["sens"] <= last["sens"] + 1e-9
+
+
+class TestScaling:
+    def test_prevalence_falls_with_node_count(self, small_suite):
+        result = run_experiment("ext-scaling", small_suite, use_cache=False)
+        prevalences = [row["prevalence_pct"] for row in result.rows]
+        assert prevalences == sorted(prevalences, reverse=True)
+
+    def test_degree_roughly_constant(self, small_suite):
+        result = run_experiment("ext-scaling", small_suite, use_cache=False)
+        degrees = [row["degree"] for row in result.rows]
+        assert max(degrees) - min(degrees) < 0.5

@@ -1,0 +1,85 @@
+"""Experiment result container and JSON caching."""
+
+from repro.harness.results import ExperimentResult, cached_result
+
+
+def sample_result():
+    return ExperimentResult(
+        name="demo",
+        title="Demo table",
+        columns=["a", "b"],
+        rows=[{"a": 1, "b": "x"}, {"a": 2, "b": "y"}],
+        notes=["a note"],
+    )
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        result = sample_result()
+        assert ExperimentResult.from_json(result.to_json()).to_json() == result.to_json()
+
+    def test_notes_default(self):
+        data = {"name": "n", "title": "t", "columns": [], "rows": []}
+        assert ExperimentResult.from_json(data).notes == []
+
+
+class TestCachedResult:
+    def test_computes_once(self, tmp_path):
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return sample_result()
+
+        for _ in range(3):
+            result = cached_result("demo", "fp", compute, results_dir=tmp_path)
+        assert len(calls) == 1
+        assert result.rows == sample_result().rows
+
+    def test_no_cache_recomputes(self, tmp_path):
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return sample_result()
+
+        cached_result("demo", "fp", compute, results_dir=tmp_path)
+        cached_result("demo", "fp", compute, use_cache=False, results_dir=tmp_path)
+        assert len(calls) == 2
+
+    def test_fingerprint_separates_caches(self, tmp_path):
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return sample_result()
+
+        cached_result("demo", "fp1", compute, results_dir=tmp_path)
+        cached_result("demo", "fp2", compute, results_dir=tmp_path)
+        assert len(calls) == 2
+
+
+class TestRenderTable:
+    def test_renders_all_rows_and_notes(self):
+        from repro.harness.tables import render_table
+
+        text = render_table(sample_result())
+        assert "Demo table" in text
+        assert "a note" in text
+        assert text.count("\n") >= 5
+
+    def test_missing_cells_blank(self):
+        from repro.harness.tables import render_table
+
+        result = ExperimentResult(name="n", title="t", columns=["a", "b"], rows=[{"a": 1}])
+        assert render_table(result)  # no KeyError
+
+    def test_float_formatting(self):
+        from repro.harness.tables import render_table
+
+        result = ExperimentResult(
+            name="n", title="t", columns=["v"], rows=[{"v": 0.12345}, {"v": 2.0}]
+        )
+        text = render_table(result)
+        assert "0.123" in text
+        assert "2" in text

@@ -1,0 +1,107 @@
+"""Regression tests for the paper's headline findings on the full suite.
+
+These run against the default calibrated trace set (generated once and
+cached under data/traces), and assert the *shape* conclusions of the
+paper's evaluation -- the contract EXPERIMENTS.md documents.
+"""
+
+import pytest
+
+from repro.core.schemes import parse_scheme
+from repro.harness.experiments import PAPER_PREVALENCE, suite_average
+from repro.harness.runner import TraceSet
+from repro.trace.stats import compute_trace_stats
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return TraceSet()
+
+
+@pytest.fixture(scope="module")
+def traces(suite):
+    return suite.traces()
+
+
+class TestPrevalenceCalibration:
+    def test_within_factor_of_paper(self, suite):
+        """Every benchmark's prevalence is within 2x of the paper's Table 6."""
+        for name in suite.benchmarks:
+            measured = 100 * compute_trace_stats(suite.trace(name)).prevalence
+            expected = PAPER_PREVALENCE[name]
+            assert expected / 2 < measured < expected * 2, name
+
+    def test_suite_average_near_paper(self, suite):
+        values = [
+            compute_trace_stats(suite.trace(name)).prevalence
+            for name in suite.benchmarks
+        ]
+        average = 100 * sum(values) / len(values)
+        assert 6.0 < average < 13.0  # paper: 9.19%
+
+    def test_extremes_ordered_like_paper(self, suite):
+        """barnes is the most shared suite member, ocean the least."""
+        prevalence = {
+            name: compute_trace_stats(suite.trace(name)).prevalence
+            for name in suite.benchmarks
+        }
+        assert max(prevalence, key=prevalence.get) == "barnes"
+        assert min(prevalence, key=prevalence.get) == "ocean"
+
+
+class TestHeadlineFindings:
+    def test_deep_intersection_beats_union_on_pvp(self, traces):
+        inter = suite_average(parse_scheme("inter(add12)2[direct]"), traces)
+        union = suite_average(parse_scheme("union(add12)4[direct]"), traces)
+        assert inter["pvp"] > union["pvp"]
+
+    def test_deep_union_beats_intersection_on_sensitivity(self, traces):
+        inter = suite_average(parse_scheme("inter(add12)2[direct]"), traces)
+        union = suite_average(parse_scheme("union(add12)4[direct]"), traces)
+        assert union["sens"] > inter["sens"]
+
+    def test_union_depth_raises_sensitivity_lowers_pvp(self, traces):
+        """Figure 9, union panel."""
+        shallow = suite_average(parse_scheme("union(add12)1[direct]"), traces)
+        deep = suite_average(parse_scheme("union(add12)4[direct]"), traces)
+        assert deep["sens"] > shallow["sens"]
+        assert deep["pvp"] < shallow["pvp"]
+
+    def test_intersection_depth_lowers_sensitivity_raises_pvp(self, traces):
+        """Figure 9, intersection panel (depth 1 -> 2)."""
+        shallow = suite_average(parse_scheme("inter(add12)1[direct]"), traces)
+        deep = suite_average(parse_scheme("inter(add12)2[direct]"), traces)
+        assert deep["sens"] < shallow["sens"]
+        assert deep["pvp"] > shallow["pvp"]
+
+    def test_pc_only_indexing_is_an_all_around_bad_performer(self, traces):
+        """Paper Section 5.4.2: pc without pid mixes different nodes' stores."""
+        pc_only = suite_average(parse_scheme("inter(pc16)2[direct]"), traces)
+        with_pid = suite_average(parse_scheme("inter(pid+pc12)2[direct]"), traces)
+        assert with_pid["sens"] > pc_only["sens"]
+
+    def test_pid_indexing_helps_intersection(self, traces):
+        """Paper Figure 6: "pid indexing tends to increase both sensitivity
+        and PVP" -- here it buys PVP at essentially unchanged sensitivity."""
+        without = suite_average(parse_scheme("inter(dir)2[direct]"), traces)
+        with_pid = suite_average(parse_scheme("inter(pid+dir)2[direct]"), traces)
+        assert with_pid["pvp"] > without["pvp"]
+        assert with_pid["sens"] >= without["sens"] - 0.01
+
+    def test_direct_and_forwarded_close_on_average(self, traces):
+        """Paper Section 5.4.1: update mode has little influence on PVP."""
+        direct = suite_average(parse_scheme("inter(pid+add8)2[direct]"), traces)
+        forwarded = suite_average(parse_scheme("inter(pid+add8)2[forwarded]"), traces)
+        assert abs(direct["pvp"] - forwarded["pvp"]) < 0.15
+
+    def test_pas_never_beats_flat_intersection_pvp(self, traces):
+        """Paper Section 5.4.1: two-level schemes do not reach the top."""
+        pas = suite_average(parse_scheme("pas(dir+add8)2[direct]"), traces)
+        inter = suite_average(parse_scheme("inter(add12)2[direct]"), traces)
+        assert inter["pvp"] > pas["pvp"]
+
+    def test_baseline_is_nontrivial(self, traces):
+        """The storage-free baseline captures real sharing (Table 7)."""
+        baseline = suite_average(parse_scheme("last()1[direct]"), traces)
+        assert baseline["sens"] > 0.3
+        assert baseline["pvp"] > 0.4

@@ -1,0 +1,60 @@
+"""Address space: block mapping and home placement."""
+
+import pytest
+
+from repro.memory.address import AddressSpace, HomePolicy
+
+
+class TestBlockMapping:
+    def test_64_byte_lines(self):
+        space = AddressSpace(num_nodes=16, line_size=64)
+        assert space.block_of(0) == 0
+        assert space.block_of(63) == 0
+        assert space.block_of(64) == 1
+        assert space.block_of(6400) == 100
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ValueError):
+            AddressSpace(16).block_of(-1)
+
+    def test_bad_line_size_rejected(self):
+        with pytest.raises(ValueError):
+            AddressSpace(16, line_size=100)
+
+
+class TestFirstTouch:
+    def test_first_toucher_becomes_home(self):
+        space = AddressSpace(num_nodes=16, home_policy=HomePolicy.FIRST_TOUCH)
+        assert space.home_of(42, toucher=7) == 7
+
+    def test_home_is_sticky(self):
+        space = AddressSpace(num_nodes=16)
+        space.home_of(42, toucher=7)
+        assert space.home_of(42, toucher=3) == 7
+
+    def test_blocks_touched(self):
+        space = AddressSpace(num_nodes=16)
+        space.home_of(1, 0)
+        space.home_of(2, 1)
+        space.home_of(1, 5)  # repeat
+        assert space.blocks_touched == 2
+
+    def test_bad_toucher_rejected(self):
+        with pytest.raises(ValueError):
+            AddressSpace(4).home_of(1, toucher=4)
+
+
+class TestInterleaved:
+    def test_round_robin_homes(self):
+        space = AddressSpace(num_nodes=4, home_policy=HomePolicy.INTERLEAVED)
+        assert [space.home_of(block, 0) for block in range(8)] == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_toucher_irrelevant(self):
+        space = AddressSpace(num_nodes=4, home_policy=HomePolicy.INTERLEAVED)
+        assert space.home_of(5, toucher=0) == space.home_of(5, toucher=3) == 1
+
+    def test_blocks_touched_counts(self):
+        space = AddressSpace(num_nodes=4, home_policy=HomePolicy.INTERLEAVED)
+        space.home_of(0, 0)
+        space.home_of(9, 0)
+        assert space.blocks_touched == 2

@@ -1,0 +1,205 @@
+"""MSI protocol engine: state transitions, events, epoch bookkeeping."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory.cache import MODIFIED, SHARED, CacheConfig
+from repro.memory.directory import DirState
+from repro.memory.system import MultiprocessorSystem, SystemConfig
+
+
+def make_system(num_nodes=4, cache_bytes=4096, ways=4):
+    return MultiprocessorSystem(
+        SystemConfig(
+            num_nodes=num_nodes,
+            cache=CacheConfig(size_bytes=cache_bytes, associativity=ways, line_size=64),
+        )
+    )
+
+
+class TestReads:
+    def test_read_miss_then_hit(self):
+        system = make_system()
+        system.read(0, 0x100)
+        system.read(0, 0x100)
+        assert system.stats.read_misses == 1
+        assert system.stats.read_hits == 1
+
+    def test_read_downgrades_modified_owner(self):
+        system = make_system()
+        system.write(0, 0x100, pc=1)
+        system.read(1, 0x100)
+        block = system.address_space.block_of(0x100)
+        entry = system.protocol.directory.get(block)
+        assert entry.state is DirState.SHARED
+        assert system.protocol.caches[0].get_state(block) == SHARED
+        assert system.stats.writebacks == 1
+
+    def test_reads_within_line_hit(self):
+        system = make_system()
+        system.read(0, 0x100)
+        system.read(0, 0x13F)  # same 64-byte line
+        assert system.stats.read_misses == 1
+
+
+class TestWrites:
+    def test_write_miss_creates_event(self):
+        system = make_system()
+        system.write(0, 0x100, pc=1)
+        assert system.stats.write_misses == 1
+        assert len(system.protocol.builder) == 1
+
+    def test_repeated_writes_by_owner_are_silent(self):
+        system = make_system()
+        system.write(0, 0x100, pc=1)
+        system.write(0, 0x108, pc=1)  # same line
+        system.write(0, 0x100, pc=2)
+        assert system.stats.silent_writes == 2
+        assert len(system.protocol.builder) == 1
+
+    def test_write_after_reader_is_upgrade(self):
+        system = make_system()
+        system.write(0, 0x100, pc=1)
+        system.read(1, 0x100)
+        system.write(0, 0x100, pc=1)
+        assert system.stats.write_upgrades == 1
+        assert len(system.protocol.builder) == 2
+
+    def test_write_invalidates_all_other_copies(self):
+        system = make_system()
+        block = system.address_space.block_of(0x100)
+        system.write(0, 0x100, pc=1)
+        system.read(1, 0x100)
+        system.read(2, 0x100)
+        system.write(3, 0x100, pc=2)
+        for node in (0, 1, 2):
+            assert system.protocol.caches[node].get_state(block) is None
+        assert system.protocol.caches[3].get_state(block) == MODIFIED
+        assert system.stats.invalidations_sent == 3
+
+    def test_exclusive_state_at_directory(self):
+        system = make_system()
+        system.write(2, 0x100, pc=1)
+        entry = system.protocol.directory.get(system.address_space.block_of(0x100))
+        assert entry.state is DirState.EXCLUSIVE
+        assert entry.owner == 2
+
+
+class TestEpochBookkeeping:
+    def test_truth_excludes_writer(self):
+        system = make_system()
+        system.write(0, 0x100, pc=1)
+        system.read(0, 0x100)  # owner reading its own data: not sharing
+        system.read(1, 0x100)
+        system.write(2, 0x100, pc=2)
+        trace = system.finalize_trace()
+        assert trace[0].truth == 0b0010
+
+    def test_inval_bitmap_is_previous_truth(self):
+        system = make_system()
+        system.write(0, 0x100, pc=1)
+        system.read(1, 0x100)
+        system.read(3, 0x100)
+        system.write(2, 0x100, pc=2)
+        trace = system.finalize_trace()
+        assert trace[1].inval == trace[0].truth == 0b1010
+        assert trace[1].has_inval
+
+    def test_evicted_reader_still_counted(self):
+        """Access bits survive replacement: true readers stay in the truth."""
+        system = make_system(cache_bytes=128, ways=1)  # 2 sets x 1 way
+        system.write(0, 0x000, pc=1)  # block 0 (set 0)
+        system.read(1, 0x000)
+        # force block 0 out of node 1's cache: block 2 maps to set 0
+        system.read(1, 0x080)
+        block = system.address_space.block_of(0x000)
+        assert system.protocol.caches[1].get_state(block) is None
+        system.write(2, 0x000, pc=2)
+        trace = system.finalize_trace()
+        assert trace[0].truth & 0b0010
+
+    def test_owner_eviction_makes_next_write_a_miss(self):
+        system = make_system(cache_bytes=128, ways=1)
+        system.write(0, 0x000, pc=1)
+        system.write(0, 0x080, pc=1)  # evicts block 0 (same set), dirty
+        assert system.stats.writebacks == 1
+        system.write(0, 0x000, pc=1)  # write miss again, same writer
+        assert system.stats.write_misses == 3
+        trace = system.finalize_trace()
+        # block 0 has two events; the second closes a reader-less epoch
+        assert trace[2].inval == 0 and trace[2].has_inval
+
+    def test_open_epoch_truth_resolved_at_finalize(self):
+        system = make_system()
+        system.write(0, 0x100, pc=1)
+        system.read(1, 0x100)
+        trace = system.finalize_trace()
+        assert trace[0].truth == 0b0010
+        assert trace[0].close == len(trace)
+
+
+class TestInvariants:
+    def test_invariants_hold_after_workout(self, small_system):
+        from repro.util.rng import DeterministicRng
+
+        rng = DeterministicRng("protocol-workout")
+        for _ in range(3000):
+            node = rng.integers(0, 4)
+            address = rng.integers(0, 32) * 64
+            if rng.random() < 0.4:
+                small_system.write(node, address, pc=rng.integers(1, 5))
+            else:
+                small_system.read(node, address)
+        small_system.protocol.check_invariants()
+        trace = small_system.finalize_trace()
+        trace.check_consistency()
+
+    def test_op_validation(self, small_system):
+        with pytest.raises(ValueError):
+            small_system.run([(0, "X", 0, 0)])
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=3),
+            st.sampled_from(["R", "W"]),
+            st.integers(min_value=0, max_value=40),
+        ),
+        max_size=250,
+    )
+)
+def test_protocol_invariants_property(accesses):
+    """Single-writer/presence invariants hold after any access sequence."""
+    system = make_system(num_nodes=4, cache_bytes=512, ways=2)
+    for node, op, line in accesses:
+        if op == "R":
+            system.read(node, line * 64)
+        else:
+            system.write(node, line * 64, pc=1)
+    system.protocol.check_invariants()
+    system.finalize_trace().check_consistency()
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=3),
+            st.sampled_from(["R", "W"]),
+            st.integers(min_value=0, max_value=40),
+        ),
+        max_size=250,
+    )
+)
+def test_event_count_equals_coherence_store_misses(accesses):
+    system = make_system(num_nodes=4, cache_bytes=512, ways=2)
+    for node, op, line in accesses:
+        if op == "R":
+            system.read(node, line * 64)
+        else:
+            system.write(node, line * 64, pc=1)
+    trace = system.finalize_trace()
+    assert len(trace) == system.stats.coherence_store_misses

@@ -1,0 +1,90 @@
+"""ConfusionCounts arithmetic and recording."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.metrics.confusion import ConfusionCounts
+from repro.util.bitmaps import bitmap_mask
+
+
+class TestRecord:
+    def test_perfect_prediction(self):
+        counts = ConfusionCounts()
+        counts.record(predicted=0b0110, actual=0b0110, decision_mask=0b1111)
+        assert counts.true_positive == 2
+        assert counts.false_positive == 0
+        assert counts.false_negative == 0
+        assert counts.true_negative == 2
+
+    def test_all_cells(self):
+        counts = ConfusionCounts()
+        # node0: TP, node1: FP, node2: FN, node3: TN
+        counts.record(predicted=0b0011, actual=0b0101, decision_mask=0b1111)
+        assert counts.true_positive == 1
+        assert counts.false_positive == 1
+        assert counts.false_negative == 1
+        assert counts.true_negative == 1
+
+    def test_mask_restricts_decisions(self):
+        counts = ConfusionCounts()
+        counts.record(predicted=0b1111, actual=0b1111, decision_mask=0b0011)
+        assert counts.total == 2
+        assert counts.true_positive == 2
+
+    def test_total_accumulates(self):
+        counts = ConfusionCounts()
+        for _ in range(5):
+            counts.record(0, 0, bitmap_mask(16))
+        assert counts.total == 80
+        assert counts.true_negative == 80
+
+
+class TestMergeAndAdd:
+    def test_merge(self):
+        a = ConfusionCounts(1, 2, 3, 4)
+        a.merge(ConfusionCounts(10, 20, 30, 40))
+        assert a == ConfusionCounts(11, 22, 33, 44)
+
+    def test_add_returns_new(self):
+        a = ConfusionCounts(1, 2, 3, 4)
+        b = ConfusionCounts(5, 6, 7, 8)
+        c = a + b
+        assert c == ConfusionCounts(6, 8, 10, 12)
+        assert a == ConfusionCounts(1, 2, 3, 4)
+
+    def test_derived_totals(self):
+        counts = ConfusionCounts(true_positive=3, false_positive=2, false_negative=5, true_negative=10)
+        assert counts.actual_positive == 8
+        assert counts.predicted_positive == 5
+        assert counts.total == 20
+
+
+@given(
+    st.integers(min_value=0, max_value=0xFFFF),
+    st.integers(min_value=0, max_value=0xFFFF),
+)
+def test_record_partitions_all_decisions(predicted, actual):
+    """Every decision lands in exactly one confusion cell."""
+    counts = ConfusionCounts()
+    counts.record(predicted, actual, bitmap_mask(16))
+    assert counts.total == 16
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=0xFFFF),
+            st.integers(min_value=0, max_value=0xFFFF),
+        ),
+        max_size=30,
+    )
+)
+def test_merge_equals_bulk_record(pairs):
+    """Recording in two halves then merging equals recording everything."""
+    mask = bitmap_mask(16)
+    combined = ConfusionCounts()
+    half_a, half_b = ConfusionCounts(), ConfusionCounts()
+    for index, (predicted, actual) in enumerate(pairs):
+        combined.record(predicted, actual, mask)
+        (half_a if index % 2 else half_b).record(predicted, actual, mask)
+    assert half_a + half_b == combined

@@ -1,0 +1,110 @@
+"""Screening statistics (paper Table 2) and the Gastwirth interval."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from scipy import special
+
+from repro.metrics.confusion import ConfusionCounts
+from repro.metrics.screening import ScreeningStats, _erfinv, gastwirth_pvp_interval
+
+
+class TestDefinitions:
+    def test_textbook_example(self):
+        counts = ConfusionCounts(
+            true_positive=8, false_positive=2, false_negative=4, true_negative=86
+        )
+        stats = ScreeningStats.from_counts(counts)
+        assert stats.prevalence == pytest.approx(12 / 100)
+        assert stats.sensitivity == pytest.approx(8 / 12)
+        assert stats.pvp == pytest.approx(8 / 10)
+        assert stats.specificity == pytest.approx(86 / 88)
+        assert stats.pvn == pytest.approx(86 / 90)
+
+    def test_undefined_statistics_are_none(self):
+        stats = ScreeningStats.from_counts(ConfusionCounts())
+        assert stats.prevalence is None
+        assert stats.sensitivity is None
+        assert stats.pvp is None
+
+    def test_no_positives_predicted(self):
+        counts = ConfusionCounts(true_positive=0, false_positive=0, false_negative=5, true_negative=5)
+        stats = ScreeningStats.from_counts(counts)
+        assert stats.pvp is None
+        assert stats.sensitivity == 0.0
+
+    def test_degree_of_sharing(self):
+        counts = ConfusionCounts(true_positive=3, false_positive=0, false_negative=13, true_negative=144)
+        stats = ScreeningStats.from_counts(counts)
+        # prevalence 16/160 = 0.1 -> degree 1.6 on a 16-node machine
+        assert stats.degree_of_sharing == pytest.approx(1.6)
+
+
+class TestPaperIdentities:
+    """The paper's arithmetic: 9.19% prevalence == degree of sharing 1.5."""
+
+    def test_prevalence_degree_relation(self):
+        counts = ConfusionCounts(
+            true_positive=0, false_positive=0, false_negative=919, true_negative=9081
+        )
+        stats = ScreeningStats.from_counts(counts)
+        assert stats.prevalence == pytest.approx(0.0919)
+        assert stats.degree_of_sharing == pytest.approx(1.47, abs=0.01)
+
+
+@given(
+    st.integers(min_value=0, max_value=10**6),
+    st.integers(min_value=0, max_value=10**6),
+    st.integers(min_value=0, max_value=10**6),
+    st.integers(min_value=0, max_value=10**6),
+)
+def test_statistics_bounded(tp, fp, fn, tn):
+    """All defined statistics lie in [0, 1]."""
+    stats = ScreeningStats.from_counts(ConfusionCounts(tp, fp, fn, tn))
+    for value in (stats.prevalence, stats.sensitivity, stats.pvp, stats.specificity, stats.pvn):
+        assert value is None or 0.0 <= value <= 1.0
+
+
+class TestGastwirthInterval:
+    def test_contains_point_estimate(self):
+        counts = ConfusionCounts(true_positive=80, false_positive=20, false_negative=10, true_negative=890)
+        low, high = gastwirth_pvp_interval(counts)
+        assert low <= 0.8 <= high
+
+    def test_narrows_with_more_positives(self):
+        small = ConfusionCounts(true_positive=8, false_positive=2, false_negative=0, true_negative=0)
+        large = ConfusionCounts(true_positive=8000, false_positive=2000, false_negative=0, true_negative=0)
+        assert (lambda i: i[1] - i[0])(gastwirth_pvp_interval(small)) > (
+            lambda i: i[1] - i[0]
+        )(gastwirth_pvp_interval(large))
+
+    def test_no_positives_gives_vacuous_interval(self):
+        assert gastwirth_pvp_interval(ConfusionCounts()) == (0.0, 1.0)
+
+    def test_bad_confidence_rejected(self):
+        with pytest.raises(ValueError):
+            gastwirth_pvp_interval(ConfusionCounts(1, 1, 1, 1), confidence=1.5)
+
+    def test_bounds_clipped_to_unit_interval(self):
+        counts = ConfusionCounts(true_positive=2, false_positive=0, false_negative=0, true_negative=0)
+        low, high = gastwirth_pvp_interval(counts)
+        assert 0.0 <= low <= high <= 1.0
+
+
+class TestErfinv:
+    @pytest.mark.parametrize("x", [-0.99, -0.5, -0.1, 0.0, 0.1, 0.5, 0.9, 0.99])
+    def test_matches_scipy(self, x):
+        assert _erfinv(x) == pytest.approx(float(special.erfinv(x)), rel=5e-3, abs=2e-3)
+
+    def test_domain(self):
+        with pytest.raises(ValueError):
+            _erfinv(1.0)
+
+    def test_odd_function(self):
+        assert _erfinv(-0.3) == pytest.approx(-_erfinv(0.3))
+
+    def test_roundtrip_through_erf(self):
+        for x in (0.05, 0.4, 0.8):
+            assert math.erf(_erfinv(x)) == pytest.approx(x, abs=1e-3)

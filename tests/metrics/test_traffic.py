@@ -1,0 +1,83 @@
+"""Traffic accounting (footnote 8 economics)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.metrics.confusion import ConfusionCounts
+from repro.metrics.traffic import TrafficModel, breakeven_pvp, traffic_report
+
+
+class TestModel:
+    def test_defaults(self):
+        model = TrafficModel()
+        assert model.data_cost > model.request_cost
+
+    def test_invalid_costs_rejected(self):
+        with pytest.raises(ValueError):
+            TrafficModel(request_cost=-1)
+        with pytest.raises(ValueError):
+            TrafficModel(data_cost=0)
+
+
+class TestReport:
+    def test_perfect_predictor_saves_requests(self):
+        counts = ConfusionCounts(true_positive=100, false_positive=0, false_negative=0, true_negative=900)
+        report = traffic_report(counts)
+        assert report.traffic_ratio < 1.0
+        assert report.coverage == 1.0
+        assert report.wasted_forwards == 0
+
+    def test_silent_predictor_is_baseline(self):
+        counts = ConfusionCounts(true_positive=0, false_positive=0, false_negative=100, true_negative=900)
+        report = traffic_report(counts)
+        assert report.traffic_ratio == pytest.approx(1.0)
+        assert report.coverage == 0.0
+
+    def test_spammy_predictor_costs_traffic(self):
+        counts = ConfusionCounts(true_positive=10, false_positive=500, false_negative=0, true_negative=0)
+        assert traffic_report(counts).traffic_ratio > 1.0
+
+    def test_forwarding_traffic_is_tp_plus_fp(self):
+        counts = ConfusionCounts(true_positive=7, false_positive=3, false_negative=5, true_negative=85)
+        report = traffic_report(counts)
+        assert report.forwarding_traffic == 10
+
+    def test_no_sharing_at_all(self):
+        report = traffic_report(ConfusionCounts(true_negative=100))
+        assert report.traffic_ratio == 1.0
+
+    def test_coverage_equals_sensitivity(self):
+        counts = ConfusionCounts(true_positive=30, false_positive=10, false_negative=70, true_negative=0)
+        assert traffic_report(counts).coverage == pytest.approx(0.3)
+
+
+class TestBreakeven:
+    def test_default_model(self):
+        assert breakeven_pvp() == pytest.approx(0.9)
+
+    def test_cheap_requests_raise_the_bar(self):
+        # if requests were free, no forward could ever save anything
+        nearly_free = TrafficModel(request_cost=0.01, data_cost=9)
+        assert breakeven_pvp(nearly_free) > 0.99
+
+    def test_breakeven_is_exact(self):
+        """At exactly breakeven PVP, predicted traffic == baseline."""
+        model = TrafficModel(request_cost=1, data_cost=9)
+        # PVP 0.9: 9 useful forwards per wasted one
+        counts = ConfusionCounts(true_positive=9, false_positive=1, false_negative=0, true_negative=0)
+        report = traffic_report(counts, model)
+        assert report.predicted_traffic == pytest.approx(report.baseline_traffic)
+
+
+@given(
+    st.integers(min_value=0, max_value=10**5),
+    st.integers(min_value=0, max_value=10**5),
+    st.integers(min_value=0, max_value=10**5),
+)
+def test_traffic_monotone_in_false_positives(tp, fp, fn):
+    """Adding a false positive never decreases traffic."""
+    base = traffic_report(ConfusionCounts(tp, fp, fn, 0))
+    worse = traffic_report(ConfusionCounts(tp, fp + 1, fn, 0))
+    assert worse.predicted_traffic > base.predicted_traffic
+    assert worse.baseline_traffic == base.baseline_traffic

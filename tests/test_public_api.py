@@ -1,0 +1,89 @@
+"""Public API surface: everything the README promises imports and works."""
+
+import importlib
+
+import pytest
+
+
+class TestTopLevelExports:
+    def test_all_names_resolve(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
+
+    def test_readme_quickstart_surface(self):
+        """The exact imports the README's quickstart uses."""
+        from repro import ScreeningStats, evaluate_scheme_fast, parse_scheme  # noqa: F401
+        from repro.harness import default_trace_set  # noqa: F401
+
+
+@pytest.mark.parametrize(
+    "module",
+    [
+        "repro.core",
+        "repro.core.indexing",
+        "repro.core.functions",
+        "repro.core.twolevel",
+        "repro.core.confidence",
+        "repro.core.schemes",
+        "repro.core.cost",
+        "repro.core.space",
+        "repro.core.update",
+        "repro.core.evaluator",
+        "repro.core.vectorized",
+        "repro.metrics",
+        "repro.metrics.confusion",
+        "repro.metrics.screening",
+        "repro.metrics.traffic",
+        "repro.memory",
+        "repro.memory.address",
+        "repro.memory.cache",
+        "repro.memory.directory",
+        "repro.memory.protocol",
+        "repro.memory.system",
+        "repro.trace",
+        "repro.trace.events",
+        "repro.trace.builder",
+        "repro.trace.io",
+        "repro.trace.stats",
+        "repro.trace.patterns",
+        "repro.workloads",
+        "repro.workloads.base",
+        "repro.workloads.scheduler",
+        "repro.workloads.layout",
+        "repro.workloads.registry",
+        "repro.harness",
+        "repro.harness.runner",
+        "repro.harness.experiments",
+        "repro.harness.extensions",
+        "repro.harness.results",
+        "repro.harness.tables",
+        "repro.harness.figures",
+        "repro.harness.cli",
+        "repro.util",
+        "repro.util.bitmaps",
+        "repro.util.rng",
+    ],
+)
+def test_module_imports_and_is_documented(module):
+    imported = importlib.import_module(module)
+    assert imported.__doc__, f"{module} lacks a module docstring"
+
+
+def test_doctests_pass():
+    """Run the doctest examples embedded in docstrings."""
+    import doctest
+
+    for module in (
+        "repro.util.bitmaps",
+        "repro.core.indexing",
+        "repro.metrics.traffic",
+    ):
+        results = doctest.testmod(importlib.import_module(module))
+        assert results.failed == 0, module

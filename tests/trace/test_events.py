@@ -1,0 +1,134 @@
+"""SharingTrace: construction, validation, epoch linkage."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.trace.events import SharingEvent, SharingTrace
+
+
+class TestFromEpochs:
+    def test_links_epochs_per_block(self, tiny_trace):
+        # block 10 events at 0, 1, 3, 5; block 11 at 2, 4
+        assert tiny_trace[0].close == 1
+        assert tiny_trace[1].close == 3
+        assert tiny_trace[3].close == 5
+        assert tiny_trace[5].close == len(tiny_trace)
+        assert tiny_trace[2].close == 4
+        assert tiny_trace[4].close == len(tiny_trace)
+
+    def test_inval_equals_closed_truth(self, tiny_trace):
+        assert tiny_trace[1].inval == tiny_trace[0].truth
+        assert not tiny_trace[0].has_inval
+        assert tiny_trace[1].has_inval
+
+    def test_writer_in_truth_rejected(self):
+        with pytest.raises(ValueError):
+            SharingTrace.from_epochs(4, [(0, 1, 0, 5, 0b0001)])
+
+    def test_consistency_check_passes(self, tiny_trace):
+        tiny_trace.check_consistency()
+
+
+class TestValidation:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            SharingTrace(
+                num_nodes=4,
+                writer=[0],
+                pc=[1, 2],
+                home=[0],
+                block=[0],
+                truth=[0],
+                inval=[0],
+                has_inval=[False],
+                close=[1],
+            )
+
+    def test_writer_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            SharingTrace.from_epochs(4, [(7, 1, 0, 5, 0)])
+
+    def test_bitmap_beyond_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            SharingTrace.from_epochs(4, [(0, 1, 0, 5, 0b10000)])
+
+    def test_too_many_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            SharingTrace.from_epochs(64, [])
+
+    def test_broken_linkage_detected(self):
+        trace = SharingTrace(
+            num_nodes=4,
+            writer=[0, 1],
+            pc=[1, 1],
+            home=[0, 0],
+            block=[5, 5],
+            truth=[0b0010, 0],
+            inval=[0, 0b0100],  # should be 0b0010
+            has_inval=[False, True],
+            close=[1, 2],
+        )
+        with pytest.raises(ValueError):
+            trace.check_consistency()
+
+    def test_unclosed_epoch_with_bad_close_detected(self):
+        trace = SharingTrace(
+            num_nodes=4,
+            writer=[0],
+            pc=[1],
+            home=[0],
+            block=[5],
+            truth=[0],
+            inval=[0],
+            has_inval=[False],
+            close=[0],  # must be len(trace) == 1
+        )
+        with pytest.raises(ValueError):
+            trace.check_consistency()
+
+
+class TestSequenceProtocol:
+    def test_len_and_getitem(self, tiny_trace):
+        assert len(tiny_trace) == 6
+        event = tiny_trace[0]
+        assert isinstance(event, SharingEvent)
+        assert event.writer == 0 and event.block == 10
+
+    def test_events_iteration(self, tiny_trace):
+        events = list(tiny_trace.events())
+        assert len(events) == 6
+        assert events[4].home == 1
+
+    def test_from_events_roundtrip(self, tiny_trace):
+        rebuilt = SharingTrace.from_events(4, list(tiny_trace.events()), name="tiny")
+        rebuilt.check_consistency()
+        assert [e.truth for e in rebuilt.events()] == [e.truth for e in tiny_trace.events()]
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=7),
+            st.integers(min_value=0, max_value=9),
+            st.integers(min_value=0, max_value=7),
+            st.integers(min_value=0, max_value=9),
+            st.integers(min_value=0, max_value=0xFF),
+        ),
+        max_size=80,
+    )
+)
+def test_from_epochs_always_consistent(epochs):
+    """from_epochs output always satisfies check_consistency."""
+    cleaned = [
+        (writer, pc, home, block, truth & ~(1 << writer))
+        for writer, pc, home, block, truth in epochs
+    ]
+    trace = SharingTrace.from_epochs(8, cleaned)
+    trace.check_consistency()
+    # close indices strictly increase along each block's chain
+    last_close = {}
+    for index in range(len(trace)):
+        event = trace[index]
+        assert event.close > index
+        last_close[event.block] = event.close

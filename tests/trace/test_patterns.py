@@ -1,0 +1,144 @@
+"""Sharing-pattern classification."""
+
+import pytest
+
+from repro.trace.events import SharingTrace
+from repro.trace.patterns import (
+    BlockProfile,
+    SharingPattern,
+    census,
+    classify_block,
+    profile_blocks,
+)
+
+
+def trace_of(epochs, num_nodes=8):
+    return SharingTrace.from_epochs(num_nodes, epochs)
+
+
+class TestProfiles:
+    def test_accumulates_per_block(self):
+        trace = trace_of(
+            [
+                (0, 1, 0, 5, 0b0110),
+                (0, 1, 0, 5, 0b0110),
+                (1, 1, 0, 6, 0),
+            ]
+        )
+        profiles = profile_blocks(trace)
+        assert profiles[5].events == 2
+        assert profiles[5].writers == {0}
+        assert profiles[5].total_readers == 4
+        assert profiles[6].total_readers == 0
+
+    def test_reader_set_stability(self):
+        stable = BlockProfile(block=1, reader_sets=[0b01, 0b01, 0b01])
+        unstable = BlockProfile(block=2, reader_sets=[0b01, 0b10, 0b01])
+        assert stable.reader_set_stability == 1.0
+        assert unstable.reader_set_stability == 0.0
+
+    def test_stability_ignores_empty_epochs(self):
+        profile = BlockProfile(block=1, reader_sets=[0b01, 0, 0b01])
+        assert profile.reader_set_stability == 1.0
+
+
+class TestClassification:
+    def test_unshared(self):
+        trace = trace_of([(0, 1, 0, 5, 0)])
+        profile = profile_blocks(trace)[5]
+        assert classify_block(profile) is SharingPattern.UNSHARED
+
+    def test_read_only(self):
+        trace = trace_of([(0, 1, 0, 5, 0b0010)])
+        assert classify_block(profile_blocks(trace)[5]) is SharingPattern.READ_ONLY
+
+    def test_wide_sharing_single_epoch(self):
+        trace = trace_of([(0, 1, 0, 5, 0b11110)])
+        assert classify_block(profile_blocks(trace)[5]) is SharingPattern.WIDE_SHARING
+
+    def test_producer_consumer(self):
+        epochs = [(0, 1, 0, 5, 0b0110)] * 4  # same writer, same readers
+        assert (
+            classify_block(profile_blocks(trace_of(epochs))[5])
+            is SharingPattern.PRODUCER_CONSUMER
+        )
+
+    def test_migratory(self):
+        # token passing 0 -> 1 -> 2 -> 3: each epoch read by the next writer
+        epochs = [
+            (0, 1, 0, 5, 0b0010),
+            (1, 1, 0, 5, 0b0100),
+            (2, 1, 0, 5, 0b1000),
+            (3, 1, 0, 5, 0b0001),
+        ]
+        assert classify_block(profile_blocks(trace_of(epochs))[5]) is SharingPattern.MIGRATORY
+
+    def test_multi_writer_stable_readers_is_producer_consumer(self):
+        # two producers alternate but the consumer set is fixed
+        epochs = [
+            (0, 1, 0, 5, 0b1100),
+            (1, 1, 0, 5, 0b1100),
+            (0, 1, 0, 5, 0b1100),
+            (1, 1, 0, 5, 0b1100),
+        ]
+        assert (
+            classify_block(profile_blocks(trace_of(epochs))[5])
+            is SharingPattern.PRODUCER_CONSUMER
+        )
+
+    def test_wide_sharing_recurring(self):
+        epochs = [(0, 1, 0, 5, 0b11111110)] * 3
+        assert (
+            classify_block(profile_blocks(trace_of(epochs))[5])
+            is SharingPattern.WIDE_SHARING
+        )
+
+
+class TestCensus:
+    def test_mixed_trace(self):
+        epochs = [
+            (0, 1, 0, 1, 0b0110),  # producer-consumer block (x3 events)
+            (0, 1, 0, 1, 0b0110),
+            (0, 1, 0, 1, 0b0110),
+            (0, 1, 0, 2, 0),  # unshared block
+            (1, 1, 0, 3, 0b0001),  # read-only block
+        ]
+        tally = census(trace_of(epochs))
+        assert tally.blocks[SharingPattern.PRODUCER_CONSUMER] == 1
+        assert tally.blocks[SharingPattern.UNSHARED] == 1
+        assert tally.blocks[SharingPattern.READ_ONLY] == 1
+        assert tally.events[SharingPattern.PRODUCER_CONSUMER] == 3
+        assert tally.dominant() is SharingPattern.PRODUCER_CONSUMER
+
+    def test_fractions_sum_to_one(self):
+        from tests.conftest import make_random_trace
+
+        tally = census(make_random_trace(num_events=300, seed="census"))
+        block_total = sum(tally.block_fraction(p) for p in SharingPattern)
+        event_total = sum(tally.event_fraction(p) for p in SharingPattern)
+        assert block_total == pytest.approx(1.0)
+        assert event_total == pytest.approx(1.0)
+
+    def test_empty_trace(self):
+        tally = census(trace_of([]))
+        assert tally.dominant() is SharingPattern.UNSHARED
+        assert tally.block_fraction(SharingPattern.MIGRATORY) == 0.0
+
+
+class TestWorkloadSignatures:
+    """The benchmark models exhibit their documented dominant patterns."""
+
+    def test_mp3d_is_migratory(self):
+        from repro.harness.runner import TraceSet
+
+        tally = census(TraceSet(benchmarks=["mp3d"]).trace("mp3d"))
+        assert tally.dominant() is SharingPattern.MIGRATORY
+
+    def test_em3d_is_producer_consumer(self):
+        """At calibrated scale em3d is the suite's cleanest static
+        producer-consumer benchmark (shrunken inputs shift the mix toward
+        unshared eviction rewrites, so this uses the default trace)."""
+        from repro.harness.runner import TraceSet
+
+        tally = census(TraceSet(benchmarks=["em3d"]).trace("em3d"))
+        assert tally.dominant() is SharingPattern.PRODUCER_CONSUMER

@@ -1,0 +1,66 @@
+"""Trace statistics (Tables 5/6 inputs) and the oracle bound."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.metrics.screening import ScreeningStats
+from repro.trace.events import SharingTrace
+from repro.trace.stats import compute_trace_stats, oracle_counts
+from tests.conftest import make_random_trace
+
+
+class TestComputeTraceStats:
+    def test_tiny_trace(self, tiny_trace):
+        stats = compute_trace_stats(tiny_trace)
+        assert stats.events == 6
+        assert stats.blocks_touched == 2
+        assert stats.sharing_decisions == 24
+        # truth bitmaps: 0110, 0001, 0100, 0110, 1000, 0001 -> 8 set bits
+        assert stats.sharing_events == 8
+        assert stats.prevalence == pytest.approx(8 / 24)
+        assert stats.degree_of_sharing == pytest.approx(8 / 6)
+
+    def test_empty_trace(self):
+        stats = compute_trace_stats(SharingTrace.from_epochs(16, [], name="e"))
+        assert stats.events == 0
+        assert stats.prevalence == 0.0
+        assert stats.degree_of_sharing == 0.0
+
+    def test_static_store_counting(self):
+        # node 0 stores under pcs {1, 2}; node 1 under {1}
+        trace = SharingTrace.from_epochs(
+            4,
+            [(0, 1, 0, 5, 0), (0, 2, 0, 6, 0), (1, 1, 0, 7, 0), (0, 1, 0, 5, 0)],
+        )
+        stats = compute_trace_stats(trace)
+        assert stats.max_static_stores_per_node == 2
+
+    def test_decisions_are_paper_accounting(self, random_trace):
+        """decisions == 16 x store misses, the identity behind Table 6."""
+        stats = compute_trace_stats(random_trace)
+        assert stats.sharing_decisions == 16 * stats.events
+
+
+class TestOracle:
+    def test_oracle_is_perfect(self, random_trace):
+        stats = ScreeningStats.from_counts(oracle_counts(random_trace))
+        assert stats.sensitivity == 1.0
+        assert stats.pvp == 1.0
+
+    def test_oracle_prevalence_matches_trace(self, random_trace):
+        trace_stats = compute_trace_stats(random_trace)
+        oracle_stats = ScreeningStats.from_counts(oracle_counts(random_trace))
+        assert oracle_stats.prevalence == pytest.approx(trace_stats.prevalence)
+
+
+@given(st.integers(min_value=0, max_value=2**31))
+def test_prevalence_bounds_any_predictor(seed):
+    """No predictor's TP can exceed the oracle's (prevalence is the bound)."""
+    from repro.core.schemes import parse_scheme
+    from repro.core.vectorized import evaluate_scheme_fast
+
+    trace = make_random_trace(num_events=120, seed=f"bound-{seed % 7}")
+    oracle = oracle_counts(trace)
+    counts = evaluate_scheme_fast(parse_scheme("union(dir+add8)4[ordered]"), trace)
+    assert counts.true_positive <= oracle.true_positive

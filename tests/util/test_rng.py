@@ -1,0 +1,71 @@
+"""Determinism and distribution sanity for DeterministicRng."""
+
+import pytest
+
+from repro.util.rng import DeterministicRng
+
+
+class TestDeterminism:
+    def test_same_key_same_stream(self):
+        a = DeterministicRng("key")
+        b = DeterministicRng("key")
+        assert [a.integers(0, 100) for _ in range(20)] == [
+            b.integers(0, 100) for _ in range(20)
+        ]
+
+    def test_different_keys_differ(self):
+        a = DeterministicRng("key-a")
+        b = DeterministicRng("key-b")
+        assert [a.integers(0, 10**9) for _ in range(5)] != [
+            b.integers(0, 10**9) for _ in range(5)
+        ]
+
+    def test_spawn_is_deterministic(self):
+        a = DeterministicRng("root").spawn("child")
+        b = DeterministicRng("root").spawn("child")
+        assert a.integers(0, 10**9) == b.integers(0, 10**9)
+
+    def test_spawn_independent_of_parent_draws(self):
+        parent_a = DeterministicRng("root")
+        parent_a.integers(0, 100)  # consume some of the parent stream
+        parent_b = DeterministicRng("root")
+        assert parent_a.spawn("c").integers(0, 10**9) == parent_b.spawn("c").integers(
+            0, 10**9
+        )
+
+
+class TestDraws:
+    def test_integers_in_range(self):
+        rng = DeterministicRng("range")
+        for _ in range(200):
+            assert 3 <= rng.integers(3, 7) < 7
+
+    def test_random_in_unit_interval(self):
+        rng = DeterministicRng("unit")
+        for _ in range(200):
+            assert 0.0 <= rng.random() < 1.0
+
+    def test_choice_from_options(self):
+        rng = DeterministicRng("choice")
+        options = [10, 20, 30]
+        for _ in range(50):
+            assert rng.choice(options) in options
+
+    def test_choice_empty_rejected(self):
+        with pytest.raises(ValueError):
+            DeterministicRng("x").choice([])
+
+    def test_sample_distinct(self):
+        rng = DeterministicRng("sample")
+        picked = rng.sample(list(range(10)), 5)
+        assert len(picked) == 5
+        assert len(set(picked)) == 5
+
+    def test_sample_too_many_rejected(self):
+        with pytest.raises(ValueError):
+            DeterministicRng("x").sample([1, 2], 3)
+
+    def test_shuffled_is_permutation(self):
+        rng = DeterministicRng("shuffle")
+        items = list(range(20))
+        assert sorted(rng.shuffled(items)) == items

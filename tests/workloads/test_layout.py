@@ -1,0 +1,64 @@
+"""Memory layout allocator."""
+
+import pytest
+
+from repro.workloads.layout import MemoryLayout
+
+
+class TestAllocation:
+    def test_line_alignment(self):
+        layout = MemoryLayout(line_size=64)
+        a = layout.array("a", count=3, element_bytes=10)  # 30 bytes
+        b = layout.array("b", count=1, element_bytes=8)
+        assert a.base % 64 == 0
+        assert b.base % 64 == 0
+        assert b.base >= a.base + 64  # padded to the next line
+
+    def test_addressing(self):
+        layout = MemoryLayout()
+        array = layout.array("x", count=10, element_bytes=8)
+        assert array.addr(0) == array.base
+        assert array.addr(3) == array.base + 24
+
+    def test_out_of_range_rejected(self):
+        layout = MemoryLayout()
+        array = layout.array("x", count=10, element_bytes=8)
+        with pytest.raises(IndexError):
+            array.addr(10)
+        with pytest.raises(IndexError):
+            array.addr(-1)
+
+    def test_duplicate_name_rejected(self):
+        layout = MemoryLayout()
+        layout.array("x", 1, 8)
+        with pytest.raises(ValueError):
+            layout.array("x", 1, 8)
+
+    def test_bad_sizes_rejected(self):
+        layout = MemoryLayout()
+        with pytest.raises(ValueError):
+            layout.array("x", 0, 8)
+        with pytest.raises(ValueError):
+            layout.array("y", 1, 0)
+
+    def test_arrays_never_overlap(self):
+        layout = MemoryLayout()
+        arrays = [layout.array(f"a{i}", count=7, element_bytes=24) for i in range(10)]
+        spans = sorted((a.base, a.base + a.nbytes) for a in arrays)
+        for (_, end), (start, _) in zip(spans, spans[1:]):
+            assert start >= end
+
+    def test_get_and_total(self):
+        layout = MemoryLayout()
+        layout.array("x", 8, 8)  # one line
+        assert layout.get("x").count == 8
+        assert layout.total_bytes == 64
+
+    def test_block_span(self):
+        layout = MemoryLayout(line_size=64)
+        array = layout.array("x", count=9, element_bytes=8)  # 72 bytes
+        assert array.block_span(64) == 2
+
+    def test_address_zero_unused(self):
+        layout = MemoryLayout()
+        assert layout.array("x", 1, 8).base >= 64
