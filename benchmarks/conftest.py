@@ -18,6 +18,12 @@ from repro.harness.runner import TraceSet
 from repro.harness.tables import render_table
 
 
+def pytest_collection_modifyitems(config, items):
+    """Everything under benchmarks/ is a slow sweep benchmark."""
+    for item in items:
+        item.add_marker(pytest.mark.slow)
+
+
 @pytest.fixture(scope="session")
 def suite() -> TraceSet:
     """The calibrated benchmark suite (generated once, cached on disk)."""

@@ -1,0 +1,41 @@
+"""Serial engine backends: the reference interpreter and the numpy engine.
+
+Both are thin adapters over the core evaluators; they exist so the rest of
+the system can be written against :class:`~repro.engine.base.EvaluationEngine`
+and swap execution strategies by name.
+"""
+
+from __future__ import annotations
+
+from repro.core.evaluator import evaluate_scheme
+from repro.core.schemes import Scheme
+from repro.core.vectorized import evaluate_scheme_fast
+from repro.engine.base import EvaluationEngine
+from repro.metrics.confusion import ConfusionCounts
+from repro.trace.events import SharingTrace
+
+
+class ReferenceEngine(EvaluationEngine):
+    """The sequential, obviously-correct evaluator.
+
+    Orders of magnitude slower than the vectorized backend; useful as the
+    semantic oracle in parity tests and for debugging new schemes.
+    """
+
+    name = "reference"
+
+    def evaluate(
+        self, scheme: Scheme, trace: SharingTrace, exclude_writer: bool = True
+    ) -> ConfusionCounts:
+        return evaluate_scheme(scheme, trace, exclude_writer=exclude_writer)
+
+
+class VectorizedEngine(EvaluationEngine):
+    """The fast numpy evaluator -- the default single-process backend."""
+
+    name = "vectorized"
+
+    def evaluate(
+        self, scheme: Scheme, trace: SharingTrace, exclude_writer: bool = True
+    ) -> ConfusionCounts:
+        return evaluate_scheme_fast(scheme, trace, exclude_writer=exclude_writer)

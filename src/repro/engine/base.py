@@ -1,0 +1,77 @@
+"""The evaluation-engine contract.
+
+An :class:`EvaluationEngine` is the single entry point for scoring
+prediction schemes against sharing traces.  Everything above the core
+evaluators -- experiments, sweeps, extensions, the CLI -- goes through this
+interface, so the execution strategy (reference interpreter, vectorized
+numpy, multi-process sharding) is a deployment choice rather than a code
+path baked into each experiment.
+
+The contract has three granularities, each the natural unit for one layer:
+
+* :meth:`~EvaluationEngine.evaluate` -- one scheme on one trace (unit
+  tests, ad-hoc analysis);
+* :meth:`~EvaluationEngine.evaluate_suite` -- one scheme across the
+  benchmark suite, returning *per-trace* counts so callers can compute both
+  pooled and per-benchmark statistics;
+* :meth:`~EvaluationEngine.evaluate_batch` -- many schemes across the
+  suite, the design-space-sweep shape and the only method worth
+  parallelizing.
+
+All backends must be bit-identical: for any scheme and trace, every engine
+returns the same :class:`~repro.metrics.confusion.ConfusionCounts` (this is
+property-tested in ``tests/engine``).  Backends differ only in wall-clock.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Sequence
+
+from repro.core.schemes import Scheme
+from repro.metrics.confusion import ConfusionCounts
+from repro.trace.events import SharingTrace
+
+
+class EvaluationEngine(ABC):
+    """Strategy interface for evaluating schemes over traces."""
+
+    #: short identifier used by ``REPRO_BACKEND`` and diagnostics
+    name: str = "abstract"
+
+    @abstractmethod
+    def evaluate(
+        self, scheme: Scheme, trace: SharingTrace, exclude_writer: bool = True
+    ) -> ConfusionCounts:
+        """Score one scheme on one trace."""
+
+    def evaluate_suite(
+        self,
+        scheme: Scheme,
+        traces: Sequence[SharingTrace],
+        exclude_writer: bool = True,
+    ) -> List[ConfusionCounts]:
+        """Score one scheme on each trace, with fresh predictor state per trace."""
+        return [self.evaluate(scheme, trace, exclude_writer) for trace in traces]
+
+    def evaluate_batch(
+        self,
+        schemes: Sequence[Scheme],
+        traces: Sequence[SharingTrace],
+        exclude_writer: bool = True,
+    ) -> List[List[ConfusionCounts]]:
+        """Score every scheme on every trace.
+
+        Returns one list per scheme, ordered like ``schemes``, each holding
+        one :class:`ConfusionCounts` per trace, ordered like ``traces``.
+        Backends are free to reorder execution but not results.
+        """
+        return [self.evaluate_suite(scheme, traces, exclude_writer) for scheme in schemes]
+
+
+def pooled(counts_per_trace: Sequence[ConfusionCounts]) -> ConfusionCounts:
+    """Merge per-trace counts into one suite-pooled accumulator."""
+    total = ConfusionCounts()
+    for counts in counts_per_trace:
+        total.merge(counts)
+    return total

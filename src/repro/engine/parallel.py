@@ -1,0 +1,158 @@
+"""Multi-process engine backend: shard scheme batches across workers.
+
+The design-space sweeps evaluate thousands of schemes against the same
+handful of traces, which is embarrassingly parallel across *schemes*.  This
+backend shards the scheme list into chunks and dispatches them to a
+``concurrent.futures.ProcessPoolExecutor``:
+
+* **Per-worker trace reuse** -- the traces are shipped to each worker once,
+  via the pool initializer, and pinned in a module global; per-chunk task
+  payloads carry only the (tiny) scheme descriptions.
+* **Chunked dispatch** -- schemes travel in chunks of
+  ``ceil(len(schemes) / (jobs * CHUNKS_PER_WORKER))`` so scheduling
+  overhead is amortized while the tail stays balanced.
+* **Graceful degradation** -- if worker processes cannot be spawned (or die
+  mid-batch: resource limits, sandboxed environments, pickling surprises),
+  the batch is rerun on the in-process vectorized backend after a logged
+  warning.  A genuine evaluation bug still surfaces, from the serial rerun.
+
+Workers return bare count 4-tuples rather than ``ConfusionCounts`` objects
+to keep result pickling flat and cheap.
+"""
+
+from __future__ import annotations
+
+import logging
+import math
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.schemes import Scheme
+from repro.core.vectorized import evaluate_scheme_fast
+from repro.engine.backends import VectorizedEngine
+from repro.engine.base import EvaluationEngine
+from repro.metrics.confusion import ConfusionCounts
+from repro.trace.events import SharingTrace
+
+logger = logging.getLogger("repro.engine.parallel")
+
+#: chunks per worker; >1 keeps the tail balanced when chunk costs vary
+#: (PAs schemes are far slower than bitmap schemes).
+CHUNKS_PER_WORKER = 4
+
+#: batches smaller than this run serially -- pool startup costs more than
+#: the evaluation itself.
+MIN_BATCH_FOR_POOL = 4
+
+# Worker-process state, installed once per worker by _init_worker.
+_WORKER_TRACES: List[SharingTrace] = []
+
+
+def _init_worker(traces: List[SharingTrace]) -> None:
+    global _WORKER_TRACES
+    _WORKER_TRACES = traces
+
+
+def _evaluate_chunk(
+    schemes: List[Scheme], exclude_writer: bool
+) -> List[List[Tuple[int, int, int, int]]]:
+    """Worker task: score a chunk of schemes against the pinned traces."""
+    results = []
+    for scheme in schemes:
+        per_trace = []
+        for trace in _WORKER_TRACES:
+            counts = evaluate_scheme_fast(scheme, trace, exclude_writer=exclude_writer)
+            per_trace.append(
+                (
+                    counts.true_positive,
+                    counts.false_positive,
+                    counts.false_negative,
+                    counts.true_negative,
+                )
+            )
+        results.append(per_trace)
+    return results
+
+
+def default_jobs() -> int:
+    """Worker count when none is configured: every core."""
+    return os.cpu_count() or 1
+
+
+class ParallelEngine(EvaluationEngine):
+    """Shard scheme batches across worker processes.
+
+    Single-scheme calls run in-process on the vectorized backend (there is
+    nothing to shard); only :meth:`evaluate_batch` fans out.
+    """
+
+    name = "parallel"
+
+    def __init__(self, jobs: Optional[int] = None, chunk_size: Optional[int] = None):
+        self.jobs = max(1, int(jobs)) if jobs is not None else default_jobs()
+        self.chunk_size = chunk_size
+        self._serial = VectorizedEngine()
+
+    def evaluate(
+        self, scheme: Scheme, trace: SharingTrace, exclude_writer: bool = True
+    ) -> ConfusionCounts:
+        return self._serial.evaluate(scheme, trace, exclude_writer)
+
+    def _chunks(self, schemes: Sequence[Scheme]) -> List[List[Scheme]]:
+        size = self.chunk_size
+        if size is None:
+            size = math.ceil(len(schemes) / (self.jobs * CHUNKS_PER_WORKER))
+        size = max(1, size)
+        return [list(schemes[i : i + size]) for i in range(0, len(schemes), size)]
+
+    def evaluate_batch(
+        self,
+        schemes: Sequence[Scheme],
+        traces: Sequence[SharingTrace],
+        exclude_writer: bool = True,
+    ) -> List[List[ConfusionCounts]]:
+        if self.jobs <= 1 or len(schemes) < MIN_BATCH_FOR_POOL:
+            return self._serial.evaluate_batch(schemes, traces, exclude_writer)
+        try:
+            return self._evaluate_batch_pooled(schemes, traces, exclude_writer)
+        except Exception as error:  # noqa: BLE001 - any pool failure degrades
+            logger.warning(
+                "parallel backend failed (%s: %s); falling back to serial "
+                "vectorized evaluation",
+                type(error).__name__,
+                error,
+            )
+            return self._serial.evaluate_batch(schemes, traces, exclude_writer)
+
+    def _evaluate_batch_pooled(
+        self,
+        schemes: Sequence[Scheme],
+        traces: Sequence[SharingTrace],
+        exclude_writer: bool,
+    ) -> List[List[ConfusionCounts]]:
+        chunks = self._chunks(schemes)
+        workers = min(self.jobs, len(chunks))
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_worker,
+            initargs=(list(traces),),
+        ) as pool:
+            futures = [
+                pool.submit(_evaluate_chunk, chunk, exclude_writer) for chunk in chunks
+            ]
+            results: List[List[ConfusionCounts]] = []
+            for future in futures:
+                for per_trace in future.result():
+                    results.append(
+                        [
+                            ConfusionCounts(
+                                true_positive=tp,
+                                false_positive=fp,
+                                false_negative=fn,
+                                true_negative=tn,
+                            )
+                            for tp, fp, fn, tn in per_trace
+                        ]
+                    )
+        return results

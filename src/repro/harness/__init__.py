@@ -1,12 +1,25 @@
 """Experiment harness: regenerate every table and figure of the paper.
 
-* :mod:`repro.harness.runner` — trace generation with on-disk caching;
-* :mod:`repro.harness.experiments` — one entry point per paper table/figure;
+* :mod:`repro.harness.runner` — trace generation with hardened on-disk
+  caching (corrupt caches regenerate instead of crashing);
+* :mod:`repro.harness.experiments` — the experiment registry package, one
+  entry point per paper table/figure, executing through the pluggable
+  :mod:`repro.engine` backends;
 * :mod:`repro.harness.tables` — plain-text rendering of result rows;
-* :mod:`repro.harness.cli` — ``repro-bench <experiment>``.
+* :mod:`repro.harness.cli` — ``repro-bench <experiment> [--jobs N]``.
 """
 
 from repro.harness.runner import TraceSet, default_trace_set
-from repro.harness.experiments import EXPERIMENTS, run_experiment
+from repro.harness.experiments import (
+    EXPERIMENTS,
+    UnknownExperimentError,
+    run_experiment,
+)
 
-__all__ = ["TraceSet", "default_trace_set", "EXPERIMENTS", "run_experiment"]
+__all__ = [
+    "TraceSet",
+    "default_trace_set",
+    "EXPERIMENTS",
+    "UnknownExperimentError",
+    "run_experiment",
+]

@@ -4,10 +4,15 @@ Examples::
 
     repro-bench table6              # prevalence of sharing
     repro-bench table8 table9       # top-10 PVP tables (runs the sweep)
+    repro-bench table8 --jobs 8     # shard the sweep across 8 workers
     repro-bench fig6 --chart        # ASCII rendition of Figure 6
     repro-bench all                 # every paper table and figure
     repro-bench ext-patterns        # extension experiments (DESIGN.md §5)
     repro-bench fig6 --no-cache     # force recomputation
+
+Backend selection: ``--backend`` / ``--jobs`` win; otherwise the
+``REPRO_BACKEND`` and ``REPRO_JOBS`` environment variables apply; the
+default is the single-process vectorized engine.
 """
 
 from __future__ import annotations
@@ -17,7 +22,13 @@ import sys
 import time
 from typing import List, Optional
 
-from repro.harness.experiments import EXPERIMENTS, all_experiments, run_experiment
+from repro.engine import BACKENDS, make_engine, set_default_engine
+from repro.harness.experiments import (
+    EXPERIMENTS,
+    UnknownExperimentError,
+    all_experiments,
+    run_experiment,
+)
 from repro.harness.figures import render_figure
 from repro.harness.runner import TraceSet
 from repro.harness.tables import render_table
@@ -25,8 +36,7 @@ from repro.harness.tables import render_table
 _FIGURE_EXPERIMENTS = {"fig6", "fig7", "fig8", "fig9"}
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    experiments = all_experiments()
+def _build_parser(experiments) -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-bench",
         description=(
@@ -58,6 +68,28 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="comma-separated benchmark subset (default: full suite)",
     )
     parser.add_argument("--seed", type=int, default=0, help="workload seed (default 0)")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "worker processes for sweep evaluation (default: REPRO_JOBS or 1; "
+            ">1 selects the parallel backend)"
+        ),
+    )
+    parser.add_argument(
+        "--backend",
+        choices=sorted(BACKENDS),
+        default=None,
+        help="evaluation backend (default: REPRO_BACKEND or vectorized)",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    experiments = all_experiments()
+    parser = _build_parser(experiments)
     args = parser.parse_args(argv)
 
     names: List[str] = []
@@ -70,20 +102,40 @@ def main(argv: Optional[List[str]] = None) -> int:
             names.append(name)
     unknown = [name for name in names if name not in experiments]
     if unknown:
-        parser.error(f"unknown experiments {unknown}; known: {sorted(experiments)}")
+        # parser.error prints the message and exits 2 -- no traceback.
+        parser.error(
+            f"unknown experiment(s): {', '.join(unknown)}. "
+            f"Known experiments: {', '.join(sorted(experiments))}"
+        )
+
+    try:
+        engine = make_engine(backend=args.backend, jobs=args.jobs)
+    except ValueError as error:
+        parser.error(str(error))
 
     benchmarks = args.benchmarks.split(",") if args.benchmarks else None
     trace_set = TraceSet(benchmarks=benchmarks, seed=args.seed)
 
-    for name in names:
-        started = time.time()
-        result = run_experiment(name, trace_set, use_cache=not args.no_cache)
-        elapsed = time.time() - started
-        if args.chart and name in _FIGURE_EXPERIMENTS:
-            print(render_figure(result))
-        else:
-            print(render_table(result))
-        print(f"\n[{name} completed in {elapsed:.1f}s]\n")
+    previous = set_default_engine(engine)
+    try:
+        for name in names:
+            started = time.perf_counter()
+            try:
+                result = run_experiment(name, trace_set, use_cache=not args.no_cache)
+            except UnknownExperimentError as error:
+                print(f"repro-bench: error: {error}", file=sys.stderr)
+                return 2
+            elapsed = time.perf_counter() - started
+            if args.chart and name in _FIGURE_EXPERIMENTS:
+                print(render_figure(result))
+            else:
+                print(render_table(result))
+            print(
+                f"\n[{name} completed in {elapsed:.1f}s "
+                f"(backend={engine.name})]\n"
+            )
+    finally:
+        set_default_engine(previous)
     return 0
 
 

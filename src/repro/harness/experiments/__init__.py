@@ -1,0 +1,150 @@
+"""Every table and figure of the paper's evaluation, as runnable experiments.
+
+This package decomposes the former ``harness/experiments.py`` monolith:
+
+* :mod:`~repro.harness.experiments.base` -- the experiment registry,
+  declarative :class:`ExperimentSpec`, and the shared scheme-evaluation
+  helpers that route through the pluggable :mod:`repro.engine` layer;
+* :mod:`~repro.harness.experiments.tables` -- Tables 1 and 5-7;
+* :mod:`~repro.harness.experiments.sweeps` -- the Tables 8-11 design-space
+  sweep (the batch the parallel backend shards);
+* :mod:`~repro.harness.experiments.figures` -- Figures 6-9.
+
+Each experiment takes a :class:`~repro.harness.runner.TraceSet` and returns
+an :class:`~repro.harness.results.ExperimentResult` whose rows mirror the
+paper's rows (or a figure's point series).  Expensive experiments cache
+their results on disk, keyed by the trace-set fingerprint.
+
+The pre-package public surface is re-exported here unchanged, so
+``from repro.harness.experiments import table8, suite_average, EXPERIMENTS``
+keeps working for the CLI, the benchmarks, and external callers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.engine import EvaluationEngine, set_default_engine
+from repro.harness.experiments.base import (
+    PAPER_REGISTRY,
+    ExperimentRegistry,
+    ExperimentSpec,
+    UnknownExperimentError,
+    _scheme_row,
+    batch_scheme_stats,
+    scheme_row,
+    screening_summary,
+    suite_average,
+)
+from repro.harness.experiments.figures import (
+    FIGURE6_COMBOS,
+    FIGURE8_COMBOS,
+    _combo_spec,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+)
+from repro.harness.experiments.sweeps import (
+    MIN_SENSITIVITY_FOR_PVP_RANK,
+    SWEEP_PAS_WIDTHS,
+    _sweep_rows,
+    _top10,
+    sweep_schemes,
+    table8,
+    table9,
+    table10,
+    table11,
+)
+from repro.harness.experiments.tables import (
+    PAPER_PREVALENCE,
+    PRIOR_SCHEMES,
+    table1,
+    table5,
+    table6,
+    table7,
+)
+from repro.harness.results import ExperimentResult
+from repro.harness.runner import TraceSet
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentRegistry",
+    "ExperimentSpec",
+    "PAPER_REGISTRY",
+    "UnknownExperimentError",
+    "all_experiments",
+    "batch_scheme_stats",
+    "run_experiment",
+    "scheme_row",
+    "screening_summary",
+    "suite_average",
+    "sweep_schemes",
+    "FIGURE6_COMBOS",
+    "FIGURE8_COMBOS",
+    "MIN_SENSITIVITY_FOR_PVP_RANK",
+    "PAPER_PREVALENCE",
+    "PRIOR_SCHEMES",
+    "SWEEP_PAS_WIDTHS",
+    "table1",
+    "table5",
+    "table6",
+    "table7",
+    "table8",
+    "table9",
+    "table10",
+    "table11",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+]
+
+#: legacy name -> runner view of the paper registry (kept as a plain dict
+#: because the CLI and tests iterate and ``in``-test it)
+EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = PAPER_REGISTRY.runners()
+
+
+def all_experiments() -> Dict[str, Callable[..., ExperimentResult]]:
+    """Paper experiments plus the extension experiments of DESIGN.md §5.
+
+    Imported lazily to avoid a module cycle (extensions build on the
+    helpers defined here).
+    """
+    from repro.harness.extensions import EXTENSION_EXPERIMENTS
+
+    combined = dict(EXPERIMENTS)
+    combined.update(EXTENSION_EXPERIMENTS)
+    return combined
+
+
+def run_experiment(
+    name: str,
+    trace_set: Optional[TraceSet] = None,
+    use_cache: bool = True,
+    engine: Optional[EvaluationEngine] = None,
+) -> ExperimentResult:
+    """Run one experiment by name (paper tables/figures or extensions).
+
+    Args:
+        name: registry key (``table8``, ``fig6``, ``ext-patterns``, ...).
+        trace_set: traces to evaluate on (default: the full calibrated suite).
+        use_cache: reuse cached results when present.
+        engine: evaluation engine override for this run; ``None`` keeps the
+            process default (``REPRO_BACKEND`` / ``REPRO_JOBS`` / CLI flags).
+
+    Raises:
+        UnknownExperimentError: ``name`` matches no registered experiment.
+    """
+    experiments = all_experiments()
+    if name not in experiments:
+        raise UnknownExperimentError(name, experiments.keys())
+    if trace_set is None:
+        trace_set = TraceSet()
+    if engine is None:
+        return experiments[name](trace_set, use_cache=use_cache)
+    previous = set_default_engine(engine)
+    try:
+        return experiments[name](trace_set, use_cache=use_cache)
+    finally:
+        set_default_engine(previous)

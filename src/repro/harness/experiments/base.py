@@ -1,0 +1,209 @@
+"""Experiment registry, declarative specs, and shared evaluation helpers.
+
+An experiment is a named, cacheable computation from a
+:class:`~repro.harness.runner.TraceSet` to an
+:class:`~repro.harness.results.ExperimentResult` whose rows mirror one of
+the paper's tables or figures.  This module provides:
+
+* :class:`ExperimentSpec` -- the declarative description (name, title,
+  kind, runner) every experiment registers;
+* :class:`ExperimentRegistry` -- the lookup the CLI and ``run_experiment``
+  resolve names against, with :class:`UnknownExperimentError` for typos;
+* the shared scheme-evaluation helpers (:func:`suite_average`,
+  :func:`batch_scheme_stats`) through which *all* experiments score
+  schemes.  These route through the pluggable
+  :mod:`repro.engine` layer, so ``REPRO_BACKEND`` / ``REPRO_JOBS`` /
+  ``repro-bench --jobs`` change how every sweep executes without touching
+  any experiment definition.
+
+Statistics follow the paper's reporting: per-benchmark screening statistics
+are combined by arithmetic average across the suite (paper Figures 6-9 say
+"arithmetic average over all benchmarks"; the ``prev`` column of Tables
+8-11 is likewise the suite average).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.schemes import Scheme
+from repro.engine import EvaluationEngine, get_default_engine
+from repro.harness.results import ExperimentResult
+from repro.harness.runner import TraceSet
+from repro.metrics.confusion import ConfusionCounts
+from repro.metrics.screening import ScreeningStats
+
+#: signature every experiment runner implements
+ExperimentRunner = Callable[..., ExperimentResult]
+
+
+class UnknownExperimentError(ValueError):
+    """An experiment name that resolves to nothing in the registry."""
+
+    def __init__(self, name: str, known: Sequence[str]):
+        super().__init__(f"unknown experiment {name!r}; known: {sorted(known)}")
+        self.name = name
+        self.known = sorted(known)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Declarative description of one runnable experiment.
+
+    Attributes:
+        name: registry key and CLI argument (``table8``, ``fig6``, ...).
+        title: human-readable caption (shown in rendered tables).
+        runner: callable ``(trace_set, use_cache=True) -> ExperimentResult``.
+        kind: coarse grouping -- ``table``, ``figure``, ``sweep``, or
+            ``extension`` -- used by the CLI for rendering decisions.
+        description: one-line summary for listings.
+    """
+
+    name: str
+    title: str
+    runner: ExperimentRunner
+    kind: str = "table"
+    description: str = ""
+
+    def run(self, trace_set: TraceSet, use_cache: bool = True) -> ExperimentResult:
+        return self.runner(trace_set, use_cache=use_cache)
+
+
+class ExperimentRegistry:
+    """Name -> :class:`ExperimentSpec` lookup with decorator registration."""
+
+    def __init__(self) -> None:
+        self._specs: Dict[str, ExperimentSpec] = {}
+
+    def register(self, spec: ExperimentSpec) -> ExperimentSpec:
+        if spec.name in self._specs:
+            raise ValueError(f"experiment {spec.name!r} registered twice")
+        self._specs[spec.name] = spec
+        return spec
+
+    def experiment(
+        self, name: str, title: str, kind: str = "table", description: str = ""
+    ) -> Callable[[ExperimentRunner], ExperimentRunner]:
+        """Decorator: register the wrapped runner under ``name``."""
+
+        def decorate(runner: ExperimentRunner) -> ExperimentRunner:
+            self.register(
+                ExperimentSpec(
+                    name=name,
+                    title=title,
+                    runner=runner,
+                    kind=kind,
+                    description=description,
+                )
+            )
+            return runner
+
+        return decorate
+
+    def get(self, name: str) -> ExperimentSpec:
+        try:
+            return self._specs[name]
+        except KeyError:
+            raise UnknownExperimentError(name, self._specs.keys()) from None
+
+    def names(self) -> List[str]:
+        return list(self._specs)
+
+    def specs(self) -> List[ExperimentSpec]:
+        return list(self._specs.values())
+
+    def runners(self) -> Dict[str, ExperimentRunner]:
+        """A name -> runner view (the legacy ``EXPERIMENTS`` dict shape)."""
+        return {name: spec.runner for name, spec in self._specs.items()}
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._specs
+
+    def __iter__(self):
+        return iter(self._specs)
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+
+#: the paper's tables and figures (extensions live in their own registry)
+PAPER_REGISTRY = ExperimentRegistry()
+
+
+# ----------------------------------------------------------------------
+# Shared evaluation helpers
+# ----------------------------------------------------------------------
+
+
+def screening_summary(counts_per_trace: Sequence[ConfusionCounts]) -> Dict[str, float]:
+    """Suite-average screening statistics from per-benchmark counts."""
+    prevalences: List[float] = []
+    sensitivities: List[float] = []
+    pvps: List[float] = []
+    pooled = ConfusionCounts()
+    for counts in counts_per_trace:
+        pooled.merge(counts)
+        stats = ScreeningStats.from_counts(counts)
+        if stats.prevalence is not None:
+            prevalences.append(stats.prevalence)
+        if stats.sensitivity is not None:
+            sensitivities.append(stats.sensitivity)
+        # PVP is undefined on a benchmark where the scheme predicted
+        # nothing; such benchmarks are excluded from the average (the missed
+        # opportunity is already charged to sensitivity).
+        if stats.pvp is not None:
+            pvps.append(stats.pvp)
+    average = lambda values: sum(values) / len(values) if values else 0.0
+    return {
+        "prev": average(prevalences),
+        "sens": average(sensitivities),
+        "pvp": average(pvps),
+        "pooled_tp": pooled.true_positive,
+        "pooled_fp": pooled.false_positive,
+    }
+
+
+def suite_average(
+    scheme: Scheme, traces, engine: Optional[EvaluationEngine] = None
+) -> Dict[str, float]:
+    """Evaluate a scheme per benchmark and average the statistics."""
+    engine = engine if engine is not None else get_default_engine()
+    return screening_summary(engine.evaluate_suite(scheme, list(traces)))
+
+
+def batch_scheme_stats(
+    schemes: Sequence[Scheme], traces, engine: Optional[EvaluationEngine] = None
+) -> List[Dict[str, float]]:
+    """:func:`suite_average` for many schemes through one engine batch.
+
+    This is the sweep entry point: the engine sees the whole batch at once,
+    so the parallel backend can shard it across workers.
+    """
+    engine = engine if engine is not None else get_default_engine()
+    all_counts = engine.evaluate_batch(list(schemes), list(traces))
+    return [screening_summary(counts) for counts in all_counts]
+
+
+def scheme_row(
+    scheme: Scheme, stats: Dict[str, float], num_nodes: int = 16
+) -> Dict:
+    """One sweep-table row for a scheme whose stats are already computed."""
+    from repro.core.cost import size_log2_bits
+
+    return {
+        "scheme": scheme.name,
+        "update": scheme.update.value,
+        "size": round(size_log2_bits(scheme, num_nodes), 2),
+        "prev": round(stats["prev"], 4),
+        "pvp": round(stats["pvp"], 4),
+        "sens": round(stats["sens"], 4),
+        "pooled_tp": stats["pooled_tp"],
+        "pooled_fp": stats["pooled_fp"],
+    }
+
+
+# Backwards-compatible alias: the pre-package experiments module exposed
+# the row builder as a private helper.
+def _scheme_row(scheme: Scheme, traces, num_nodes: int = 16) -> Dict:
+    return scheme_row(scheme, suite_average(scheme, traces), num_nodes)

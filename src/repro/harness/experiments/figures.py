@@ -1,0 +1,210 @@
+"""Figures 6-9: access/prediction/update interaction sweeps.
+
+Each figure scores a fixed grid of index combinations under one or more
+update modes.  Like the table sweeps, the whole grid is evaluated as one
+engine batch so the parallel backend can shard it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.core.cost import size_log2_bits
+from repro.core.indexing import IndexSpec
+from repro.core.schemes import Scheme
+from repro.core.update import UpdateMode
+from repro.harness.experiments.base import PAPER_REGISTRY, batch_scheme_stats
+from repro.harness.results import ExperimentResult, cached_result
+from repro.harness.runner import TraceSet
+
+#: Figure 6/7 x-axis: 16 index combinations within a 16-bit budget, one per
+#: Table-1 class, exactly as labelled in the paper ((addr, dir, pc, pid)).
+FIGURE6_COMBOS: Sequence[Tuple[int, bool, int, bool]] = (
+    # (addr_bits, use_dir, pc_bits, use_pid)
+    (0, False, 0, False),
+    (16, False, 0, False),
+    (0, True, 0, False),
+    (12, True, 0, False),
+    (0, False, 16, False),
+    (8, False, 8, False),
+    (0, True, 12, False),
+    (6, True, 6, False),
+    (0, False, 0, True),
+    (12, False, 0, True),
+    (0, True, 0, True),
+    (8, True, 0, True),
+    (0, False, 12, True),
+    (6, False, 6, True),
+    (0, True, 8, True),
+    (4, True, 4, True),
+)
+
+#: Figure 8 x-axis: the same classes within a 12-bit budget (PAs entries
+#: are too large for 16 index bits).
+FIGURE8_COMBOS: Sequence[Tuple[int, bool, int, bool]] = (
+    (0, False, 0, False),
+    (12, False, 0, False),
+    (0, True, 0, False),
+    (8, True, 0, False),
+    (0, False, 12, False),
+    (6, False, 6, False),
+    (0, True, 8, False),
+    (4, True, 4, False),
+    (0, False, 0, True),
+    (8, False, 0, True),
+    (0, True, 0, True),
+    (4, True, 0, True),
+    (0, False, 8, True),
+    (4, False, 4, True),
+    (0, True, 4, True),
+    (2, True, 2, True),
+)
+
+
+def _combo_spec(combo: Tuple[int, bool, int, bool]) -> IndexSpec:
+    addr_bits, use_dir, pc_bits, use_pid = combo
+    return IndexSpec(use_pid=use_pid, pc_bits=pc_bits, use_dir=use_dir, addr_bits=addr_bits)
+
+
+def _figure_sweep(
+    trace_set: TraceSet,
+    name: str,
+    title: str,
+    function: str,
+    depth: int,
+    combos: Sequence[Tuple[int, bool, int, bool]],
+    modes: Sequence[UpdateMode],
+    use_cache: bool,
+) -> ExperimentResult:
+    def compute() -> ExperimentResult:
+        traces = trace_set.traces()
+        result = ExperimentResult(
+            name=name,
+            title=title,
+            columns=["index", "update", "sens", "pvp", "size"],
+        )
+        schemes: List[Scheme] = [
+            Scheme(function=function, index=_combo_spec(combo), depth=depth, update=mode)
+            for mode in modes
+            for combo in combos
+        ]
+        for scheme, stats in zip(schemes, batch_scheme_stats(schemes, traces)):
+            result.rows.append(
+                {
+                    "index": scheme.index.label or "(none)",
+                    "update": scheme.update.value,
+                    "sens": round(stats["sens"], 4),
+                    "pvp": round(stats["pvp"], 4),
+                    "size": round(size_log2_bits(scheme, trace_set.num_nodes), 2),
+                }
+            )
+        return result
+
+    return cached_result(name, trace_set.fingerprint(), compute, use_cache)
+
+
+_ALL_MODES = (UpdateMode.DIRECT, UpdateMode.FORWARDED, UpdateMode.ORDERED)
+
+
+@PAPER_REGISTRY.experiment(
+    "fig6",
+    "Figure 6: intersection prediction (depth 2, 16-bit max index)",
+    kind="figure",
+    description="intersection predictor across the Table-1 index classes",
+)
+def figure6(trace_set: TraceSet, use_cache: bool = True) -> ExperimentResult:
+    return _figure_sweep(
+        trace_set,
+        "fig6",
+        "Figure 6: intersection prediction (depth 2, 16-bit max index)",
+        "inter",
+        2,
+        FIGURE6_COMBOS,
+        _ALL_MODES,
+        use_cache,
+    )
+
+
+@PAPER_REGISTRY.experiment(
+    "fig7",
+    "Figure 7: union prediction (depth 2, 16-bit max index)",
+    kind="figure",
+    description="union predictor across the Table-1 index classes",
+)
+def figure7(trace_set: TraceSet, use_cache: bool = True) -> ExperimentResult:
+    return _figure_sweep(
+        trace_set,
+        "fig7",
+        "Figure 7: union prediction (depth 2, 16-bit max index)",
+        "union",
+        2,
+        FIGURE6_COMBOS,
+        _ALL_MODES,
+        use_cache,
+    )
+
+
+@PAPER_REGISTRY.experiment(
+    "fig8",
+    "Figure 8: PAs prediction (depth 1, 12-bit max index)",
+    kind="figure",
+    description="two-level PAs predictor across the Table-1 index classes",
+)
+def figure8(trace_set: TraceSet, use_cache: bool = True) -> ExperimentResult:
+    return _figure_sweep(
+        trace_set,
+        "fig8",
+        "Figure 8: PAs prediction (depth 1, 12-bit max index)",
+        "pas",
+        1,
+        FIGURE8_COMBOS,
+        _ALL_MODES,
+        use_cache,
+    )
+
+
+@PAPER_REGISTRY.experiment(
+    "fig9",
+    "Figure 9: direct update, history depths 2 and 4",
+    kind="figure",
+    description="history depth 2 vs 4 under direct update, per function",
+)
+def figure9(trace_set: TraceSet, use_cache: bool = True) -> ExperimentResult:
+    """Figure 9: history depth 2 vs 4 under direct update, per function."""
+
+    def compute() -> ExperimentResult:
+        traces = trace_set.traces()
+        result = ExperimentResult(
+            name="fig9",
+            title="Figure 9: direct update, history depths 2 and 4",
+            columns=["function", "index", "depth", "sens", "pvp"],
+        )
+        panels = (
+            ("inter", FIGURE6_COMBOS),
+            ("union", FIGURE6_COMBOS),
+            ("pas", FIGURE8_COMBOS),
+        )
+        schemes: List[Scheme] = [
+            Scheme(
+                function=function,
+                index=_combo_spec(combo),
+                depth=depth,
+                update=UpdateMode.DIRECT,
+            )
+            for function, combos in panels
+            for depth in (2, 4)
+            for combo in combos
+        ]
+        for scheme, stats in zip(schemes, batch_scheme_stats(schemes, traces)):
+            result.rows.append(
+                {
+                    "function": scheme.function,
+                    "index": scheme.index.label or "(none)",
+                    "depth": scheme.depth,
+                    "sens": round(stats["sens"], 4),
+                    "pvp": round(stats["pvp"], 4),
+                }
+            )
+        return result
+
+    return cached_result("fig9", trace_set.fingerprint(), compute, use_cache)

@@ -4,15 +4,31 @@ Design-space sweeps take minutes; their outputs are small tables.  Results
 are cached as JSON keyed by the experiment name, the trace-set fingerprint,
 and a schema version, so reruns (and the pytest benchmarks) are instant
 once computed.
+
+The cache is hardened the same way as the trace cache: entries are written
+atomically (tmp file + ``os.replace``), and an entry that is unreadable,
+truncated, or stamped with a stale schema (per-cache :data:`RESULT_SCHEMA`
+or the shared :data:`repro.util.persist.CACHE_SCHEMA`) is logged, deleted,
+and recomputed instead of crashing the run.
 """
 
 from __future__ import annotations
 
-import json
+import logging
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional
+
+from repro.util.persist import (
+    CACHE_SCHEMA,
+    CacheCorruptionError,
+    atomic_write_json,
+    discard_corrupt,
+    load_json_checked,
+)
+
+logger = logging.getLogger("repro.harness.results")
 
 #: bump to invalidate cached experiment results
 RESULT_SCHEMA = 3
@@ -55,6 +71,27 @@ def default_results_dir() -> Path:
     return Path(__file__).resolve().parents[3] / "data" / "results"
 
 
+def _load_cached(path: Path) -> Optional[ExperimentResult]:
+    """A valid cached result at ``path``, or ``None`` after discarding it."""
+    try:
+        data = load_json_checked(path)
+    except CacheCorruptionError as error:
+        discard_corrupt(path, str(error))
+        return None
+    if data.get("schema") != [RESULT_SCHEMA, CACHE_SCHEMA]:
+        discard_corrupt(
+            path,
+            f"result schema {data.get('schema')!r} != "
+            f"{[RESULT_SCHEMA, CACHE_SCHEMA]!r}",
+        )
+        return None
+    try:
+        return ExperimentResult.from_json(data)
+    except (KeyError, TypeError) as error:
+        discard_corrupt(path, f"malformed result payload: {error}")
+        return None
+
+
 def cached_result(
     name: str,
     fingerprint: str,
@@ -62,14 +99,20 @@ def cached_result(
     use_cache: bool = True,
     results_dir: Optional[Path] = None,
 ) -> ExperimentResult:
-    """Fetch a result from the JSON cache or compute and store it."""
+    """Fetch a result from the JSON cache or compute and store it.
+
+    A corrupt or schema-stale cache entry counts as a miss: it is logged,
+    removed, and recomputed.  Writes go through a tmp file + ``os.replace``
+    so concurrent readers never observe a torn entry.
+    """
     directory = results_dir if results_dir is not None else default_results_dir()
     path = directory / f"{name}-{fingerprint}-v{RESULT_SCHEMA}.json"
     if use_cache and path.exists():
-        with open(path, "r", encoding="utf-8") as handle:
-            return ExperimentResult.from_json(json.load(handle))
+        cached = _load_cached(path)
+        if cached is not None:
+            return cached
     result = compute()
-    directory.mkdir(parents=True, exist_ok=True)
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(result.to_json(), handle, indent=1)
+    payload = result.to_json()
+    payload["schema"] = [RESULT_SCHEMA, CACHE_SCHEMA]
+    atomic_write_json(path, payload)
     return result

@@ -12,7 +12,7 @@ regeneration.
 from __future__ import annotations
 
 import hashlib
-import json
+import logging
 import os
 from pathlib import Path
 from typing import Dict, List, Optional
@@ -21,7 +21,16 @@ from repro.memory.cache import CacheConfig
 from repro.memory.system import MultiprocessorSystem, SystemConfig
 from repro.trace.events import SharingTrace
 from repro.trace.io import load_trace, save_trace
+from repro.util.persist import (
+    CACHE_SCHEMA,
+    CacheCorruptionError,
+    atomic_write_json,
+    discard_corrupt,
+    load_json_checked,
+)
 from repro.workloads.registry import BENCHMARK_NAMES, make_workload
+
+logger = logging.getLogger("repro.harness.runner")
 
 #: bump when trace semantics change, to invalidate caches
 TRACE_SCHEMA = 7
@@ -94,19 +103,35 @@ class TraceSet:
         return self.cache_dir / f"{benchmark}-{self._fingerprint(benchmark)}.npz"
 
     def trace(self, benchmark: str) -> SharingTrace:
-        """The benchmark's trace: memory, then disk cache, then generation."""
+        """The benchmark's trace: memory, then disk cache, then generation.
+
+        A cached file that is unreadable (truncated download, torn write,
+        stale format) is logged, deleted, and regenerated -- corruption is a
+        cache miss, never a crash.
+        """
         cached = self._traces.get(benchmark)
         if cached is not None:
             return cached
         path = self._cache_path(benchmark)
+        trace: Optional[SharingTrace] = None
         if path.exists():
-            trace = load_trace(path)
-        else:
+            try:
+                trace = load_trace(path)
+            except CacheCorruptionError as error:
+                discard_corrupt(path, str(error))
+                trace = None
+        if trace is None:
             trace = self._generate_and_store(benchmark)
         self._traces[benchmark] = trace
         return trace
 
     def _generate_and_store(self, benchmark: str) -> SharingTrace:
+        """Regenerate one benchmark's trace and stats sidecar as a pair.
+
+        The trace npz, its stats sidecar, and the in-memory cache always
+        move together (each file atomically via tmp + ``os.replace``), so a
+        reader can never pair a fresh trace with stale stats or vice versa.
+        """
         trace, stats = generate_trace(
             benchmark,
             num_nodes=self.num_nodes,
@@ -116,6 +141,7 @@ class TraceSet:
         self.cache_dir.mkdir(parents=True, exist_ok=True)
         save_trace(trace, self._cache_path(benchmark))
         summary = {
+            "schema": [TRACE_SCHEMA, CACHE_SCHEMA],
             "accesses": stats.reads + stats.writes,
             "reads": stats.reads,
             "writes": stats.writes,
@@ -129,21 +155,54 @@ class TraceSet:
             "max_static_stores_per_node": stats.max_static_stores_per_node(),
             "max_predicted_stores_per_node": stats.max_predicted_stores_per_node(),
         }
-        with open(self._stats_path(benchmark), "w", encoding="utf-8") as handle:
-            json.dump(summary, handle, indent=1)
+        atomic_write_json(self._stats_path(benchmark), summary)
+        self._traces[benchmark] = trace
         return trace
 
     def _stats_path(self, benchmark: str) -> Path:
         return self.cache_dir / f"{benchmark}-{self._fingerprint(benchmark)}.stats.json"
 
-    def protocol_summary(self, benchmark: str) -> dict:
-        """Protocol statistics recorded when the trace was generated."""
+    def _load_summary(self, benchmark: str) -> Optional[dict]:
+        """The stats sidecar if present and valid, else ``None``."""
         path = self._stats_path(benchmark)
         if not path.exists():
+            return None
+        try:
+            summary = load_json_checked(path)
+        except CacheCorruptionError as error:
+            discard_corrupt(path, str(error))
+            return None
+        if summary.get("schema") != [TRACE_SCHEMA, CACHE_SCHEMA]:
+            discard_corrupt(
+                path,
+                f"stats schema {summary.get('schema')!r} != "
+                f"{[TRACE_SCHEMA, CACHE_SCHEMA]!r}",
+            )
+            return None
+        return summary
+
+    def protocol_summary(self, benchmark: str) -> dict:
+        """Protocol statistics recorded when the trace was generated.
+
+        If the sidecar is missing, corrupt, or schema-stale, the trace and
+        stats are regenerated *together* (dropping any in-memory trace), so
+        the summary always describes the trace :meth:`trace` returns.
+        """
+        summary = self._load_summary(benchmark)
+        if summary is None:
+            logger.warning(
+                "stats sidecar for %s missing or invalid; regenerating trace "
+                "and stats as a pair",
+                benchmark,
+            )
             self._traces.pop(benchmark, None)
             self._generate_and_store(benchmark)
-        with open(path, "r", encoding="utf-8") as handle:
-            return json.load(handle)
+            summary = self._load_summary(benchmark)
+            if summary is None:  # pragma: no cover - regeneration just wrote it
+                raise CacheCorruptionError(
+                    f"stats sidecar for {benchmark} unreadable after regeneration"
+                )
+        return summary
 
     def traces(self) -> List[SharingTrace]:
         """All benchmark traces, in suite order."""

@@ -8,20 +8,53 @@ other tools.
 
 from __future__ import annotations
 
+import io
 import os
+import zipfile
 from typing import Union
 
 import numpy as np
 
 from repro.trace.events import SharingTrace
+from repro.util.persist import CacheCorruptionError, atomic_write_bytes
 
 _FORMAT_VERSION = 1
 
+#: arrays every trace archive must contain
+_REQUIRED_FIELDS = (
+    "version",
+    "num_nodes",
+    "name",
+    "writer",
+    "pc",
+    "home",
+    "block",
+    "truth",
+    "inval",
+    "has_inval",
+    "close",
+)
+
+
+class TraceFormatError(CacheCorruptionError, ValueError):
+    """A trace file is truncated, not an npz archive, or schema-stale.
+
+    Doubles as a :class:`ValueError` for callers that validate formats and
+    as a :class:`~repro.util.persist.CacheCorruptionError` for the cache
+    layer, which treats it as a miss and regenerates.
+    """
+
 
 def save_trace(trace: SharingTrace, path: Union[str, os.PathLike]) -> None:
-    """Write a trace as a compressed ``.npz`` archive."""
+    """Write a trace as a compressed ``.npz`` archive, atomically.
+
+    The archive is serialized in memory and moved into place with
+    ``os.replace``, so a crashed writer can never leave a truncated trace
+    behind for the next reader to trip over.
+    """
+    buffer = io.BytesIO()
     np.savez_compressed(
-        path,
+        buffer,
         version=np.int64(_FORMAT_VERSION),
         num_nodes=np.int64(trace.num_nodes),
         name=np.array(trace.name),
@@ -34,27 +67,53 @@ def save_trace(trace: SharingTrace, path: Union[str, os.PathLike]) -> None:
         has_inval=trace.has_inval,
         close=trace.close,
     )
+    atomic_write_bytes(path, buffer.getvalue())
 
 
 def load_trace(path: Union[str, os.PathLike]) -> SharingTrace:
-    """Load a trace written by :func:`save_trace`, verifying its invariants."""
-    with np.load(path, allow_pickle=False) as archive:
-        version = int(archive["version"])
-        if version != _FORMAT_VERSION:
-            raise ValueError(f"unsupported trace format version {version}")
-        trace = SharingTrace(
-            num_nodes=int(archive["num_nodes"]),
-            writer=archive["writer"],
-            pc=archive["pc"],
-            home=archive["home"],
-            block=archive["block"],
-            truth=archive["truth"],
-            inval=archive["inval"],
-            has_inval=archive["has_inval"],
-            close=archive["close"],
-            name=str(archive["name"]),
-        )
-    trace.check_consistency()
+    """Load a trace written by :func:`save_trace`, verifying its invariants.
+
+    Raises:
+        TraceFormatError: the file is not a readable npz archive, is missing
+            required arrays, was written under a different format version,
+            or fails the trace consistency checks.
+    """
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            missing = [field for field in _REQUIRED_FIELDS if field not in archive]
+            if missing:
+                raise TraceFormatError(
+                    f"trace file {path} is missing fields {missing}"
+                )
+            version = int(archive["version"])
+            if version != _FORMAT_VERSION:
+                raise TraceFormatError(
+                    f"unsupported trace format version {version} in {path}"
+                )
+            trace = SharingTrace(
+                num_nodes=int(archive["num_nodes"]),
+                writer=archive["writer"],
+                pc=archive["pc"],
+                home=archive["home"],
+                block=archive["block"],
+                truth=archive["truth"],
+                inval=archive["inval"],
+                has_inval=archive["has_inval"],
+                close=archive["close"],
+                name=str(archive["name"]),
+            )
+    except TraceFormatError:
+        raise
+    except (zipfile.BadZipFile, OSError, KeyError, ValueError, EOFError) as error:
+        # BadZipFile: not a zip; OSError/EOFError: truncated or unreadable;
+        # KeyError/ValueError: member arrays absent or malformed.
+        raise TraceFormatError(f"unreadable trace file {path}: {error}") from error
+    try:
+        trace.check_consistency()
+    except (ValueError, AssertionError) as error:
+        raise TraceFormatError(
+            f"trace file {path} violates trace invariants: {error}"
+        ) from error
     return trace
 
 

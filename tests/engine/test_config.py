@@ -1,0 +1,76 @@
+"""Engine selection: explicit args, environment variables, process default."""
+
+import pytest
+
+from repro.engine import (
+    ParallelEngine,
+    ReferenceEngine,
+    VectorizedEngine,
+    get_default_engine,
+    make_engine,
+    set_default_engine,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_engine_env(monkeypatch):
+    monkeypatch.delenv("REPRO_BACKEND", raising=False)
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    set_default_engine(None)
+    yield
+    set_default_engine(None)
+
+
+class TestMakeEngine:
+    def test_default_is_vectorized(self):
+        assert isinstance(make_engine(), VectorizedEngine)
+
+    def test_explicit_backend_names(self):
+        assert isinstance(make_engine("reference"), ReferenceEngine)
+        assert isinstance(make_engine("vectorized"), VectorizedEngine)
+        assert isinstance(make_engine("parallel"), ParallelEngine)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown evaluation backend"):
+            make_engine("gpu")
+
+    def test_jobs_above_one_selects_parallel(self):
+        engine = make_engine(jobs=3)
+        assert isinstance(engine, ParallelEngine)
+        assert engine.jobs == 3
+
+    def test_env_backend(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "reference")
+        assert isinstance(make_engine(), ReferenceEngine)
+
+    def test_env_jobs(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "4")
+        engine = make_engine()
+        assert isinstance(engine, ParallelEngine)
+        assert engine.jobs == 4
+
+    def test_env_jobs_garbage_ignored(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        assert isinstance(make_engine(), VectorizedEngine)
+
+    def test_explicit_args_beat_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "parallel")
+        monkeypatch.setenv("REPRO_JOBS", "8")
+        engine = make_engine("vectorized")
+        assert isinstance(engine, VectorizedEngine)
+
+
+class TestDefaultEngine:
+    def test_follows_environment_dynamically(self, monkeypatch):
+        assert isinstance(get_default_engine(), VectorizedEngine)
+        monkeypatch.setenv("REPRO_BACKEND", "reference")
+        assert isinstance(get_default_engine(), ReferenceEngine)
+
+    def test_set_default_engine_wins_and_restores(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "reference")
+        installed = ParallelEngine(jobs=2)
+        previous = set_default_engine(installed)
+        assert previous is None
+        assert get_default_engine() is installed
+        set_default_engine(previous)
+        assert isinstance(get_default_engine(), ReferenceEngine)

@@ -1,0 +1,50 @@
+"""Experiments produce identical results regardless of engine backend."""
+
+import pytest
+
+from repro.engine import ParallelEngine, ReferenceEngine, VectorizedEngine
+from repro.harness.experiments import run_experiment
+from repro.harness.runner import TraceSet
+
+
+@pytest.fixture(scope="module")
+def small_suite(tmp_path_factory):
+    return TraceSet(benchmarks=["ocean"], cache_dir=tmp_path_factory.mktemp("traces"))
+
+
+@pytest.fixture(autouse=True)
+def isolated_results(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+
+
+class TestExperimentEngineParity:
+    def test_table7_identical_across_backends(self, small_suite):
+        rows = {}
+        for engine in (ReferenceEngine(), VectorizedEngine(), ParallelEngine(jobs=2)):
+            result = run_experiment(
+                "table7", small_suite, use_cache=False, engine=engine
+            )
+            rows[engine.name] = result.rows
+        assert rows["reference"] == rows["vectorized"] == rows["parallel"]
+
+    def test_fig6_parallel_matches_serial(self, small_suite):
+        serial = run_experiment(
+            "fig6", small_suite, use_cache=False, engine=VectorizedEngine()
+        )
+        parallel = run_experiment(
+            "fig6", small_suite, use_cache=False, engine=ParallelEngine(jobs=2)
+        )
+        assert serial.rows == parallel.rows
+
+    def test_engine_override_is_restored(self, small_suite):
+        from repro.engine import get_default_engine, set_default_engine
+
+        sentinel = VectorizedEngine()
+        set_default_engine(sentinel)
+        try:
+            run_experiment(
+                "table1", small_suite, use_cache=False, engine=ReferenceEngine()
+            )
+            assert get_default_engine() is sentinel
+        finally:
+            set_default_engine(None)

@@ -1,0 +1,204 @@
+"""Cache-layer fault tolerance: corruption, torn writes, schema staleness.
+
+Every failure mode of the two on-disk caches (trace npz + stats sidecar,
+experiment-result JSON) must read back as a cache miss that regenerates,
+never as an exception that kills a sweep.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.harness.results import RESULT_SCHEMA, ExperimentResult, cached_result
+from repro.harness.runner import TRACE_SCHEMA, TraceSet
+from repro.trace.io import TraceFormatError, load_trace, save_trace
+from repro.util.persist import (
+    CACHE_SCHEMA,
+    CacheCorruptionError,
+    atomic_write_bytes,
+    load_json_checked,
+)
+from tests.conftest import make_random_trace
+
+
+@pytest.fixture
+def trace_set(tmp_path):
+    return TraceSet(benchmarks=["ocean"], cache_dir=tmp_path)
+
+
+def _cache_file(trace_set, suffix=".npz"):
+    (path,) = trace_set.cache_dir.glob(f"ocean-*{suffix}")
+    return path
+
+
+class TestCorruptTraceRecovery:
+    def test_garbage_npz_regenerates(self, trace_set, caplog):
+        original = trace_set.trace("ocean")
+        path = _cache_file(trace_set)
+        path.write_bytes(b"this is not a zip archive")
+        fresh = TraceSet(benchmarks=["ocean"], cache_dir=trace_set.cache_dir)
+        with caplog.at_level("WARNING"):
+            regenerated = fresh.trace("ocean")
+        assert any("discarding corrupt cache" in r.message for r in caplog.records)
+        assert (regenerated.truth == original.truth).all()
+        # the repaired file is a valid archive again
+        assert len(load_trace(path)) == len(original)
+
+    def test_truncated_npz_regenerates(self, trace_set):
+        original = trace_set.trace("ocean")
+        path = _cache_file(trace_set)
+        payload = path.read_bytes()
+        path.write_bytes(payload[: len(payload) // 2])
+        fresh = TraceSet(benchmarks=["ocean"], cache_dir=trace_set.cache_dir)
+        assert (fresh.trace("ocean").truth == original.truth).all()
+
+    def test_empty_npz_regenerates(self, trace_set):
+        trace_set.trace("ocean")
+        path = _cache_file(trace_set)
+        path.write_bytes(b"")
+        fresh = TraceSet(benchmarks=["ocean"], cache_dir=trace_set.cache_dir)
+        assert len(fresh.trace("ocean")) > 0
+
+    def test_load_trace_raises_typed_error(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        path.write_bytes(b"PK\x03\x04 truncated nonsense")
+        with pytest.raises(TraceFormatError):
+            load_trace(path)
+        # TraceFormatError doubles as both taxonomy roots
+        assert issubclass(TraceFormatError, ValueError)
+        assert issubclass(TraceFormatError, CacheCorruptionError)
+
+
+class TestAtomicWrites:
+    def test_failed_replace_preserves_original(self, tmp_path, monkeypatch):
+        target = tmp_path / "data.json"
+        atomic_write_bytes(target, b'{"ok": 1}')
+
+        def broken_replace(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(os, "replace", broken_replace)
+        with pytest.raises(OSError):
+            atomic_write_bytes(target, b'{"ok": 2}')
+        monkeypatch.undo()
+        assert json.loads(target.read_text()) == {"ok": 1}
+        # no tmp litter left behind
+        assert list(tmp_path.iterdir()) == [target]
+
+    def test_save_trace_never_leaves_partial_file(self, tmp_path, monkeypatch):
+        trace = make_random_trace(num_nodes=4, num_events=50)
+        target = tmp_path / "trace.npz"
+        monkeypatch.setattr(
+            os, "replace", lambda *a: (_ for _ in ()).throw(OSError("torn"))
+        )
+        with pytest.raises(OSError):
+            save_trace(trace, target)
+        monkeypatch.undo()
+        assert not target.exists()
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestStatsSidecarPairing:
+    def test_missing_stats_regenerates_pair(self, trace_set):
+        stale = trace_set.trace("ocean")
+        _cache_file(trace_set, ".stats.json").unlink()
+        summary = trace_set.protocol_summary("ocean")
+        assert summary["writes"] > 0
+        # the in-memory trace was refreshed together with the stats, so the
+        # pair cannot diverge
+        refreshed = trace_set.trace("ocean")
+        assert (refreshed.truth == stale.truth).all()
+        assert _cache_file(trace_set, ".stats.json").exists()
+
+    def test_corrupt_stats_regenerates(self, trace_set):
+        trace_set.trace("ocean")
+        trace_set.protocol_summary("ocean")
+        _cache_file(trace_set, ".stats.json").write_text("{not json")
+        assert trace_set.protocol_summary("ocean")["writes"] > 0
+
+    def test_stale_schema_stats_regenerates(self, trace_set, caplog):
+        trace_set.protocol_summary("ocean")
+        path = _cache_file(trace_set, ".stats.json")
+        payload = json.loads(path.read_text())
+        payload["schema"] = [TRACE_SCHEMA - 1, CACHE_SCHEMA]
+        path.write_text(json.dumps(payload))
+        with caplog.at_level("WARNING"):
+            summary = trace_set.protocol_summary("ocean")
+        assert summary["schema"] == [TRACE_SCHEMA, CACHE_SCHEMA]
+        assert any("schema" in r.message for r in caplog.records)
+
+    def test_legacy_stats_without_schema_regenerate(self, trace_set):
+        """Pre-hardening sidecars (no schema stamp) count as stale."""
+        trace_set.protocol_summary("ocean")
+        path = _cache_file(trace_set, ".stats.json")
+        payload = json.loads(path.read_text())
+        del payload["schema"]
+        path.write_text(json.dumps(payload))
+        assert trace_set.protocol_summary("ocean")["schema"] == [
+            TRACE_SCHEMA,
+            CACHE_SCHEMA,
+        ]
+
+
+def _result():
+    return ExperimentResult(
+        name="demo", title="Demo", columns=["a"], rows=[{"a": 1}]
+    )
+
+
+class TestResultCacheHardening:
+    def test_corrupt_json_recomputes(self, tmp_path, caplog):
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return _result()
+
+        cached_result("demo", "fp", compute, results_dir=tmp_path)
+        (path,) = tmp_path.glob("demo-*.json")
+        path.write_text("{truncated")
+        with caplog.at_level("WARNING"):
+            result = cached_result("demo", "fp", compute, results_dir=tmp_path)
+        assert len(calls) == 2
+        assert result.rows == [{"a": 1}]
+        # the rewritten entry is valid and schema-stamped
+        assert load_json_checked(path)["schema"] == [RESULT_SCHEMA, CACHE_SCHEMA]
+
+    def test_schema_bump_invalidates(self, tmp_path, monkeypatch):
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return _result()
+
+        cached_result("demo", "fp", compute, results_dir=tmp_path)
+        monkeypatch.setattr("repro.harness.results.CACHE_SCHEMA", CACHE_SCHEMA + 1)
+        cached_result("demo", "fp", compute, results_dir=tmp_path)
+        assert len(calls) == 2
+
+    def test_legacy_payload_without_schema_recomputes(self, tmp_path):
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return _result()
+
+        cached_result("demo", "fp", compute, results_dir=tmp_path)
+        (path,) = tmp_path.glob("demo-*.json")
+        payload = json.loads(path.read_text())
+        del payload["schema"]
+        path.write_text(json.dumps(payload))
+        cached_result("demo", "fp", compute, results_dir=tmp_path)
+        assert len(calls) == 2
+
+    def test_valid_cache_still_hits(self, tmp_path):
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return _result()
+
+        for _ in range(3):
+            cached_result("demo", "fp", compute, results_dir=tmp_path)
+        assert len(calls) == 1

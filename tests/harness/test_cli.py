@@ -28,9 +28,35 @@ class TestCli:
         assert "-- DIRECT --" in out
         assert "#" in out  # bars rendered
 
-    def test_unknown_experiment_errors(self):
-        with pytest.raises(SystemExit):
+    def test_unknown_experiment_errors(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
             main(["table99"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment" in err
+        assert "table99" in err
+        assert "Known experiments" in err
+        assert "Traceback" not in err
+
+    def test_jobs_flag(self, capsys):
+        assert main(["table6", "--benchmarks", "ocean", "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "backend=parallel" in out
+
+    def test_backend_flag(self, capsys):
+        assert main(["table1", "--benchmarks", "ocean", "--backend", "reference"]) == 0
+        out = capsys.readouterr().out
+        assert "backend=reference" in out
+
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["table1", "--backend", "quantum"])
+
+    def test_timing_reported_per_experiment(self, capsys):
+        assert main(["table1", "table6", "--benchmarks", "ocean"]) == 0
+        out = capsys.readouterr().out
+        assert "[table1 completed in" in out
+        assert "[table6 completed in" in out
 
     def test_benchmark_subset(self, capsys):
         assert main(["table6", "--benchmarks", "ocean,water"]) == 0

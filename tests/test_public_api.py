@@ -58,9 +58,17 @@ class TestTopLevelExports:
         "repro.workloads.scheduler",
         "repro.workloads.layout",
         "repro.workloads.registry",
+        "repro.engine",
+        "repro.engine.base",
+        "repro.engine.backends",
+        "repro.engine.parallel",
         "repro.harness",
         "repro.harness.runner",
         "repro.harness.experiments",
+        "repro.harness.experiments.base",
+        "repro.harness.experiments.tables",
+        "repro.harness.experiments.sweeps",
+        "repro.harness.experiments.figures",
         "repro.harness.extensions",
         "repro.harness.results",
         "repro.harness.tables",
@@ -68,6 +76,7 @@ class TestTopLevelExports:
         "repro.harness.cli",
         "repro.util",
         "repro.util.bitmaps",
+        "repro.util.persist",
         "repro.util.rng",
     ],
 )
