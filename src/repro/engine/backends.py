@@ -24,8 +24,8 @@ class ReferenceEngine(EvaluationEngine):
 
     name = "reference"
 
-    def evaluate(
-        self, scheme: Scheme, trace: SharingTrace, exclude_writer: bool = True
+    def _evaluate_one(
+        self, scheme: Scheme, trace: SharingTrace, exclude_writer: bool
     ) -> ConfusionCounts:
         return evaluate_scheme(scheme, trace, exclude_writer=exclude_writer)
 
@@ -35,7 +35,7 @@ class VectorizedEngine(EvaluationEngine):
 
     name = "vectorized"
 
-    def evaluate(
-        self, scheme: Scheme, trace: SharingTrace, exclude_writer: bool = True
+    def _evaluate_one(
+        self, scheme: Scheme, trace: SharingTrace, exclude_writer: bool
     ) -> ConfusionCounts:
         return evaluate_scheme_fast(scheme, trace, exclude_writer=exclude_writer)

@@ -20,16 +20,26 @@ The contract has three granularities, each the natural unit for one layer:
 
 All backends must be bit-identical: for any scheme and trace, every engine
 returns the same :class:`~repro.metrics.confusion.ConfusionCounts` (this is
-property-tested in ``tests/engine``).  Backends differ only in wall-clock.
+property-tested in ``tests/engine`` and frozen against golden fixtures in
+``tests/golden``).  Backends differ only in wall-clock.
+
+Every engine also self-reports into the process telemetry sink
+(:mod:`repro.telemetry`): per-evaluation and per-batch wall-clock, event
+counts, and a derived events/sec gauge, all under ``engine.<name>.*``.
+When telemetry is disabled (the default) the instrumentation reduces to one
+global read and an ``enabled`` check per *trace*, never per event, so the
+measured overhead is below noise.
 """
 
 from __future__ import annotations
 
+import time
 from abc import ABC, abstractmethod
 from typing import List, Sequence
 
 from repro.core.schemes import Scheme
 from repro.metrics.confusion import ConfusionCounts
+from repro.telemetry import get_telemetry
 from repro.trace.events import SharingTrace
 
 
@@ -40,10 +50,26 @@ class EvaluationEngine(ABC):
     name: str = "abstract"
 
     @abstractmethod
+    def _evaluate_one(
+        self, scheme: Scheme, trace: SharingTrace, exclude_writer: bool
+    ) -> ConfusionCounts:
+        """Backend hook: score one scheme on one trace, uninstrumented."""
+
     def evaluate(
         self, scheme: Scheme, trace: SharingTrace, exclude_writer: bool = True
     ) -> ConfusionCounts:
         """Score one scheme on one trace."""
+        telemetry = get_telemetry()
+        if not telemetry.enabled:
+            return self._evaluate_one(scheme, trace, exclude_writer)
+        started = time.perf_counter()
+        counts = self._evaluate_one(scheme, trace, exclude_writer)
+        telemetry.timer_add(
+            f"engine.{self.name}.evaluate_seconds", time.perf_counter() - started
+        )
+        telemetry.count(f"engine.{self.name}.evaluations")
+        telemetry.count(f"engine.{self.name}.events", len(trace))
+        return counts
 
     def evaluate_suite(
         self,
@@ -66,7 +92,46 @@ class EvaluationEngine(ABC):
         one :class:`ConfusionCounts` per trace, ordered like ``traces``.
         Backends are free to reorder execution but not results.
         """
-        return [self.evaluate_suite(scheme, traces, exclude_writer) for scheme in schemes]
+        telemetry = get_telemetry()
+        if not telemetry.enabled:
+            return [
+                self.evaluate_suite(scheme, traces, exclude_writer)
+                for scheme in schemes
+            ]
+        started = time.perf_counter()
+        results = [
+            self.evaluate_suite(scheme, traces, exclude_writer) for scheme in schemes
+        ]
+        record_batch(
+            telemetry,
+            self.name,
+            time.perf_counter() - started,
+            num_schemes=len(schemes),
+            num_events=sum(len(trace) for trace in traces),
+        )
+        return results
+
+
+def record_batch(
+    telemetry,
+    backend: str,
+    elapsed: float,
+    num_schemes: int,
+    num_events: int,
+) -> None:
+    """Fold one batch's shape and wall-clock into ``engine.<backend>.*``.
+
+    ``num_events`` is the event count of the trace suite; the total scoring
+    work of the batch is ``num_schemes * num_events`` decisions-per-node,
+    which is what the events/sec throughput gauge is computed over.
+    """
+    scored = num_schemes * num_events
+    telemetry.timer_add(f"engine.{backend}.batch_seconds", elapsed)
+    telemetry.count(f"engine.{backend}.batches")
+    telemetry.count(f"engine.{backend}.batch_schemes", num_schemes)
+    telemetry.count(f"engine.{backend}.batch_events", scored)
+    if elapsed > 0:
+        telemetry.gauge(f"engine.{backend}.events_per_sec", scored / elapsed)
 
 
 def pooled(counts_per_trace: Sequence[ConfusionCounts]) -> ConfusionCounts:

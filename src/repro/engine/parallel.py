@@ -15,6 +15,13 @@ backend shards the scheme list into chunks and dispatches them to a
   mid-batch: resource limits, sandboxed environments, pickling surprises),
   the batch is rerun on the in-process vectorized backend after a logged
   warning.  A genuine evaluation bug still surfaces, from the serial rerun.
+* **Worker telemetry merged at the parent** -- when telemetry is enabled,
+  each chunk records its shard shape and wall-clock into a fresh
+  per-chunk :class:`~repro.telemetry.core.Telemetry` (keyed by worker pid
+  under ``engine.parallel.worker.<pid>.*``) and ships the snapshot home with
+  its results; the parent folds all snapshots into the run telemetry.
+  Because merging is associative and per-chunk objects start empty, fold
+  order does not matter and nothing is double-counted.
 
 Workers return bare count 4-tuples rather than ``ConfusionCounts`` objects
 to keep result pickling flat and cheap.
@@ -25,14 +32,16 @@ from __future__ import annotations
 import logging
 import math
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import List, Optional, Sequence, Tuple
 
 from repro.core.schemes import Scheme
 from repro.core.vectorized import evaluate_scheme_fast
 from repro.engine.backends import VectorizedEngine
-from repro.engine.base import EvaluationEngine
+from repro.engine.base import EvaluationEngine, record_batch
 from repro.metrics.confusion import ConfusionCounts
+from repro.telemetry import Telemetry, get_telemetry
 from repro.trace.events import SharingTrace
 
 logger = logging.getLogger("repro.engine.parallel")
@@ -55,14 +64,22 @@ def _init_worker(traces: List[SharingTrace]) -> None:
 
 
 def _evaluate_chunk(
-    schemes: List[Scheme], exclude_writer: bool
-) -> List[List[Tuple[int, int, int, int]]]:
-    """Worker task: score a chunk of schemes against the pinned traces."""
+    schemes: List[Scheme], exclude_writer: bool, with_telemetry: bool = False
+) -> Tuple[List[List[Tuple[int, int, int, int]]], Optional[dict]]:
+    """Worker task: score a chunk of schemes against the pinned traces.
+
+    Returns the flat count tuples plus (when requested) a fresh per-chunk
+    telemetry snapshot for the parent to merge -- per-chunk rather than
+    per-worker so folding cumulative state twice is impossible.
+    """
+    started = time.perf_counter()
     results = []
+    events = 0
     for scheme in schemes:
         per_trace = []
         for trace in _WORKER_TRACES:
             counts = evaluate_scheme_fast(scheme, trace, exclude_writer=exclude_writer)
+            events += len(trace)
             per_trace.append(
                 (
                     counts.true_positive,
@@ -72,7 +89,15 @@ def _evaluate_chunk(
                 )
             )
         results.append(per_trace)
-    return results
+    if not with_telemetry:
+        return results, None
+    telemetry = Telemetry()
+    prefix = f"engine.parallel.worker.{os.getpid()}"
+    telemetry.count(f"{prefix}.chunks")
+    telemetry.count(f"{prefix}.schemes", len(schemes))
+    telemetry.count(f"{prefix}.events", events)
+    telemetry.timer_add(f"{prefix}.seconds", time.perf_counter() - started)
+    return results, telemetry.to_json()
 
 
 def default_jobs() -> int:
@@ -94,10 +119,12 @@ class ParallelEngine(EvaluationEngine):
         self.chunk_size = chunk_size
         self._serial = VectorizedEngine()
 
-    def evaluate(
-        self, scheme: Scheme, trace: SharingTrace, exclude_writer: bool = True
+    def _evaluate_one(
+        self, scheme: Scheme, trace: SharingTrace, exclude_writer: bool
     ) -> ConfusionCounts:
-        return self._serial.evaluate(scheme, trace, exclude_writer)
+        # Recorded under engine.parallel.* by the base class: this engine
+        # was asked, even though the work runs in-process.
+        return self._serial._evaluate_one(scheme, trace, exclude_writer)
 
     def _chunks(self, schemes: Sequence[Scheme]) -> List[List[Scheme]]:
         size = self.chunk_size
@@ -114,8 +141,10 @@ class ParallelEngine(EvaluationEngine):
     ) -> List[List[ConfusionCounts]]:
         if self.jobs <= 1 or len(schemes) < MIN_BATCH_FOR_POOL:
             return self._serial.evaluate_batch(schemes, traces, exclude_writer)
+        telemetry = get_telemetry()
+        started = time.perf_counter()
         try:
-            return self._evaluate_batch_pooled(schemes, traces, exclude_writer)
+            results = self._evaluate_batch_pooled(schemes, traces, exclude_writer)
         except Exception as error:  # noqa: BLE001 - any pool failure degrades
             logger.warning(
                 "parallel backend failed (%s: %s); falling back to serial "
@@ -123,7 +152,17 @@ class ParallelEngine(EvaluationEngine):
                 type(error).__name__,
                 error,
             )
+            telemetry.count("engine.parallel.fallbacks")
             return self._serial.evaluate_batch(schemes, traces, exclude_writer)
+        if telemetry.enabled:
+            record_batch(
+                telemetry,
+                self.name,
+                time.perf_counter() - started,
+                num_schemes=len(schemes),
+                num_events=sum(len(trace) for trace in traces),
+            )
+        return results
 
     def _evaluate_batch_pooled(
         self,
@@ -131,19 +170,28 @@ class ParallelEngine(EvaluationEngine):
         traces: Sequence[SharingTrace],
         exclude_writer: bool,
     ) -> List[List[ConfusionCounts]]:
+        telemetry = get_telemetry()
         chunks = self._chunks(schemes)
         workers = min(self.jobs, len(chunks))
+        if telemetry.enabled:
+            telemetry.count("engine.parallel.chunks_dispatched", len(chunks))
+            telemetry.gauge("engine.parallel.workers", workers)
+            telemetry.gauge("engine.parallel.chunk_size", len(chunks[0]))
         with ProcessPoolExecutor(
             max_workers=workers,
             initializer=_init_worker,
             initargs=(list(traces),),
         ) as pool:
             futures = [
-                pool.submit(_evaluate_chunk, chunk, exclude_writer) for chunk in chunks
+                pool.submit(_evaluate_chunk, chunk, exclude_writer, telemetry.enabled)
+                for chunk in chunks
             ]
             results: List[List[ConfusionCounts]] = []
             for future in futures:
-                for per_trace in future.result():
+                chunk_results, worker_snapshot = future.result()
+                if worker_snapshot is not None:
+                    telemetry.merge(Telemetry.from_json(worker_snapshot))
+                for per_trace in chunk_results:
                     results.append(
                         [
                             ConfusionCounts(

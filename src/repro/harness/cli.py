@@ -13,11 +13,22 @@ Examples::
 Backend selection: ``--backend`` / ``--jobs`` win; otherwise the
 ``REPRO_BACKEND`` and ``REPRO_JOBS`` environment variables apply; the
 default is the single-process vectorized engine.
+
+Observability: ``--telemetry {off,pretty,json}`` prints a run report (cache
+hit/miss counters, per-backend timing, events/sec, per-worker shard stats),
+``--telemetry-out FILE`` writes the same report as schema-versioned JSON
+(the BENCH trajectory format), and ``--profile`` wraps the run in cProfile
+and dumps the hottest functions to stderr.  See README "Reading a telemetry
+report".
 """
 
 from __future__ import annotations
 
 import argparse
+import cProfile
+import io
+import json
+import pstats
 import sys
 import time
 from typing import List, Optional
@@ -32,6 +43,11 @@ from repro.harness.experiments import (
 from repro.harness.figures import render_figure
 from repro.harness.runner import TraceSet
 from repro.harness.tables import render_table
+from repro.telemetry import RunReport, Telemetry, set_telemetry
+from repro.util.persist import atomic_write_json
+
+#: number of cProfile rows --profile prints
+_PROFILE_LINES = 30
 
 _FIGURE_EXPERIMENTS = {"fig6", "fig7", "fig8", "fig9"}
 
@@ -84,6 +100,29 @@ def _build_parser(experiments) -> argparse.ArgumentParser:
         default=None,
         help="evaluation backend (default: REPRO_BACKEND or vectorized)",
     )
+    parser.add_argument(
+        "--telemetry",
+        choices=["off", "pretty", "json"],
+        default="off",
+        help=(
+            "collect run telemetry (cache counters, per-backend timing, "
+            "events/sec) and print it after the run (default: off)"
+        ),
+    )
+    parser.add_argument(
+        "--telemetry-out",
+        metavar="FILE",
+        default=None,
+        help=(
+            "write the schema-versioned telemetry run report as JSON to FILE "
+            "(implies telemetry collection even with --telemetry off)"
+        ),
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run under cProfile and print the hottest functions to stderr",
+    )
     return parser
 
 
@@ -116,7 +155,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     benchmarks = args.benchmarks.split(",") if args.benchmarks else None
     trace_set = TraceSet(benchmarks=benchmarks, seed=args.seed)
 
-    previous = set_default_engine(engine)
+    collect_telemetry = args.telemetry != "off" or args.telemetry_out is not None
+    report = RunReport(
+        backend=engine.name,
+        jobs=getattr(engine, "jobs", 1),
+        benchmarks=trace_set.benchmarks,
+    )
+    profiler = cProfile.Profile() if args.profile else None
+
+    previous_engine = set_default_engine(engine)
+    previous_telemetry = set_telemetry(report.telemetry) if collect_telemetry else None
+    if profiler is not None:
+        profiler.enable()
     try:
         for name in names:
             started = time.perf_counter()
@@ -126,6 +176,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 print(f"repro-bench: error: {error}", file=sys.stderr)
                 return 2
             elapsed = time.perf_counter() - started
+            report.add_experiment(name, elapsed)
             if args.chart and name in _FIGURE_EXPERIMENTS:
                 print(render_figure(result))
             else:
@@ -135,8 +186,30 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"(backend={engine.name})]\n"
             )
     finally:
-        set_default_engine(previous)
+        if profiler is not None:
+            profiler.disable()
+        set_default_engine(previous_engine)
+        if collect_telemetry:
+            set_telemetry(previous_telemetry)
+
+    if profiler is not None:
+        print(_render_profile(profiler), file=sys.stderr)
+    if args.telemetry == "pretty":
+        print(report.render_pretty())
+    elif args.telemetry == "json":
+        print(json.dumps(report.to_json(), indent=2))
+    if args.telemetry_out:
+        atomic_write_json(args.telemetry_out, report.to_json())
+        print(f"[telemetry report written to {args.telemetry_out}]", file=sys.stderr)
     return 0
+
+
+def _render_profile(profiler: cProfile.Profile) -> str:
+    """The top cumulative-time rows of a finished profiler, as text."""
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.strip_dirs().sort_stats("cumulative").print_stats(_PROFILE_LINES)
+    return stream.getvalue()
 
 
 if __name__ == "__main__":

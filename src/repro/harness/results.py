@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
+from repro.telemetry import get_telemetry
 from repro.util.persist import (
     CACHE_SCHEMA,
     CacheCorruptionError,
@@ -105,13 +106,19 @@ def cached_result(
     removed, and recomputed.  Writes go through a tmp file + ``os.replace``
     so concurrent readers never observe a torn entry.
     """
+    telemetry = get_telemetry()
     directory = results_dir if results_dir is not None else default_results_dir()
     path = directory / f"{name}-{fingerprint}-v{RESULT_SCHEMA}.json"
     if use_cache and path.exists():
         cached = _load_cached(path)
         if cached is not None:
+            telemetry.count("cache.result.hits")
             return cached
-    result = compute()
+        telemetry.count("cache.result.corrupt_recomputes")
+    else:
+        telemetry.count("cache.result.misses")
+    with telemetry.timer("cache.result.compute_seconds"):
+        result = compute()
     payload = result.to_json()
     payload["schema"] = [RESULT_SCHEMA, CACHE_SCHEMA]
     atomic_write_json(path, payload)

@@ -19,6 +19,7 @@ from typing import Dict, List, Optional
 
 from repro.memory.cache import CacheConfig
 from repro.memory.system import MultiprocessorSystem, SystemConfig
+from repro.telemetry import get_telemetry
 from repro.trace.events import SharingTrace
 from repro.trace.io import load_trace, save_trace
 from repro.util.persist import (
@@ -109,17 +110,23 @@ class TraceSet:
         stale format) is logged, deleted, and regenerated -- corruption is a
         cache miss, never a crash.
         """
+        telemetry = get_telemetry()
         cached = self._traces.get(benchmark)
         if cached is not None:
+            telemetry.count("cache.trace.memory_hits")
             return cached
         path = self._cache_path(benchmark)
         trace: Optional[SharingTrace] = None
         if path.exists():
             try:
                 trace = load_trace(path)
+                telemetry.count("cache.trace.disk_hits")
             except CacheCorruptionError as error:
                 discard_corrupt(path, str(error))
+                telemetry.count("cache.trace.corrupt_regenerations")
                 trace = None
+        else:
+            telemetry.count("cache.trace.misses")
         if trace is None:
             trace = self._generate_and_store(benchmark)
         self._traces[benchmark] = trace
@@ -132,12 +139,15 @@ class TraceSet:
         move together (each file atomically via tmp + ``os.replace``), so a
         reader can never pair a fresh trace with stale stats or vice versa.
         """
-        trace, stats = generate_trace(
-            benchmark,
-            num_nodes=self.num_nodes,
-            seed=self.seed,
-            quantum=self.quantum,
-        )
+        telemetry = get_telemetry()
+        telemetry.count("cache.trace.regenerations")
+        with telemetry.timer("cache.trace.generate_seconds"):
+            trace, stats = generate_trace(
+                benchmark,
+                num_nodes=self.num_nodes,
+                seed=self.seed,
+                quantum=self.quantum,
+            )
         self.cache_dir.mkdir(parents=True, exist_ok=True)
         save_trace(trace, self._cache_path(benchmark))
         summary = {

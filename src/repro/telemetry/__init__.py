@@ -1,0 +1,33 @@
+"""Run-telemetry subsystem: mergeable counters/timers/gauges + run reports.
+
+See :mod:`repro.telemetry.core` for the measurement primitives and merge
+semantics, and :mod:`repro.telemetry.report` for the schema-versioned run
+report the CLI emits.  DESIGN.md's telemetry subsection documents the
+architecture (instrumentation points, worker aggregation).
+"""
+
+from __future__ import annotations
+
+from repro.telemetry.core import (
+    NULL_TELEMETRY,
+    TELEMETRY_SCHEMA,
+    NullTelemetry,
+    Telemetry,
+    TelemetrySchemaError,
+    get_telemetry,
+    set_telemetry,
+)
+from repro.telemetry.report import REPORT_SCHEMA, RunReport, render_worker_summary
+
+__all__ = [
+    "NULL_TELEMETRY",
+    "NullTelemetry",
+    "REPORT_SCHEMA",
+    "RunReport",
+    "TELEMETRY_SCHEMA",
+    "Telemetry",
+    "TelemetrySchemaError",
+    "get_telemetry",
+    "render_worker_summary",
+    "set_telemetry",
+]

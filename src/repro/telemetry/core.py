@@ -1,0 +1,250 @@
+"""Mergeable run telemetry: named counters, timers, and gauges.
+
+The harness instruments itself the way it instruments predictors: every
+interesting subsystem (the trace and result caches, each evaluation-engine
+backend, the CLI's per-experiment loop) records what it did into a
+:class:`Telemetry` object.  Three properties drive the design:
+
+* **Near-zero overhead when disabled.**  The process-wide default is
+  :data:`NULL_TELEMETRY`, whose recording methods are no-ops and whose
+  ``enabled`` flag lets hot paths skip even argument construction
+  (``if tele.enabled: ...``).  Instrumentation sits at trace/batch
+  granularity, never inside per-event loops.
+* **Associative merging.**  Counters add, timer totals and call counts add,
+  gauges take the most recent write.  ``merge(a, merge(b, c)) ==
+  merge(merge(a, b), c)``, which is what lets the parallel backend record
+  into a fresh ``Telemetry`` per worker chunk and fold the snapshots back
+  into the parent in any completion order (property-tested in
+  ``tests/telemetry``).
+* **Cheap cross-process transport.**  :meth:`Telemetry.to_json` emits plain
+  dicts of numbers (schema-versioned), so worker snapshots pickle flat and
+  the CLI's run report can embed them directly.
+
+Naming convention: dotted lowercase paths, coarse-to-fine --
+``cache.trace.disk_hits``, ``engine.parallel.batch_seconds``,
+``engine.parallel.worker.<pid>.events``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, Optional
+
+#: bump when the telemetry JSON layout changes (consumed by run reports and
+#: the BENCH_*.json perf trajectory)
+TELEMETRY_SCHEMA = 1
+
+
+class TelemetrySchemaError(ValueError):
+    """A telemetry payload is malformed or written under another schema."""
+
+
+class _TimerContext:
+    """Context manager recording one wall-clock span into a named timer."""
+
+    __slots__ = ("_telemetry", "_name", "_start")
+
+    def __init__(self, telemetry: "Telemetry", name: str):
+        self._telemetry = telemetry
+        self._name = name
+
+    def __enter__(self) -> "_TimerContext":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._telemetry.timer_add(self._name, time.perf_counter() - self._start)
+
+
+class _NullContext:
+    """Reusable do-nothing context manager for the disabled fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullContext":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        pass
+
+
+_NULL_CONTEXT = _NullContext()
+
+
+class Telemetry:
+    """Named counters, timers, and gauges for one run (or one worker chunk).
+
+    Counters are integers that add under :meth:`merge`; timers accumulate
+    ``(seconds, calls)`` pairs; gauges are point-in-time floats where the
+    most recent write wins.
+    """
+
+    #: hot paths may consult this to skip instrumentation entirely
+    enabled: bool = True
+
+    __slots__ = ("counters", "timers", "gauges")
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, int] = {}
+        #: name -> [total_seconds, calls]
+        self.timers: Dict[str, list] = {}
+        self.gauges: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    def count(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to the named counter (creating it at zero)."""
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def timer_add(self, name: str, seconds: float, calls: int = 1) -> None:
+        """Fold one measured span (or a pre-merged total) into a timer."""
+        timer = self.timers.get(name)
+        if timer is None:
+            self.timers[name] = [float(seconds), calls]
+        else:
+            timer[0] += seconds
+            timer[1] += calls
+
+    def timer(self, name: str) -> _TimerContext:
+        """Context manager timing a block into the named timer."""
+        return _TimerContext(self, name)
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set a point-in-time observation (last write wins on merge)."""
+        self.gauges[name] = float(value)
+
+    # ------------------------------------------------------------------
+    # Merging
+    # ------------------------------------------------------------------
+
+    def merge(self, other: "Telemetry") -> "Telemetry":
+        """Fold ``other`` into this object and return ``self``.
+
+        Counters and timers add; gauges from ``other`` overwrite.  The
+        operation is associative, so worker snapshots can be folded in any
+        order.
+        """
+        for name, amount in other.counters.items():
+            self.counters[name] = self.counters.get(name, 0) + amount
+        for name, (seconds, calls) in other.timers.items():
+            self.timer_add(name, seconds, calls)
+        self.gauges.update(other.gauges)
+        return self
+
+    @classmethod
+    def merged(cls, parts: Iterable["Telemetry"]) -> "Telemetry":
+        """A fresh telemetry object holding the fold of ``parts``."""
+        total = cls()
+        for part in parts:
+            total.merge(part)
+        return total
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+
+    def to_json(self) -> dict:
+        """A schema-versioned, JSON- and pickle-friendly snapshot."""
+        return {
+            "schema": TELEMETRY_SCHEMA,
+            "counters": dict(self.counters),
+            "timers": {
+                name: {"seconds": seconds, "calls": calls}
+                for name, (seconds, calls) in self.timers.items()
+            },
+            "gauges": dict(self.gauges),
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "Telemetry":
+        """Rebuild a snapshot written by :meth:`to_json`.
+
+        Raises:
+            TelemetrySchemaError: the payload is not a telemetry snapshot or
+                was written under a different :data:`TELEMETRY_SCHEMA`.
+        """
+        if not isinstance(data, dict):
+            raise TelemetrySchemaError(
+                f"telemetry payload is {type(data).__name__}, expected object"
+            )
+        if data.get("schema") != TELEMETRY_SCHEMA:
+            raise TelemetrySchemaError(
+                f"telemetry schema {data.get('schema')!r} != {TELEMETRY_SCHEMA}"
+            )
+        telemetry = cls()
+        try:
+            for name, amount in data.get("counters", {}).items():
+                telemetry.counters[name] = int(amount)
+            for name, timer in data.get("timers", {}).items():
+                telemetry.timers[name] = [float(timer["seconds"]), int(timer["calls"])]
+            for name, value in data.get("gauges", {}).items():
+                telemetry.gauges[name] = float(value)
+        except (AttributeError, KeyError, TypeError, ValueError) as error:
+            raise TelemetrySchemaError(
+                f"malformed telemetry payload: {error}"
+            ) from error
+        return telemetry
+
+    def __bool__(self) -> bool:
+        """True when anything has been recorded."""
+        return bool(self.counters or self.timers or self.gauges)
+
+    def __repr__(self) -> str:
+        return (
+            f"Telemetry(counters={len(self.counters)}, timers={len(self.timers)}, "
+            f"gauges={len(self.gauges)})"
+        )
+
+
+class NullTelemetry(Telemetry):
+    """The disabled fast path: every recording method is a no-op.
+
+    Shares the :class:`Telemetry` read interface (all maps stay empty) so
+    callers never branch on type, only -- optionally -- on ``enabled``.
+    """
+
+    enabled = False
+
+    def count(self, name: str, amount: int = 1) -> None:
+        pass
+
+    def timer_add(self, name: str, seconds: float, calls: int = 1) -> None:
+        pass
+
+    def timer(self, name: str) -> _NullContext:
+        return _NULL_CONTEXT
+
+    def gauge(self, name: str, value: float) -> None:
+        pass
+
+    def merge(self, other: Telemetry) -> Telemetry:
+        return self
+
+
+#: the process-wide disabled singleton (default for :func:`get_telemetry`)
+NULL_TELEMETRY = NullTelemetry()
+
+_current: Telemetry = NULL_TELEMETRY
+
+
+def get_telemetry() -> Telemetry:
+    """The process-wide telemetry sink (``NULL_TELEMETRY`` unless installed).
+
+    Instrumented code calls this at operation granularity rather than
+    holding a reference, so enabling telemetry mid-process (the CLI does)
+    is picked up everywhere immediately.
+    """
+    return _current
+
+
+def set_telemetry(telemetry: Optional[Telemetry]) -> Telemetry:
+    """Install (or with ``None``, clear) the process-wide telemetry sink.
+
+    Returns the previously installed sink so callers can restore it.
+    """
+    global _current
+    previous = _current
+    _current = telemetry if telemetry is not None else NULL_TELEMETRY
+    return previous

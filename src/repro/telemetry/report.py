@@ -1,0 +1,145 @@
+"""Structured run reports: the machine-readable record of one harness run.
+
+A :class:`RunReport` bundles run identity (backend, job count, benchmark
+suite), per-experiment wall-clock, and the full merged
+:class:`~repro.telemetry.core.Telemetry` snapshot into one schema-versioned
+JSON document.  The CLI emits it via ``--telemetry json`` /
+``--telemetry-out FILE``; the slow CI job uploads it as the BENCH artifact,
+so successive reports form a perf trajectory that can be diffed run over
+run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.telemetry.core import (
+    TELEMETRY_SCHEMA,
+    Telemetry,
+    TelemetrySchemaError,
+)
+
+#: bump when the report layout changes (independent of the telemetry schema)
+REPORT_SCHEMA = 1
+
+
+@dataclass
+class RunReport:
+    """One harness run, summarized for humans and perf-trajectory tooling."""
+
+    backend: str
+    jobs: int = 1
+    benchmarks: List[str] = field(default_factory=list)
+    #: per-experiment wall-clock, in run order: ``{"name": ..., "seconds": ...}``
+    experiments: List[Dict] = field(default_factory=list)
+    telemetry: Telemetry = field(default_factory=Telemetry)
+
+    def add_experiment(self, name: str, seconds: float) -> None:
+        self.experiments.append({"name": name, "seconds": round(seconds, 6)})
+        self.telemetry.timer_add(f"experiment.{name}.seconds", seconds)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(entry["seconds"] for entry in self.experiments)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+
+    def to_json(self) -> dict:
+        return {
+            "schema": {"report": REPORT_SCHEMA, "telemetry": TELEMETRY_SCHEMA},
+            "backend": self.backend,
+            "jobs": self.jobs,
+            "benchmarks": list(self.benchmarks),
+            "experiments": [dict(entry) for entry in self.experiments],
+            "total_seconds": round(self.total_seconds, 6),
+            "telemetry": self.telemetry.to_json(),
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "RunReport":
+        """Rebuild a report written by :meth:`to_json`.
+
+        Raises:
+            TelemetrySchemaError: the payload is not a run report or was
+                written under a different schema version.
+        """
+        if not isinstance(data, dict):
+            raise TelemetrySchemaError(
+                f"run report payload is {type(data).__name__}, expected object"
+            )
+        schema = data.get("schema")
+        if not isinstance(schema, dict) or schema.get("report") != REPORT_SCHEMA:
+            raise TelemetrySchemaError(
+                f"run report schema {schema!r} != "
+                f"{{'report': {REPORT_SCHEMA}, 'telemetry': {TELEMETRY_SCHEMA}}}"
+            )
+        try:
+            return cls(
+                backend=data["backend"],
+                jobs=int(data.get("jobs", 1)),
+                benchmarks=list(data.get("benchmarks", [])),
+                experiments=[dict(entry) for entry in data.get("experiments", [])],
+                telemetry=Telemetry.from_json(data["telemetry"]),
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise TelemetrySchemaError(f"malformed run report: {error}") from error
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+
+    def render_pretty(self) -> str:
+        """A human-readable rendition of the report (``--telemetry pretty``)."""
+        lines: List[str] = []
+        lines.append("== run telemetry ==")
+        lines.append(
+            f"backend={self.backend} jobs={self.jobs} "
+            f"benchmarks={','.join(self.benchmarks) or '-'}"
+        )
+        if self.experiments:
+            lines.append("-- experiments --")
+            for entry in self.experiments:
+                lines.append(f"  {entry['name']:<24} {entry['seconds']:>9.3f}s")
+            lines.append(f"  {'total':<24} {self.total_seconds:>9.3f}s")
+        telemetry = self.telemetry
+        worker_counters = {
+            name: value
+            for name, value in telemetry.counters.items()
+            if ".worker." in name
+        }
+        if telemetry.counters:
+            lines.append("-- counters --")
+            for name in sorted(telemetry.counters):
+                if name in worker_counters:
+                    continue
+                lines.append(f"  {name:<40} {telemetry.counters[name]:>12}")
+        if telemetry.timers:
+            lines.append("-- timers --")
+            for name in sorted(telemetry.timers):
+                seconds, calls = telemetry.timers[name]
+                lines.append(f"  {name:<40} {seconds:>9.3f}s / {calls} call(s)")
+        if telemetry.gauges:
+            lines.append("-- gauges --")
+            for name in sorted(telemetry.gauges):
+                lines.append(f"  {name:<40} {telemetry.gauges[name]:>12.2f}")
+        if worker_counters:
+            lines.append("-- parallel workers --")
+            for name in sorted(worker_counters):
+                lines.append(f"  {name:<40} {worker_counters[name]:>12}")
+        return "\n".join(lines)
+
+
+def render_worker_summary(telemetry: Telemetry) -> Optional[str]:
+    """One-line recap of per-worker shard balance, if any workers reported."""
+    events = {
+        name.split(".worker.", 1)[1].split(".", 1)[0]: value
+        for name, value in telemetry.counters.items()
+        if ".worker." in name and name.endswith(".events")
+    }
+    if not events:
+        return None
+    spread = ", ".join(f"{pid}:{count}" for pid, count in sorted(events.items()))
+    return f"worker events {spread}"

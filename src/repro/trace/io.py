@@ -15,6 +15,7 @@ from typing import Union
 
 import numpy as np
 
+from repro.telemetry import get_telemetry
 from repro.trace.events import SharingTrace
 from repro.util.persist import CacheCorruptionError, atomic_write_bytes
 
@@ -52,22 +53,26 @@ def save_trace(trace: SharingTrace, path: Union[str, os.PathLike]) -> None:
     ``os.replace``, so a crashed writer can never leave a truncated trace
     behind for the next reader to trip over.
     """
-    buffer = io.BytesIO()
-    np.savez_compressed(
-        buffer,
-        version=np.int64(_FORMAT_VERSION),
-        num_nodes=np.int64(trace.num_nodes),
-        name=np.array(trace.name),
-        writer=trace.writer,
-        pc=trace.pc,
-        home=trace.home,
-        block=trace.block,
-        truth=trace.truth,
-        inval=trace.inval,
-        has_inval=trace.has_inval,
-        close=trace.close,
-    )
-    atomic_write_bytes(path, buffer.getvalue())
+    telemetry = get_telemetry()
+    with telemetry.timer("trace.io.save_seconds"):
+        buffer = io.BytesIO()
+        np.savez_compressed(
+            buffer,
+            version=np.int64(_FORMAT_VERSION),
+            num_nodes=np.int64(trace.num_nodes),
+            name=np.array(trace.name),
+            writer=trace.writer,
+            pc=trace.pc,
+            home=trace.home,
+            block=trace.block,
+            truth=trace.truth,
+            inval=trace.inval,
+            has_inval=trace.has_inval,
+            close=trace.close,
+        )
+        atomic_write_bytes(path, buffer.getvalue())
+    telemetry.count("trace.io.saves")
+    telemetry.count("trace.io.events_saved", len(trace))
 
 
 def load_trace(path: Union[str, os.PathLike]) -> SharingTrace:
@@ -78,6 +83,19 @@ def load_trace(path: Union[str, os.PathLike]) -> SharingTrace:
             required arrays, was written under a different format version,
             or fails the trace consistency checks.
     """
+    telemetry = get_telemetry()
+    try:
+        with telemetry.timer("trace.io.load_seconds"):
+            trace = _load_trace_checked(path)
+    except TraceFormatError:
+        telemetry.count("trace.io.load_failures")
+        raise
+    telemetry.count("trace.io.loads")
+    telemetry.count("trace.io.events_loaded", len(trace))
+    return trace
+
+
+def _load_trace_checked(path: Union[str, os.PathLike]) -> SharingTrace:
     try:
         with np.load(path, allow_pickle=False) as archive:
             missing = [field for field in _REQUIRED_FIELDS if field not in archive]

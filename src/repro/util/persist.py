@@ -29,6 +29,8 @@ import tempfile
 from pathlib import Path
 from typing import Union
 
+from repro.telemetry import get_telemetry
+
 logger = logging.getLogger("repro.persist")
 
 #: Version shared by *all* on-disk caches (trace npz sidecars and result
@@ -50,6 +52,10 @@ def atomic_write_bytes(path: Union[str, os.PathLike], payload: bytes) -> None:
     """Write ``payload`` to ``path`` atomically (tmp file + ``os.replace``)."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
+    telemetry = get_telemetry()
+    if telemetry.enabled:
+        telemetry.count("cache.writes")
+        telemetry.count("cache.bytes_written", len(payload))
     handle, tmp_name = tempfile.mkstemp(
         prefix=f".{path.name}.", suffix=".tmp", dir=path.parent
     )
@@ -98,6 +104,7 @@ def discard_corrupt(path: Union[str, os.PathLike], reason: str) -> None:
     repaired the entry); regeneration will overwrite atomically either way.
     """
     logger.warning("discarding corrupt cache file %s: %s", path, reason)
+    get_telemetry().count("cache.corrupt_discards")
     try:
         os.unlink(path)
     except OSError:

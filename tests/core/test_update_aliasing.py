@@ -1,0 +1,127 @@
+"""Property tests for the truncation-aliasing corner of update timing.
+
+:mod:`repro.core.update` documents the precise boundary of the paper's
+Section 3.4 equivalence: for pure dir/addr indexing, DIRECT, FORWARDED, and
+ORDERED update coincide **when the entry-to-block mapping is injective**
+(every predictor entry serves at most one block).  Truncating the address
+field until concurrently-live blocks alias into one entry breaks the
+equivalence -- ordered update then sees a neighbouring epoch's readers that
+direct update never receives.
+
+These tests pin both sides of that boundary with Hypothesis:
+
+* injective indexing (enough addr bits for the drawn block range) =>
+  all three modes produce identical confusion counts;
+* aggressive truncation (1-2 addr bits over 8 blocks) => modes may
+  legitimately diverge, but the reference and vectorized evaluators must
+  still agree bit for bit per mode (the differential oracle).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, strategies as st  # noqa: E402
+
+from repro.core.evaluator import evaluate_scheme  # noqa: E402
+from repro.core.schemes import Scheme, parse_scheme  # noqa: E402
+from repro.core.update import UpdateMode  # noqa: E402
+from repro.core.vectorized import evaluate_scheme_fast  # noqa: E402
+from repro.trace.events import SharingTrace  # noqa: E402
+
+NUM_NODES = 4
+NUM_BLOCKS = 8  # blocks drawn from [0, 8); 3 addr bits make indexing injective
+
+#: pure-address scheme bodies exercised on both sides of the boundary
+FUNCTION_BODIES = ["last({index})1", "union({index})2", "inter({index})2"]
+
+
+def _raw_epochs(min_size: int = 1, max_size: int = 40):
+    """Strategy: raw (writer, pc, block, truth_bits) tuples."""
+    return st.lists(
+        st.tuples(
+            st.integers(0, NUM_NODES - 1),
+            st.integers(1, 4),
+            st.integers(0, NUM_BLOCKS - 1),
+            st.integers(0, (1 << NUM_NODES) - 1),
+        ),
+        min_size=min_size,
+        max_size=max_size,
+    )
+
+
+def _build_trace(raw) -> SharingTrace:
+    """Normalize raw tuples into a valid trace (writer bit cleared, home derived)."""
+    epochs = [
+        (writer, pc, block % NUM_NODES, block, truth & ~(1 << writer))
+        for writer, pc, block, truth in raw
+    ]
+    return SharingTrace.from_epochs(NUM_NODES, epochs, name="hypothesis")
+
+
+def _counts_per_mode(scheme_body: str, addr_bits: int, trace: SharingTrace):
+    """(mode -> (reference counts, vectorized counts)) for one index width."""
+    base = parse_scheme(scheme_body.format(index=f"add{addr_bits}"))
+    results = {}
+    for mode in UpdateMode:
+        scheme: Scheme = base.with_update(mode)
+        results[mode] = (
+            evaluate_scheme(scheme, trace),
+            evaluate_scheme_fast(scheme, trace),
+        )
+    return results
+
+
+@pytest.mark.parametrize("scheme_body", FUNCTION_BODIES)
+@given(raw=_raw_epochs())
+def test_injective_indexing_makes_update_modes_coincide(scheme_body, raw):
+    """With one entry per block, DIRECT == FORWARDED == ORDERED exactly."""
+    trace = _build_trace(raw)
+    results = _counts_per_mode(scheme_body, addr_bits=3, trace=trace)
+    # The mapping block -> block & 0b111 is the identity on [0, 8): injective.
+    direct_reference = results[UpdateMode.DIRECT][0]
+    for mode, (reference, vectorized) in results.items():
+        assert vectorized == reference, f"vectorized diverged under {mode}"
+        assert reference == direct_reference, (
+            f"{mode} != direct despite injective entry-to-block mapping"
+        )
+
+
+@pytest.mark.parametrize("scheme_body", FUNCTION_BODIES)
+@pytest.mark.parametrize("addr_bits", [1, 2])
+@given(raw=_raw_epochs(min_size=4))
+def test_aliasing_keeps_reference_and_vectorized_identical(
+    scheme_body, addr_bits, raw
+):
+    """Once live blocks alias, modes may diverge -- the evaluators may not."""
+    trace = _build_trace(raw)
+    results = _counts_per_mode(scheme_body, addr_bits=addr_bits, trace=trace)
+    total = len(trace) * NUM_NODES
+    for mode, (reference, vectorized) in results.items():
+        assert vectorized == reference, (
+            f"vectorized diverged from reference under {mode} with "
+            f"add{addr_bits} aliasing"
+        )
+        assert reference.total == total, f"decision count drifted under {mode}"
+
+
+def test_aliasing_divergence_is_reachable():
+    """A concrete witness that truncation really reintroduces a difference.
+
+    Blocks 0 and 2 alias in one addr bit while both epochs are live; ordered
+    update feeds block 0's readers to the shared entry before block 2's
+    first prediction, which direct update cannot see yet.
+    """
+    epochs = [
+        (0, 1, 0, 0, 0b0110),  # block 0: readers {1, 2}
+        (1, 1, 2, 2, 0b0001),  # block 2, same entry under add1
+        (2, 1, 0, 0, 0b0001),
+        (3, 1, 2, 2, 0b0100),
+    ]
+    trace = SharingTrace.from_epochs(NUM_NODES, epochs, name="witness")
+    scheme = parse_scheme("last(add1)1")
+    direct = evaluate_scheme(scheme.with_update(UpdateMode.DIRECT), trace)
+    ordered = evaluate_scheme(scheme.with_update(UpdateMode.ORDERED), trace)
+    assert direct != ordered

@@ -1,0 +1,86 @@
+"""Golden-fixture regression suite: frozen confusion counts.
+
+The fixtures in this directory pin the *exact* per-benchmark
+:class:`~repro.metrics.confusion.ConfusionCounts` of eight canonical paper
+schemes evaluated on the checked-in ``data/traces/`` suite.  Together the
+schemes cover all three update modes (direct / forwarded / ordered), the
+four bitmap prediction functions (last / union / inter / overlap), and an
+aggressively truncated address index (``add4``, where concurrently-live
+blocks alias).
+
+``tests/golden/test_golden.py`` asserts that every evaluation backend
+(reference, vectorized, parallel) reproduces the frozen counts bit for bit,
+so any semantic drift in the evaluators, the trace format, or the cached
+traces fails loudly -- which is what makes the telemetry subsystem's
+throughput numbers trustworthy: a backend cannot get faster by silently
+computing something else.
+
+Regenerate with ``PYTHONPATH=src python -m tests.golden.regen`` -- but only
+when trace semantics *intentionally* change; see EXPERIMENTS.md
+("Regenerating the golden fixtures").
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Dict, List
+
+#: bump when the fixture JSON layout changes
+FIXTURE_SCHEMA = 1
+
+#: directory holding the ``*.json`` fixtures (this package's directory)
+GOLDEN_DIR = Path(__file__).resolve().parent
+
+#: the canonical schemes frozen by the suite (paper notation, full names)
+GOLDEN_SCHEMES: List[str] = [
+    # storage-free baseline; 'last' function, empty index
+    "last()1[direct]",
+    # aggressively truncated address index: live blocks alias in 4 bits
+    "last(dir+add4)1[direct]",
+    # the paper's top-sensitivity scheme (Table 10)
+    "union(dir+add14)4[direct]",
+    # Lai & Falsafi's last-bitmap predictor at the directories
+    "union(pid+dir+add8)1[forwarded]",
+    # same top-sensitivity point under idealized ordered update
+    "union(dir+add14)4[ordered]",
+    # Kaxiras & Goodman's instruction-based intersection predictor
+    "inter(pid+pc8)2[direct]",
+    # the same predictor with feedback forwarded to the predicting entry
+    "inter(pid+pc8)2[forwarded]",
+    # overlap-last function (depth 1 by definition) on a dir/address index
+    "overlap(dir+add10)1[direct]",
+]
+
+
+def fixture_path(scheme_text: str) -> Path:
+    """The fixture file for one scheme (name slugged from paper notation)."""
+    slug = re.sub(r"[^a-z0-9]+", "-", scheme_text.lower()).strip("-")
+    return GOLDEN_DIR / f"{slug}.json"
+
+
+def load_fixture(scheme_text: str) -> Dict:
+    """Load and schema-check one scheme's frozen counts.
+
+    Raises:
+        AssertionError: the fixture is missing or written under another
+            schema -- both mean "run ``python -m tests.golden.regen``" only
+            if the change in semantics was intentional.
+    """
+    path = fixture_path(scheme_text)
+    assert path.exists(), (
+        f"golden fixture {path.name} is missing; regenerate with "
+        f"'PYTHONPATH=src python -m tests.golden.regen' (see EXPERIMENTS.md)"
+    )
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    assert data.get("schema") == FIXTURE_SCHEMA, (
+        f"golden fixture {path.name} has schema {data.get('schema')!r}, "
+        f"expected {FIXTURE_SCHEMA}"
+    )
+    assert data.get("scheme") == scheme_text, (
+        f"golden fixture {path.name} froze scheme {data.get('scheme')!r}, "
+        f"expected {scheme_text!r}"
+    )
+    return data

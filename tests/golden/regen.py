@@ -1,0 +1,69 @@
+"""Regenerate the golden confusion-count fixtures.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python -m tests.golden.regen
+
+Evaluates every scheme in :data:`tests.golden.GOLDEN_SCHEMES` on the
+default (checked-in) trace suite with the **reference** engine -- the
+semantic oracle -- and rewrites ``tests/golden/*.json`` atomically.
+
+Only regenerate when evaluator or trace semantics change *intentionally*
+(EXPERIMENTS.md, "Regenerating the golden fixtures").  A regeneration whose
+diff you cannot explain scheme by scheme is a bug report, not a refresh.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.core.schemes import parse_scheme
+from repro.engine import ReferenceEngine
+from repro.harness.runner import TraceSet
+from repro.util.persist import atomic_write_json
+
+from tests.golden import FIXTURE_SCHEMA, GOLDEN_SCHEMES, fixture_path
+
+
+def regenerate(trace_set: TraceSet = None, verbose: bool = True) -> int:
+    """Rewrite every fixture; returns the number of files written."""
+    if trace_set is None:
+        trace_set = TraceSet()
+    engine = ReferenceEngine()
+    traces = trace_set.traces()
+    written = 0
+    for scheme_text in GOLDEN_SCHEMES:
+        scheme = parse_scheme(scheme_text)
+        per_trace = engine.evaluate_suite(scheme, traces)
+        payload = {
+            "schema": FIXTURE_SCHEMA,
+            "scheme": scheme_text,
+            "trace_fingerprint": trace_set.fingerprint(),
+            "benchmarks": list(trace_set.benchmarks),
+            "counts": {
+                benchmark: [
+                    counts.true_positive,
+                    counts.false_positive,
+                    counts.false_negative,
+                    counts.true_negative,
+                ]
+                for benchmark, counts in zip(trace_set.benchmarks, per_trace)
+            },
+        }
+        path = fixture_path(scheme_text)
+        atomic_write_json(path, payload)
+        written += 1
+        if verbose:
+            pooled_tp = sum(counts.true_positive for counts in per_trace)
+            print(f"wrote {path.name} (pooled TP {pooled_tp})")
+    return written
+
+
+def main() -> int:
+    written = regenerate()
+    print(f"regenerated {written} golden fixture(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

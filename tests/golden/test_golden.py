@@ -1,0 +1,90 @@
+"""Golden-fixture regression tests: all backends, bit for bit.
+
+Every fixture freezes the per-benchmark confusion counts of one canonical
+scheme on the checked-in trace suite.  The tests here assert that the
+reference, vectorized, and parallel backends each reproduce those counts
+exactly -- the parallel backend through a genuine multi-process batch, so
+the worker-boundary result path is covered too.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.schemes import parse_scheme
+from repro.engine import ParallelEngine, ReferenceEngine, VectorizedEngine
+from repro.harness.runner import TraceSet
+from repro.metrics.confusion import ConfusionCounts
+
+from tests.golden import GOLDEN_SCHEMES, load_fixture
+
+
+@pytest.fixture(scope="module")
+def trace_set() -> TraceSet:
+    return TraceSet()
+
+
+@pytest.fixture(scope="module")
+def traces(trace_set):
+    return trace_set.traces()
+
+
+def expected_counts(fixture: dict, trace_set: TraceSet):
+    """The frozen per-benchmark counts, after sanity-checking the suite."""
+    assert fixture["benchmarks"] == trace_set.benchmarks, (
+        "golden fixtures were frozen for a different benchmark suite; "
+        "regenerate with 'PYTHONPATH=src python -m tests.golden.regen'"
+    )
+    assert fixture["trace_fingerprint"] == trace_set.fingerprint(), (
+        "golden fixtures were frozen for different traces (fingerprint "
+        f"{fixture['trace_fingerprint']} != {trace_set.fingerprint()}); if the "
+        "trace format changed intentionally, regenerate via "
+        "'PYTHONPATH=src python -m tests.golden.regen' and review the diff"
+    )
+    return [
+        ConfusionCounts(*fixture["counts"][benchmark])
+        for benchmark in trace_set.benchmarks
+    ]
+
+
+@pytest.mark.parametrize("scheme_text", GOLDEN_SCHEMES)
+@pytest.mark.parametrize("backend", [ReferenceEngine, VectorizedEngine])
+def test_serial_backends_reproduce_golden_counts(
+    backend, scheme_text, trace_set, traces
+):
+    fixture = load_fixture(scheme_text)
+    expected = expected_counts(fixture, trace_set)
+    engine = backend()
+    actual = engine.evaluate_suite(parse_scheme(scheme_text), traces)
+    for benchmark, got, want in zip(trace_set.benchmarks, actual, expected):
+        assert got == want, (
+            f"{engine.name} diverged from golden counts for {scheme_text} "
+            f"on {benchmark}: {got} != {want}"
+        )
+
+
+def test_parallel_batch_reproduces_golden_counts(trace_set, traces):
+    """One real pooled batch over all golden schemes at once."""
+    schemes = [parse_scheme(text) for text in GOLDEN_SCHEMES]
+    engine = ParallelEngine(jobs=2, chunk_size=2)
+    batch = engine.evaluate_batch(schemes, traces)
+    assert len(batch) == len(schemes)
+    for scheme_text, per_trace in zip(GOLDEN_SCHEMES, batch):
+        expected = expected_counts(load_fixture(scheme_text), trace_set)
+        for benchmark, got, want in zip(trace_set.benchmarks, per_trace, expected):
+            assert got == want, (
+                f"parallel backend diverged from golden counts for "
+                f"{scheme_text} on {benchmark}: {got} != {want}"
+            )
+
+
+def test_fixture_files_cover_taxonomy():
+    """The frozen set spans the taxonomy the suite claims to cover."""
+    schemes = [parse_scheme(text) for text in GOLDEN_SCHEMES]
+    functions = {scheme.function for scheme in schemes}
+    updates = {scheme.update.value for scheme in schemes}
+    assert {"last", "union", "inter", "overlap"} <= functions
+    assert {"direct", "forwarded", "ordered"} == updates
+    assert any(
+        0 < scheme.index.addr_bits <= 4 for scheme in schemes
+    ), "no aggressively truncated addr index in the golden set"

@@ -72,6 +72,58 @@ class TestCli:
         assert main(["table6", "--benchmarks", "ocean", "--no-cache"]) == 0
 
 
+class TestTelemetryFlags:
+    def test_off_by_default_and_global_sink_restored(self, capsys):
+        from repro.telemetry import NULL_TELEMETRY, get_telemetry
+
+        assert main(["table6", "--benchmarks", "ocean"]) == 0
+        out = capsys.readouterr().out
+        assert "run telemetry" not in out
+        assert get_telemetry() is NULL_TELEMETRY
+
+    def test_pretty_report(self, capsys):
+        assert main(["table6", "--benchmarks", "ocean", "--telemetry", "pretty"]) == 0
+        out = capsys.readouterr().out
+        assert "== run telemetry ==" in out
+        assert "cache.trace" in out
+        assert "experiment" in out
+
+    def test_json_report_is_schema_versioned(self, capsys):
+        import json
+
+        from repro.telemetry import RunReport
+
+        assert main(["table6", "--benchmarks", "ocean", "--telemetry", "json"]) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index('{\n  "schema"') :])
+        report = RunReport.from_json(payload)
+        assert report.backend == "vectorized"
+        assert [entry["name"] for entry in report.experiments] == ["table6"]
+        assert report.telemetry.counters  # cache/trace activity recorded
+
+    def test_telemetry_out_writes_report(self, tmp_path, capsys):
+        import json
+
+        from repro.telemetry import RunReport
+
+        out_file = tmp_path / "report.json"
+        assert (
+            main(["table6", "--benchmarks", "ocean", "--telemetry-out", str(out_file)])
+            == 0
+        )
+        report = RunReport.from_json(json.loads(out_file.read_text()))
+        assert report.benchmarks == ["ocean"]
+        assert report.total_seconds > 0
+        # --telemetry-out alone implies collection but not printing
+        assert "== run telemetry ==" not in capsys.readouterr().out
+
+    def test_profile_flag_prints_stats(self, capsys):
+        assert main(["table6", "--benchmarks", "ocean", "--profile"]) == 0
+        err = capsys.readouterr().err
+        assert "cumulative" in err
+        assert "function calls" in err
+
+
 class TestFigureRendering:
     def test_render_figure_panels(self):
         from repro.harness.figures import render_figure

@@ -1,0 +1,160 @@
+"""Telemetry primitives: recording, merge algebra, serialization, null path."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry import (
+    NULL_TELEMETRY,
+    TELEMETRY_SCHEMA,
+    NullTelemetry,
+    Telemetry,
+    TelemetrySchemaError,
+    get_telemetry,
+    set_telemetry,
+)
+
+
+class TestRecording:
+    def test_counters_accumulate(self):
+        telemetry = Telemetry()
+        telemetry.count("cache.hits")
+        telemetry.count("cache.hits", 4)
+        telemetry.count("cache.misses", 0)
+        assert telemetry.counters == {"cache.hits": 5, "cache.misses": 0}
+
+    def test_timers_accumulate_seconds_and_calls(self):
+        telemetry = Telemetry()
+        telemetry.timer_add("load", 0.5)
+        telemetry.timer_add("load", 1.5, calls=3)
+        assert telemetry.timers == {"load": [2.0, 4]}
+
+    def test_timer_context_manager_measures(self):
+        telemetry = Telemetry()
+        with telemetry.timer("span"):
+            pass
+        seconds, calls = telemetry.timers["span"]
+        assert calls == 1
+        assert seconds >= 0.0
+
+    def test_gauges_last_write_wins(self):
+        telemetry = Telemetry()
+        telemetry.gauge("events_per_sec", 10.0)
+        telemetry.gauge("events_per_sec", 20.0)
+        assert telemetry.gauges == {"events_per_sec": 20.0}
+
+    def test_bool_reflects_content(self):
+        telemetry = Telemetry()
+        assert not telemetry
+        telemetry.count("anything")
+        assert telemetry
+
+
+def _sample(tag: int) -> Telemetry:
+    telemetry = Telemetry()
+    telemetry.count("shared", tag)
+    telemetry.count(f"only.{tag}", 1)
+    telemetry.timer_add("shared_timer", tag / 4, calls=tag)
+    telemetry.gauge("gauge", float(tag))
+    return telemetry
+
+
+class TestMerge:
+    def test_merge_adds_counters_and_timers(self):
+        left, right = _sample(1), _sample(2)
+        left.merge(right)
+        assert left.counters["shared"] == 3
+        assert left.counters["only.1"] == 1 and left.counters["only.2"] == 1
+        assert left.timers["shared_timer"] == [0.75, 3]
+        assert left.gauges["gauge"] == 2.0  # right's write wins
+
+    def test_merge_is_associative(self):
+        # dyadic-rational timer values keep float addition exact
+        parts = [_sample(tag) for tag in (1, 2, 3)]
+        left_fold = Telemetry.merged(
+            [Telemetry.merged(parts[:2]), parts[2]]
+        )
+        right_fold = Telemetry.merged(
+            [parts[0], Telemetry.merged(parts[1:])]
+        )
+        assert left_fold.counters == right_fold.counters
+        assert left_fold.timers == right_fold.timers
+        assert left_fold.gauges == right_fold.gauges
+
+    def test_merge_through_json_round_trip(self):
+        """Worker snapshots travel as JSON; merging them must be lossless."""
+        direct = Telemetry.merged([_sample(1), _sample(2)])
+        via_json = Telemetry.merged(
+            [Telemetry.from_json(_sample(1).to_json()),
+             Telemetry.from_json(_sample(2).to_json())]
+        )
+        assert via_json.counters == direct.counters
+        assert via_json.timers == direct.timers
+        assert via_json.gauges == direct.gauges
+
+    def test_merge_returns_self_for_chaining(self):
+        telemetry = Telemetry()
+        assert telemetry.merge(_sample(1)) is telemetry
+
+
+class TestSerialization:
+    def test_round_trip_preserves_everything(self):
+        telemetry = _sample(3)
+        clone = Telemetry.from_json(telemetry.to_json())
+        assert clone.counters == telemetry.counters
+        assert clone.timers == telemetry.timers
+        assert clone.gauges == telemetry.gauges
+        assert clone.to_json() == telemetry.to_json()
+
+    def test_snapshot_is_schema_versioned(self):
+        assert _sample(1).to_json()["schema"] == TELEMETRY_SCHEMA
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            [],
+            {},
+            {"schema": 0},
+            {"schema": TELEMETRY_SCHEMA + 1, "counters": {}},
+            {"schema": TELEMETRY_SCHEMA, "timers": {"x": {"seconds": "nan?"}}},
+            {"schema": TELEMETRY_SCHEMA, "counters": "not-a-dict"},
+        ],
+    )
+    def test_malformed_payloads_rejected(self, payload):
+        with pytest.raises(TelemetrySchemaError):
+            Telemetry.from_json(payload)
+
+
+class TestNullFastPath:
+    def test_null_records_nothing(self):
+        null = NullTelemetry()
+        null.count("x", 5)
+        null.timer_add("y", 1.0)
+        null.gauge("z", 2.0)
+        with null.timer("span"):
+            pass
+        assert not null.counters and not null.timers and not null.gauges
+        assert not null.enabled
+
+    def test_null_timer_context_is_reused(self):
+        null = NullTelemetry()
+        assert null.timer("a") is null.timer("b")
+
+    def test_null_merge_is_noop(self):
+        null = NullTelemetry()
+        null.merge(_sample(1))
+        assert not null.counters
+
+    def test_default_sink_is_null(self):
+        assert get_telemetry() is NULL_TELEMETRY
+
+    def test_set_telemetry_installs_and_restores(self):
+        telemetry = Telemetry()
+        previous = set_telemetry(telemetry)
+        try:
+            assert get_telemetry() is telemetry
+        finally:
+            set_telemetry(previous)
+        assert get_telemetry() is previous
+        assert set_telemetry(None) is previous
+        assert get_telemetry() is NULL_TELEMETRY

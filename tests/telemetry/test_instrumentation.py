@@ -1,0 +1,164 @@
+"""End-to-end instrumentation: caches and engines report what they did.
+
+The load-bearing case is the parallel backend: per-chunk telemetry recorded
+inside worker *processes* must merge back into the parent sink with nothing
+lost and nothing double-counted.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.schemes import parse_scheme
+from repro.engine import ParallelEngine, ReferenceEngine, VectorizedEngine
+from repro.engine.parallel import MIN_BATCH_FOR_POOL
+from repro.harness.results import ExperimentResult, cached_result
+from repro.harness.runner import TraceSet
+from repro.telemetry import NULL_TELEMETRY, Telemetry, get_telemetry, set_telemetry
+from tests.conftest import make_random_trace
+
+BATCH_SCHEMES = [
+    "last()1",
+    "union(add4)2",
+    "inter(pid+pc4)2",
+    "overlap(pc4)1",
+    "last(dir)1",
+    "union(dir+add6)3",
+]
+
+
+@pytest.fixture
+def telemetry():
+    """A fresh enabled sink installed for the duration of one test."""
+    sink = Telemetry()
+    previous = set_telemetry(sink)
+    yield sink
+    set_telemetry(previous)
+
+
+@pytest.fixture(scope="module")
+def small_traces():
+    return [
+        make_random_trace(num_nodes=8, num_events=160, num_blocks=10, seed="tel-a"),
+        make_random_trace(num_nodes=8, num_events=240, num_blocks=14, seed="tel-b"),
+    ]
+
+
+class TestEngineInstrumentation:
+    @pytest.mark.parametrize("engine_cls", [ReferenceEngine, VectorizedEngine])
+    def test_serial_engines_count_evaluations_and_events(
+        self, engine_cls, telemetry, small_traces
+    ):
+        engine = engine_cls()
+        scheme = parse_scheme("last()1")
+        engine.evaluate_suite(scheme, small_traces)
+        name = engine.name
+        assert telemetry.counters[f"engine.{name}.evaluations"] == len(small_traces)
+        assert telemetry.counters[f"engine.{name}.events"] == sum(
+            len(trace) for trace in small_traces
+        )
+        assert telemetry.timers[f"engine.{name}.evaluate_seconds"][1] == len(
+            small_traces
+        )
+
+    def test_batch_records_throughput_gauge(self, telemetry, small_traces):
+        engine = VectorizedEngine()
+        schemes = [parse_scheme(text) for text in BATCH_SCHEMES]
+        engine.evaluate_batch(schemes, small_traces)
+        scored = len(schemes) * sum(len(trace) for trace in small_traces)
+        assert telemetry.counters["engine.vectorized.batch_events"] == scored
+        assert telemetry.gauges["engine.vectorized.events_per_sec"] > 0
+
+    def test_worker_telemetry_merges_exactly(self, telemetry, small_traces):
+        """Per-worker shard stats cross the process boundary losslessly."""
+        schemes = [parse_scheme(text) for text in BATCH_SCHEMES]
+        assert len(schemes) >= MIN_BATCH_FOR_POOL
+        engine = ParallelEngine(jobs=2, chunk_size=2)
+        engine.evaluate_batch(schemes, small_traces)
+
+        scored = len(schemes) * sum(len(trace) for trace in small_traces)
+        worker_events = sum(
+            value
+            for name, value in telemetry.counters.items()
+            if name.startswith("engine.parallel.worker.") and name.endswith(".events")
+        )
+        worker_chunks = sum(
+            value
+            for name, value in telemetry.counters.items()
+            if name.startswith("engine.parallel.worker.") and name.endswith(".chunks")
+        )
+        worker_schemes = sum(
+            value
+            for name, value in telemetry.counters.items()
+            if name.startswith("engine.parallel.worker.") and name.endswith(".schemes")
+        )
+        assert worker_events == scored
+        assert worker_events == telemetry.counters["engine.parallel.batch_events"]
+        assert worker_chunks == telemetry.counters["engine.parallel.chunks_dispatched"]
+        assert worker_schemes == len(schemes)
+        assert telemetry.counters["engine.parallel.batches"] == 1
+        assert "engine.parallel.batch_seconds" in telemetry.timers
+
+    def test_disabled_mode_records_nothing(self, small_traces):
+        assert get_telemetry() is NULL_TELEMETRY
+        schemes = [parse_scheme(text) for text in BATCH_SCHEMES]
+        ParallelEngine(jobs=2, chunk_size=2).evaluate_batch(schemes, small_traces)
+        VectorizedEngine().evaluate(schemes[0], small_traces[0])
+        assert not NULL_TELEMETRY.counters
+        assert not NULL_TELEMETRY.timers
+        assert not NULL_TELEMETRY.gauges
+
+
+class TestCacheInstrumentation:
+    def test_trace_cache_miss_then_hits(self, tmp_path, telemetry):
+        trace_set = TraceSet(
+            benchmarks=["ocean"], num_nodes=4, cache_dir=tmp_path / "traces"
+        )
+        trace_set.trace("ocean")  # cold: miss + regeneration
+        assert telemetry.counters["cache.trace.misses"] == 1
+        assert telemetry.counters["cache.trace.regenerations"] == 1
+        assert "cache.trace.generate_seconds" in telemetry.timers
+
+        trace_set.trace("ocean")  # warm in memory
+        assert telemetry.counters["cache.trace.memory_hits"] == 1
+
+        fresh = TraceSet(
+            benchmarks=["ocean"], num_nodes=4, cache_dir=tmp_path / "traces"
+        )
+        fresh.trace("ocean")  # warm on disk
+        assert telemetry.counters["cache.trace.disk_hits"] == 1
+        assert telemetry.counters["trace.io.loads"] == 1
+
+    def test_trace_cache_corruption_counted(self, tmp_path, telemetry):
+        cache_dir = tmp_path / "traces"
+        trace_set = TraceSet(benchmarks=["ocean"], num_nodes=4, cache_dir=cache_dir)
+        path = trace_set._cache_path("ocean")
+        trace_set.trace("ocean")
+        path.write_bytes(b"not an npz archive")
+
+        fresh = TraceSet(benchmarks=["ocean"], num_nodes=4, cache_dir=cache_dir)
+        fresh.trace("ocean")
+        assert telemetry.counters["cache.trace.corrupt_regenerations"] == 1
+        assert telemetry.counters["cache.corrupt_discards"] >= 1
+        assert telemetry.counters["trace.io.load_failures"] == 1
+        assert telemetry.counters["cache.trace.regenerations"] == 2
+
+    def test_result_cache_hit_miss_and_corruption(self, tmp_path, telemetry):
+        results_dir = tmp_path / "results"
+
+        def compute():
+            return ExperimentResult(
+                name="demo", title="demo", columns=["x"], rows=[{"x": 1}]
+            )
+
+        cached_result("demo", "f00d", compute, results_dir=results_dir)
+        assert telemetry.counters["cache.result.misses"] == 1
+        assert telemetry.timers["cache.result.compute_seconds"][1] == 1
+
+        cached_result("demo", "f00d", compute, results_dir=results_dir)
+        assert telemetry.counters["cache.result.hits"] == 1
+
+        entry = next(results_dir.glob("demo-*.json"))
+        entry.write_text("{ truncated", encoding="utf-8")
+        cached_result("demo", "f00d", compute, results_dir=results_dir)
+        assert telemetry.counters["cache.result.corrupt_recomputes"] == 1

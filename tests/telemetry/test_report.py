@@ -1,0 +1,92 @@
+"""Run-report structure: schema versioning, round-trip, rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry import (
+    REPORT_SCHEMA,
+    TELEMETRY_SCHEMA,
+    RunReport,
+    Telemetry,
+    TelemetrySchemaError,
+    render_worker_summary,
+)
+
+
+def make_report() -> RunReport:
+    report = RunReport(backend="parallel", jobs=4, benchmarks=["ocean", "water"])
+    report.add_experiment("table8", 1.25)
+    report.add_experiment("fig6", 0.5)
+    report.telemetry.count("cache.trace.disk_hits", 2)
+    report.telemetry.count("engine.parallel.worker.101.events", 700)
+    report.telemetry.count("engine.parallel.worker.202.events", 300)
+    report.telemetry.gauge("engine.parallel.events_per_sec", 123456.0)
+    return report
+
+
+class TestRunReport:
+    def test_add_experiment_tracks_order_and_timer(self):
+        report = make_report()
+        assert [entry["name"] for entry in report.experiments] == ["table8", "fig6"]
+        assert report.total_seconds == pytest.approx(1.75)
+        assert report.telemetry.timers["experiment.table8.seconds"] == [1.25, 1]
+
+    def test_json_is_schema_versioned(self):
+        data = make_report().to_json()
+        assert data["schema"] == {
+            "report": REPORT_SCHEMA,
+            "telemetry": TELEMETRY_SCHEMA,
+        }
+        assert data["telemetry"]["schema"] == TELEMETRY_SCHEMA
+
+    def test_round_trip(self):
+        report = make_report()
+        clone = RunReport.from_json(report.to_json())
+        assert clone.backend == report.backend
+        assert clone.jobs == report.jobs
+        assert clone.benchmarks == report.benchmarks
+        assert clone.experiments == report.experiments
+        assert clone.telemetry.counters == report.telemetry.counters
+        assert clone.to_json() == report.to_json()
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            [],
+            {},
+            {"schema": REPORT_SCHEMA},  # schema must be the nested dict form
+            {"schema": {"report": REPORT_SCHEMA + 1}, "backend": "x"},
+            {
+                "schema": {"report": REPORT_SCHEMA, "telemetry": TELEMETRY_SCHEMA},
+                "backend": "x",
+                "telemetry": {"schema": TELEMETRY_SCHEMA + 1},
+            },
+        ],
+    )
+    def test_malformed_reports_rejected(self, payload):
+        with pytest.raises(TelemetrySchemaError):
+            RunReport.from_json(payload)
+
+    def test_render_pretty_sections(self):
+        text = make_report().render_pretty()
+        assert "== run telemetry ==" in text
+        assert "backend=parallel jobs=4" in text
+        assert "table8" in text and "fig6" in text
+        assert "-- counters --" in text
+        assert "cache.trace.disk_hits" in text
+        assert "-- parallel workers --" in text
+        assert "engine.parallel.worker.101.events" in text
+
+    def test_worker_counters_grouped_not_duplicated(self):
+        text = make_report().render_pretty()
+        assert text.count("engine.parallel.worker.101.events") == 1
+
+
+class TestWorkerSummary:
+    def test_summarizes_per_worker_events(self):
+        summary = render_worker_summary(make_report().telemetry)
+        assert summary == "worker events 101:700, 202:300"
+
+    def test_none_without_worker_counters(self):
+        assert render_worker_summary(Telemetry()) is None
