@@ -1,0 +1,76 @@
+"""Adaptive work-stealing scheduler vs the fixed-shard baseline.
+
+The sweep's chunk costs are wildly heterogeneous (deep-history union and
+PAs schemes cost an order of magnitude more than bitmap schemes), so fixed
+even shards leave workers idle behind straggler chunks.  This benchmark
+runs the same >= 32-scheme batch over the default trace suite both ways on
+4 workers and reports the telemetry events/sec for each, which is the
+number the ISSUE's acceptance criterion reads.
+
+The hard assertions are deliberately soft bounds (the CI box and a laptop
+disagree about absolute throughput, and a 1-core container cannot show a
+scheduling win at all); the printed report is the deliverable.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.schemes import parse_scheme
+from repro.engine import ParallelEngine
+from repro.engine.parallel import CHUNKS_PER_WORKER
+from repro.telemetry import Telemetry, set_telemetry
+
+JOBS = 4
+
+#: a heterogeneous batch: cheap bitmap schemes interleaved with deep-history
+#: and PAs stragglers, the shape that defeats fixed sharding
+SCHEME_TEXTS = [
+    text
+    for depth_block in (
+        ["last()1", "last(pid)1", "union(add4)1", "overlap(pc4)1"],
+        ["union(dir+add10)4", "inter(pid+pc8+add6)4", "pas(pid+pc4)2", "pas(add6)2"],
+    )
+    for text in depth_block
+] * 4  # 32 schemes
+
+
+def _measure(engine: ParallelEngine, schemes, traces) -> Telemetry:
+    sink = Telemetry()
+    previous = set_telemetry(sink)
+    try:
+        engine.evaluate_batch(schemes, traces)
+    finally:
+        set_telemetry(previous)
+    return sink
+
+
+def test_adaptive_chunks_beat_fixed_shards(suite):
+    schemes = [parse_scheme(text) for text in SCHEME_TEXTS]
+    assert len(schemes) >= 32
+    traces = suite.traces()
+
+    # the pre-adaptive baseline: even shards, CHUNKS_PER_WORKER per worker
+    fixed_size = math.ceil(len(schemes) / (JOBS * CHUNKS_PER_WORKER))
+    fixed = _measure(
+        ParallelEngine(jobs=JOBS, chunk_size=fixed_size), schemes, traces
+    )
+    adaptive = _measure(ParallelEngine(jobs=JOBS), schemes, traces)
+
+    fixed_rate = fixed.gauges["engine.parallel.events_per_sec"]
+    adaptive_rate = adaptive.gauges["engine.parallel.events_per_sec"]
+    print(
+        f"\nfixed shards (size {fixed_size}): {fixed_rate:,.0f} events/sec\n"
+        f"adaptive stealing: {adaptive_rate:,.0f} events/sec "
+        f"({adaptive_rate / fixed_rate:.2f}x, "
+        f"{adaptive.counters['engine.parallel.steal.chunks']} chunks cut, "
+        f"final size {adaptive.gauges['engine.parallel.steal.final_chunk_size']:.0f})"
+    )
+
+    # both paths really ran the pooled scheduler and reported throughput
+    assert fixed_rate > 0 and adaptive_rate > 0
+    assert adaptive.counters["engine.parallel.steal.chunks"] > 0
+    assert adaptive.gauges["engine.parallel.steal.schemes_per_sec"] > 0
+    # regression guard, not a victory assert: adaptive scheduling must never
+    # cost a meaningful fraction of throughput (the win shows on multi-core)
+    assert adaptive_rate >= 0.5 * fixed_rate

@@ -1,0 +1,135 @@
+"""The stable public API: the only supported import surface.
+
+Downstream callers -- notebooks, scripts, other packages -- should import
+from :mod:`repro.api` and nothing deeper.  Internal modules
+(``repro.core.*``, ``repro.engine.*``, ``repro.harness.*``) reorganize
+freely between releases; this facade does not.  Its exact surface is
+snapshot-tested (``tests/api/test_surface.py``), so any change here is a
+deliberate, reviewed API change.
+
+The facade covers the paper's whole workflow::
+
+    from repro.api import ScreeningStats, default_trace_set, evaluate, parse_scheme
+
+    trace = default_trace_set().trace("barnes")
+    counts = evaluate("inter(pid+add6)4[direct]", trace)
+    print(ScreeningStats.from_counts(counts))
+
+and scales to design-space sweeps::
+
+    from repro.api import default_trace_set, sweep
+
+    traces = default_trace_set().traces()
+    rows = sweep(["last()1[direct]", "union(dir+add6)2[direct]"], traces)
+
+Scheme arguments accept either a parsed :class:`Scheme` or its string form
+(``"inter(pid+add6)4[direct]"``); evaluation routes through the configured
+engine (``REPRO_BACKEND`` / ``REPRO_JOBS`` or :func:`make_engine`), so the
+same call runs vectorized in a notebook and sharded across workers in a
+batch job.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.core.schemes import Scheme, parse_scheme
+from repro.core.update import UpdateMode
+from repro.engine import EvaluationEngine, make_engine
+from repro.metrics.confusion import ConfusionCounts
+from repro.metrics.screening import ScreeningStats
+from repro.trace.events import SharingTrace
+
+__all__ = [
+    "ConfusionCounts",
+    "Scheme",
+    "ScreeningStats",
+    "SharingTrace",
+    "UpdateMode",
+    "default_trace_set",
+    "evaluate",
+    "evaluate_suite",
+    "make_engine",
+    "parse_scheme",
+    "sweep",
+]
+
+#: a scheme, or its textual form per the paper's naming convention
+SchemeLike = Union[Scheme, str]
+
+
+def _as_scheme(scheme: SchemeLike) -> Scheme:
+    return parse_scheme(scheme) if isinstance(scheme, str) else scheme
+
+
+def _resolve_engine(engine: Optional[EvaluationEngine]) -> EvaluationEngine:
+    if engine is not None:
+        return engine
+    from repro.engine import get_default_engine
+
+    return get_default_engine()
+
+
+def default_trace_set():
+    """The benchmark suite at paper scale (lazily generated, disk-cached)."""
+    from repro.harness.runner import default_trace_set as _default_trace_set
+
+    return _default_trace_set()
+
+
+def evaluate(
+    scheme: SchemeLike,
+    trace: SharingTrace,
+    *,
+    exclude_writer: bool = True,
+    engine: Optional[EvaluationEngine] = None,
+) -> ConfusionCounts:
+    """Score one scheme on one trace.
+
+    Args:
+        scheme: a :class:`Scheme` or its string form.
+        trace: the sharing trace to score against.
+        exclude_writer: drop the writing node from predicted/actual reader
+            sets (the paper's convention).
+        engine: evaluation backend; default per environment configuration.
+    """
+    return _resolve_engine(engine).evaluate(
+        _as_scheme(scheme), trace, exclude_writer=exclude_writer
+    )
+
+
+def evaluate_suite(
+    scheme: SchemeLike,
+    traces: Sequence[SharingTrace],
+    *,
+    exclude_writer: bool = True,
+    engine: Optional[EvaluationEngine] = None,
+) -> List[ConfusionCounts]:
+    """Score one scheme on each trace, fresh predictor state per trace."""
+    return _resolve_engine(engine).evaluate_suite(
+        _as_scheme(scheme), list(traces), exclude_writer=exclude_writer
+    )
+
+
+def sweep(
+    schemes: Sequence[SchemeLike],
+    traces: Sequence[SharingTrace],
+    *,
+    exclude_writer: bool = True,
+    engine: Optional[EvaluationEngine] = None,
+) -> List[Dict[str, float]]:
+    """Score many schemes across the suite as one engine batch.
+
+    Returns one summary dict per scheme (input order) with the paper's
+    screening statistics: suite-average ``prev``, ``sens``, ``pvp`` and the
+    suite-pooled ``pooled_tp`` / ``pooled_fp`` counts.  The batch is handed
+    to the engine whole, so the parallel backend shards it across workers
+    (and the shared-memory transport publishes each trace once).
+    """
+    from repro.harness.experiments.base import screening_summary
+
+    parsed = [_as_scheme(scheme) for scheme in schemes]
+    all_counts = _resolve_engine(engine).evaluate_batch(
+        parsed, list(traces), exclude_writer=exclude_writer
+    )
+    return [screening_summary(counts) for counts in all_counts]

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import math
 import re
+import warnings
 from dataclasses import dataclass
 from typing import Iterator, List
 
@@ -146,11 +147,14 @@ class IndexSpec:
     def parse(cls, text: str) -> "IndexSpec":
         """Parse an index label.
 
-        Accepts the paper's spellings, including the ``mem`` alias it uses
-        for Lai & Falsafi's address field:
+        Accepts the paper's spellings for the address field (``add``,
+        ``addr``):
 
-        >>> IndexSpec.parse("pid+mem8") == IndexSpec(use_pid=True, addr_bits=8)
+        >>> IndexSpec.parse("pid+add8") == IndexSpec(use_pid=True, addr_bits=8)
         True
+
+        The ``mem`` spelling the paper borrows from Lai & Falsafi's tables
+        is still parsed for one release, but deprecated -- spell it ``add``.
         """
         text = text.strip()
         if not text:
@@ -171,6 +175,13 @@ class IndexSpec:
             elif match.group(2) is not None:
                 pc_bits = int(match.group(2))
             else:
+                if field.startswith("mem"):
+                    warnings.warn(
+                        f"the {field!r} index-field spelling is deprecated; "
+                        f"use 'add{match.group(3)}'",
+                        DeprecationWarning,
+                        stacklevel=2,
+                    )
                 addr_bits = int(match.group(3))
         return cls(use_pid=use_pid, pc_bits=pc_bits, use_dir=use_dir, addr_bits=addr_bits)
 

@@ -9,7 +9,8 @@ Examples from the paper, all of which round-trip through
 * ``inter(pid+pc8)2[direct]`` — Kaxiras & Goodman's instruction-based
   intersection predictor;
 * ``union(dir+pid+add8)1[forward]`` — Lai & Falsafi's last-bitmap predictor
-  at the directories (the paper also spells the address field ``mem8``);
+  at the directories (the paper's legacy ``mem8`` spelling of the address
+  field still parses, with a :class:`DeprecationWarning`);
 * ``union(dir+add14)4`` — the paper's top-sensitivity scheme.
 """
 
@@ -78,7 +79,7 @@ def parse_scheme(text: str, default_update: UpdateMode = UpdateMode.DIRECT) -> S
     """Parse the paper's scheme notation into a :class:`Scheme`.
 
     The depth defaults to 1 when omitted (the paper writes
-    ``last(pid+mem8)`` for a depth-1 scheme) and the update mode defaults to
+    ``last(pid+add8)`` for a depth-1 scheme) and the update mode defaults to
     ``default_update`` when the bracket suffix is absent.
     """
     match = _SCHEME_RE.match(text)

@@ -18,6 +18,24 @@ The contract has three granularities, each the natural unit for one layer:
   suite, the design-space-sweep shape and the only method worth
   parallelizing.
 
+Options on all three methods are **keyword-only**: ``exclude_writer`` used
+to be accepted positionally at some call sites and not others, which made
+it easy to pass a stray boolean into the wrong slot.  Old positional calls
+keep working for one release through a :class:`DeprecationWarning` shim
+(:func:`_legacy_exclude_writer`); new code must spell the keyword.
+
+``evaluate_batch`` additionally accepts ``on_result``, a callback invoked
+with ``(scheme_index, per_trace_counts)`` as each scheme's suite completes.
+Results may arrive out of order (the parallel backend reports chunks as
+workers finish them); the returned list is always in input order.  This is
+the hook sweep checkpointing uses to journal completed work incrementally
+-- see :mod:`repro.harness.runner`.
+
+Backends override the :meth:`~EvaluationEngine._evaluate_one` and
+(optionally) :meth:`~EvaluationEngine._evaluate_batch` hooks; the public
+methods own instrumentation and argument normalization, so telemetry and
+deprecation behave identically regardless of backend.
+
 All backends must be bit-identical: for any scheme and trace, every engine
 returns the same :class:`~repro.metrics.confusion.ConfusionCounts` (this is
 property-tested in ``tests/engine`` and frozen against golden fixtures in
@@ -34,13 +52,41 @@ measured overhead is below noise.
 from __future__ import annotations
 
 import time
+import warnings
 from abc import ABC, abstractmethod
-from typing import List, Sequence
+from typing import Callable, List, Optional, Sequence
 
 from repro.core.schemes import Scheme
 from repro.metrics.confusion import ConfusionCounts
 from repro.telemetry import get_telemetry
 from repro.trace.events import SharingTrace
+
+#: callback signature for incremental batch results:
+#: ``on_result(scheme_index, per_trace_counts)``
+ResultCallback = Callable[[int, List[ConfusionCounts]], None]
+
+
+def _legacy_exclude_writer(method: str, legacy: tuple, exclude_writer: bool) -> bool:
+    """Resolve a positional ``exclude_writer`` passed to a keyword-only slot.
+
+    Accepting it (with a :class:`DeprecationWarning`) keeps pre-redesign
+    call sites running for one release; anything beyond one stray
+    positional is a genuine signature error.
+    """
+    if not legacy:
+        return exclude_writer
+    if len(legacy) > 1:
+        raise TypeError(
+            f"{method}() takes at most one legacy positional option "
+            f"(exclude_writer); got {len(legacy)} extras"
+        )
+    warnings.warn(
+        f"passing exclude_writer positionally to {method}() is deprecated; "
+        "use the exclude_writer= keyword",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return bool(legacy[0])
 
 
 class EvaluationEngine(ABC):
@@ -56,9 +102,14 @@ class EvaluationEngine(ABC):
         """Backend hook: score one scheme on one trace, uninstrumented."""
 
     def evaluate(
-        self, scheme: Scheme, trace: SharingTrace, exclude_writer: bool = True
+        self,
+        scheme: Scheme,
+        trace: SharingTrace,
+        *legacy,
+        exclude_writer: bool = True,
     ) -> ConfusionCounts:
         """Score one scheme on one trace."""
+        exclude_writer = _legacy_exclude_writer("evaluate", legacy, exclude_writer)
         telemetry = get_telemetry()
         if not telemetry.enabled:
             return self._evaluate_one(scheme, trace, exclude_writer)
@@ -75,33 +126,46 @@ class EvaluationEngine(ABC):
         self,
         scheme: Scheme,
         traces: Sequence[SharingTrace],
+        *legacy,
         exclude_writer: bool = True,
     ) -> List[ConfusionCounts]:
         """Score one scheme on each trace, with fresh predictor state per trace."""
-        return [self.evaluate(scheme, trace, exclude_writer) for trace in traces]
+        exclude_writer = _legacy_exclude_writer(
+            "evaluate_suite", legacy, exclude_writer
+        )
+        return [
+            self.evaluate(scheme, trace, exclude_writer=exclude_writer)
+            for trace in traces
+        ]
 
     def evaluate_batch(
         self,
         schemes: Sequence[Scheme],
         traces: Sequence[SharingTrace],
+        *legacy,
         exclude_writer: bool = True,
+        on_result: Optional[ResultCallback] = None,
     ) -> List[List[ConfusionCounts]]:
         """Score every scheme on every trace.
 
         Returns one list per scheme, ordered like ``schemes``, each holding
         one :class:`ConfusionCounts` per trace, ordered like ``traces``.
-        Backends are free to reorder execution but not results.
+        Backends are free to reorder execution but not results; when
+        ``on_result`` is given it fires once per scheme as its suite
+        completes (possibly out of input order).
         """
+        exclude_writer = _legacy_exclude_writer(
+            "evaluate_batch", legacy, exclude_writer
+        )
         telemetry = get_telemetry()
         if not telemetry.enabled:
-            return [
-                self.evaluate_suite(scheme, traces, exclude_writer)
-                for scheme in schemes
-            ]
+            return self._evaluate_batch(
+                schemes, traces, exclude_writer=exclude_writer, on_result=on_result
+            )
         started = time.perf_counter()
-        results = [
-            self.evaluate_suite(scheme, traces, exclude_writer) for scheme in schemes
-        ]
+        results = self._evaluate_batch(
+            schemes, traces, exclude_writer=exclude_writer, on_result=on_result
+        )
         record_batch(
             telemetry,
             self.name,
@@ -109,6 +173,25 @@ class EvaluationEngine(ABC):
             num_schemes=len(schemes),
             num_events=sum(len(trace) for trace in traces),
         )
+        return results
+
+    def _evaluate_batch(
+        self,
+        schemes: Sequence[Scheme],
+        traces: Sequence[SharingTrace],
+        *,
+        exclude_writer: bool,
+        on_result: Optional[ResultCallback],
+    ) -> List[List[ConfusionCounts]]:
+        """Backend hook: the serial scheme-by-scheme batch strategy."""
+        results: List[List[ConfusionCounts]] = []
+        for index, scheme in enumerate(schemes):
+            per_trace = self.evaluate_suite(
+                scheme, traces, exclude_writer=exclude_writer
+            )
+            if on_result is not None:
+                on_result(index, per_trace)
+            results.append(per_trace)
         return results
 
 

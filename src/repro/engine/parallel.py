@@ -1,16 +1,27 @@
-"""Multi-process engine backend: shard scheme batches across workers.
+"""Multi-process engine backend: adaptive chunk scheduling over workers.
 
 The design-space sweeps evaluate thousands of schemes against the same
 handful of traces, which is embarrassingly parallel across *schemes*.  This
-backend shards the scheme list into chunks and dispatches them to a
-``concurrent.futures.ProcessPoolExecutor``:
+backend dispatches scheme chunks to a
+``concurrent.futures.ProcessPoolExecutor`` with two data-plane choices:
 
-* **Per-worker trace reuse** -- the traces are shipped to each worker once,
-  via the pool initializer, and pinned in a module global; per-chunk task
-  payloads carry only the (tiny) scheme descriptions.
-* **Chunked dispatch** -- schemes travel in chunks of
-  ``ceil(len(schemes) / (jobs * CHUNKS_PER_WORKER))`` so scheduling
-  overhead is amortized while the tail stays balanced.
+* **Zero-copy trace transport** -- when shared memory is available (and
+  ``REPRO_SHM`` is not 0), the traces' numpy arrays are published once via
+  :mod:`repro.trace.shm` and workers attach fingerprint-verified zero-copy
+  views; only flat descriptors cross the process boundary.  Otherwise the
+  traces are pickled into each worker's initializer exactly as before --
+  both transports are bit-identical and both are frozen against the golden
+  fixtures.
+* **Adaptive work-stealing chunks** -- rather than pre-sharding the batch
+  into fixed chunks, the parent keeps a small number of chunks in flight
+  and cuts the next chunk when a worker finishes one ("stealing" from the
+  shared remainder).  Chunk size starts small and is continuously resized
+  from the observed schemes/sec so each chunk lands near
+  :data:`TARGET_CHUNK_SECONDS`: cheap bitmap schemes travel in big chunks
+  (amortizing dispatch), expensive deep-history or PAs schemes travel in
+  small ones (so a straggler chunk cannot serialize the tail of a sweep).
+  An explicit ``chunk_size`` pins the size (used by tests for determinism)
+  while keeping the demand-driven queue.
 * **Graceful degradation** -- if worker processes cannot be spawned (or die
   mid-batch: resource limits, sandboxed environments, pickling surprises),
   the batch is rerun on the in-process vectorized backend after a logged
@@ -21,7 +32,10 @@ backend shards the scheme list into chunks and dispatches them to a
   under ``engine.parallel.worker.<pid>.*``) and ships the snapshot home with
   its results; the parent folds all snapshots into the run telemetry.
   Because merging is associative and per-chunk objects start empty, fold
-  order does not matter and nothing is double-counted.
+  order does not matter and nothing is double-counted.  The scheduler's own
+  decisions surface under ``engine.parallel.steal.*`` (chunks cut, resizes,
+  the final chunk size, observed schemes/sec and events/sec) and the
+  transport under ``shm.*``.
 
 Workers return bare count 4-tuples rather than ``ConfusionCounts`` objects
 to keep result pickling flat and cheap.
@@ -33,44 +47,80 @@ import logging
 import math
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
-from typing import List, Optional, Sequence, Tuple
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.schemes import Scheme
 from repro.core.vectorized import evaluate_scheme_fast
 from repro.engine.backends import VectorizedEngine
-from repro.engine.base import EvaluationEngine, record_batch
+from repro.engine.base import EvaluationEngine, ResultCallback
 from repro.metrics.confusion import ConfusionCounts
 from repro.telemetry import Telemetry, get_telemetry
 from repro.trace.events import SharingTrace
+from repro.trace.shm import attach_trace, publish_traces, shm_available, shm_enabled
 
 logger = logging.getLogger("repro.engine.parallel")
 
-#: chunks per worker; >1 keeps the tail balanced when chunk costs vary
-#: (PAs schemes are far slower than bitmap schemes).
+#: chunks per worker used for the *fixed* baseline shard size (also the
+#: upper bound on the first adaptive probe); >1 keeps the tail balanced
+#: when chunk costs vary (PAs schemes are far slower than bitmap schemes).
 CHUNKS_PER_WORKER = 4
 
 #: batches smaller than this run serially -- pool startup costs more than
 #: the evaluation itself.
 MIN_BATCH_FOR_POOL = 4
 
+#: the adaptive scheduler sizes chunks so one chunk costs about this much
+#: wall-clock: long enough to amortize dispatch, short enough that the
+#: final chunks of a sweep drain evenly across workers.
+TARGET_CHUNK_SECONDS = 0.25
+
+#: first chunks are small probes; real sizing waits for observed throughput
+INITIAL_CHUNK = 2
+
+#: hard ceiling on any adaptive chunk (keeps checkpoint granularity sane)
+MAX_CHUNK = 512
+
+#: chunks kept in flight per worker; 2 means a worker always has the next
+#: chunk queued while computing the current one
+INFLIGHT_PER_WORKER = 2
+
 # Worker-process state, installed once per worker by _init_worker.
 _WORKER_TRACES: List[SharingTrace] = []
+_WORKER_SEGMENTS: Dict[str, object] = {}
 
 
-def _init_worker(traces: List[SharingTrace]) -> None:
+def _init_worker(payload: dict) -> None:
+    """Install the batch's traces in this worker.
+
+    ``payload`` is either ``{"mode": "pickle", "traces": [...]}`` (the
+    arrays arrived pickled) or ``{"mode": "shm", "descriptors": [...]}``
+    (attach zero-copy views, keyed and verified by trace fingerprint).
+    """
     global _WORKER_TRACES
-    _WORKER_TRACES = traces
+    _WORKER_SEGMENTS.clear()
+    if payload["mode"] == "shm":
+        traces = []
+        for descriptor in payload["descriptors"]:
+            attached = attach_trace(descriptor)
+            # pin the mapping for the worker's lifetime, keyed by fingerprint
+            _WORKER_SEGMENTS[descriptor.fingerprint] = attached
+            traces.append(attached.trace)
+        _WORKER_TRACES = traces
+    else:
+        _WORKER_TRACES = payload["traces"]
 
 
 def _evaluate_chunk(
     schemes: List[Scheme], exclude_writer: bool, with_telemetry: bool = False
-) -> Tuple[List[List[Tuple[int, int, int, int]]], Optional[dict]]:
+) -> Tuple[List[List[Tuple[int, int, int, int]]], float, int, Optional[dict]]:
     """Worker task: score a chunk of schemes against the pinned traces.
 
-    Returns the flat count tuples plus (when requested) a fresh per-chunk
-    telemetry snapshot for the parent to merge -- per-chunk rather than
-    per-worker so folding cumulative state twice is impossible.
+    Returns the flat count tuples, the chunk's wall-clock and event count
+    (always -- they drive the parent's adaptive chunk sizing even with
+    telemetry off), plus (when requested) a fresh per-chunk telemetry
+    snapshot for the parent to merge -- per-chunk rather than per-worker so
+    folding cumulative state twice is impossible.
     """
     started = time.perf_counter()
     results = []
@@ -89,15 +139,18 @@ def _evaluate_chunk(
                 )
             )
         results.append(per_trace)
+    elapsed = time.perf_counter() - started
     if not with_telemetry:
-        return results, None
+        return results, elapsed, events, None
     telemetry = Telemetry()
     prefix = f"engine.parallel.worker.{os.getpid()}"
     telemetry.count(f"{prefix}.chunks")
     telemetry.count(f"{prefix}.schemes", len(schemes))
     telemetry.count(f"{prefix}.events", events)
-    telemetry.timer_add(f"{prefix}.seconds", time.perf_counter() - started)
-    return results, telemetry.to_json()
+    telemetry.timer_add(f"{prefix}.seconds", elapsed)
+    if _WORKER_SEGMENTS:
+        telemetry.count(f"{prefix}.shm_attached_traces", len(_WORKER_SEGMENTS))
+    return results, elapsed, events, telemetry.to_json()
 
 
 def default_jobs() -> int:
@@ -105,18 +158,121 @@ def default_jobs() -> int:
     return os.cpu_count() or 1
 
 
+class _ChunkScheduler:
+    """Demand-driven chunk cutter with throughput-adaptive sizing.
+
+    Holds the undispatched remainder of a scheme batch; workers (via the
+    parent's completion loop) *steal* the next chunk when they go idle.
+    Completed-chunk observations feed an exponentially-weighted schemes/sec
+    estimate, and each new chunk is sized so its predicted wall-clock is
+    about :data:`TARGET_CHUNK_SECONDS`.  With ``fixed_size`` the size is
+    pinned (deterministic chunking for tests / comparison baselines) but
+    dispatch stays demand-driven.
+    """
+
+    #: EWMA smoothing for the observed schemes/sec (higher = more reactive)
+    ALPHA = 0.5
+
+    def __init__(self, total: int, fixed_size: Optional[int], jobs: int):
+        self.total = total
+        self.jobs = max(1, jobs)
+        self.fixed_size = max(1, fixed_size) if fixed_size is not None else None
+        self.next_index = 0
+        self.chunks_cut = 0
+        self.resizes = 0
+        self.last_size = 0
+        self.schemes_per_sec: Optional[float] = None
+        self.events_per_sec: Optional[float] = None
+
+    @property
+    def remaining(self) -> int:
+        return self.total - self.next_index
+
+    def has_pending(self) -> bool:
+        return self.remaining > 0
+
+    def _adaptive_size(self) -> int:
+        if self.schemes_per_sec is None:
+            # No observation yet: probe small, but never smaller than the
+            # even-shard floor would make sensible for tiny batches.
+            return min(INITIAL_CHUNK, max(1, self.remaining))
+        size = max(1, int(round(self.schemes_per_sec * TARGET_CHUNK_SECONDS)))
+        # Never cut a chunk bigger than an even split of what is left
+        # across the workers: the tail must stay balanced even if the
+        # throughput estimate is stale.
+        tail_cap = max(1, math.ceil(self.remaining / self.jobs))
+        return min(size, tail_cap, MAX_CHUNK)
+
+    def next_chunk(self) -> Tuple[int, int]:
+        """Cut the next ``(start, size)`` chunk off the remainder."""
+        if not self.has_pending():
+            raise IndexError("no schemes left to schedule")
+        size = self.fixed_size if self.fixed_size is not None else self._adaptive_size()
+        size = min(size, self.remaining)
+        if self.last_size and size != self.last_size:
+            self.resizes += 1
+        self.last_size = size
+        start = self.next_index
+        self.next_index += size
+        self.chunks_cut += 1
+        return start, size
+
+    def observe(self, num_schemes: int, elapsed: float, events: int) -> None:
+        """Fold one completed chunk's wall-clock into the throughput EWMA."""
+        if elapsed <= 0 or num_schemes <= 0:
+            return
+        rate = num_schemes / elapsed
+        event_rate = events / elapsed
+        if self.schemes_per_sec is None:
+            self.schemes_per_sec = rate
+            self.events_per_sec = event_rate
+        else:
+            self.schemes_per_sec += self.ALPHA * (rate - self.schemes_per_sec)
+            self.events_per_sec += self.ALPHA * (event_rate - self.events_per_sec)
+
+    def record_telemetry(self, telemetry) -> None:
+        telemetry.count("engine.parallel.steal.chunks", self.chunks_cut)
+        telemetry.count("engine.parallel.steal.resizes", self.resizes)
+        telemetry.gauge("engine.parallel.steal.final_chunk_size", self.last_size)
+        telemetry.gauge(
+            "engine.parallel.steal.target_seconds",
+            0.0 if self.fixed_size is not None else TARGET_CHUNK_SECONDS,
+        )
+        if self.schemes_per_sec is not None:
+            telemetry.gauge(
+                "engine.parallel.steal.schemes_per_sec", self.schemes_per_sec
+            )
+        if self.events_per_sec is not None:
+            telemetry.gauge(
+                "engine.parallel.steal.events_per_sec", self.events_per_sec
+            )
+
+
 class ParallelEngine(EvaluationEngine):
     """Shard scheme batches across worker processes.
 
     Single-scheme calls run in-process on the vectorized backend (there is
-    nothing to shard); only :meth:`evaluate_batch` fans out.
+    nothing to shard); only batch evaluation fans out.
+
+    Args:
+        jobs: worker processes (default: every core).
+        chunk_size: pin the scheme-chunk size instead of adapting it from
+            observed throughput (mainly for tests and A/B baselines).
+        use_shm: force the shared-memory trace transport on or off;
+            ``None`` follows ``REPRO_SHM`` and platform availability.
     """
 
     name = "parallel"
 
-    def __init__(self, jobs: Optional[int] = None, chunk_size: Optional[int] = None):
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+        use_shm: Optional[bool] = None,
+    ):
         self.jobs = max(1, int(jobs)) if jobs is not None else default_jobs()
         self.chunk_size = chunk_size
+        self.use_shm = use_shm
         self._serial = VectorizedEngine()
 
     def _evaluate_one(
@@ -126,25 +282,41 @@ class ParallelEngine(EvaluationEngine):
         # was asked, even though the work runs in-process.
         return self._serial._evaluate_one(scheme, trace, exclude_writer)
 
+    def _shm_wanted(self) -> bool:
+        if self.use_shm is not None:
+            return self.use_shm and shm_available()
+        return shm_enabled() and shm_available()
+
     def _chunks(self, schemes: Sequence[Scheme]) -> List[List[Scheme]]:
+        """The fixed even-shard chunking (the pre-adaptive baseline).
+
+        Still used to size the probe for very small batches and kept as
+        the reference layout the scheduler's demand-driven cutting is
+        benchmarked against.
+        """
         size = self.chunk_size
         if size is None:
             size = math.ceil(len(schemes) / (self.jobs * CHUNKS_PER_WORKER))
         size = max(1, size)
         return [list(schemes[i : i + size]) for i in range(0, len(schemes), size)]
 
-    def evaluate_batch(
+    def _evaluate_batch(
         self,
         schemes: Sequence[Scheme],
         traces: Sequence[SharingTrace],
-        exclude_writer: bool = True,
+        *,
+        exclude_writer: bool,
+        on_result: Optional[ResultCallback],
     ) -> List[List[ConfusionCounts]]:
         if self.jobs <= 1 or len(schemes) < MIN_BATCH_FOR_POOL:
-            return self._serial.evaluate_batch(schemes, traces, exclude_writer)
+            return self._serial._evaluate_batch(
+                schemes, traces, exclude_writer=exclude_writer, on_result=on_result
+            )
         telemetry = get_telemetry()
-        started = time.perf_counter()
         try:
-            results = self._evaluate_batch_pooled(schemes, traces, exclude_writer)
+            return self._evaluate_batch_pooled(
+                schemes, traces, exclude_writer, on_result
+            )
         except Exception as error:  # noqa: BLE001 - any pool failure degrades
             logger.warning(
                 "parallel backend failed (%s: %s); falling back to serial "
@@ -153,54 +325,94 @@ class ParallelEngine(EvaluationEngine):
                 error,
             )
             telemetry.count("engine.parallel.fallbacks")
-            return self._serial.evaluate_batch(schemes, traces, exclude_writer)
-        if telemetry.enabled:
-            record_batch(
-                telemetry,
-                self.name,
-                time.perf_counter() - started,
-                num_schemes=len(schemes),
-                num_events=sum(len(trace) for trace in traces),
+            return self._serial._evaluate_batch(
+                schemes, traces, exclude_writer=exclude_writer, on_result=on_result
             )
-        return results
+
+    def _prepare_transport(self, traces: Sequence[SharingTrace]):
+        """Choose the trace transport: SHM descriptors or pickled traces.
+
+        Returns ``(published_or_None, initializer_payload)``.  Publication
+        failures (quota, missing /dev/shm) degrade to pickling with a
+        counter, never an error.
+        """
+        telemetry = get_telemetry()
+        if self._shm_wanted():
+            try:
+                published = publish_traces(traces)
+            except (OSError, RuntimeError, ValueError) as error:
+                logger.warning(
+                    "shared-memory trace transport unavailable (%s: %s); "
+                    "falling back to pickled traces",
+                    type(error).__name__,
+                    error,
+                )
+                telemetry.count("shm.fallbacks")
+            else:
+                return published, {"mode": "shm", "descriptors": published.descriptors}
+        return None, {"mode": "pickle", "traces": list(traces)}
 
     def _evaluate_batch_pooled(
         self,
         schemes: Sequence[Scheme],
         traces: Sequence[SharingTrace],
         exclude_writer: bool,
+        on_result: Optional[ResultCallback],
     ) -> List[List[ConfusionCounts]]:
         telemetry = get_telemetry()
-        chunks = self._chunks(schemes)
-        workers = min(self.jobs, len(chunks))
+        schemes = list(schemes)
+        scheduler = _ChunkScheduler(len(schemes), self.chunk_size, self.jobs)
+        workers = min(self.jobs, len(schemes))
+        max_inflight = workers * INFLIGHT_PER_WORKER
+        results: List[Optional[List[ConfusionCounts]]] = [None] * len(schemes)
+        published, payload = self._prepare_transport(traces)
+        try:
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_init_worker,
+                initargs=(payload,),
+            ) as pool:
+                inflight: Dict[object, Tuple[int, int]] = {}
+                while scheduler.has_pending() or inflight:
+                    while scheduler.has_pending() and len(inflight) < max_inflight:
+                        start, size = scheduler.next_chunk()
+                        future = pool.submit(
+                            _evaluate_chunk,
+                            schemes[start : start + size],
+                            exclude_writer,
+                            telemetry.enabled,
+                        )
+                        inflight[future] = (start, size)
+                        if telemetry.enabled:
+                            telemetry.count("engine.parallel.chunks_dispatched")
+                    done, _ = wait(inflight.keys(), return_when=FIRST_COMPLETED)
+                    for future in done:
+                        start, size = inflight.pop(future)
+                        chunk_results, elapsed, events, snapshot = future.result()
+                        scheduler.observe(size, elapsed, events)
+                        if snapshot is not None:
+                            telemetry.merge(Telemetry.from_json(snapshot))
+                        for offset, per_trace in enumerate(chunk_results):
+                            counts = [
+                                ConfusionCounts(
+                                    true_positive=tp,
+                                    false_positive=fp,
+                                    false_negative=fn,
+                                    true_negative=tn,
+                                )
+                                for tp, fp, fn, tn in per_trace
+                            ]
+                            results[start + offset] = counts
+                            if on_result is not None:
+                                on_result(start + offset, counts)
+        finally:
+            if published is not None:
+                published.close()
         if telemetry.enabled:
-            telemetry.count("engine.parallel.chunks_dispatched", len(chunks))
+            scheduler.record_telemetry(telemetry)
             telemetry.gauge("engine.parallel.workers", workers)
-            telemetry.gauge("engine.parallel.chunk_size", len(chunks[0]))
-        with ProcessPoolExecutor(
-            max_workers=workers,
-            initializer=_init_worker,
-            initargs=(list(traces),),
-        ) as pool:
-            futures = [
-                pool.submit(_evaluate_chunk, chunk, exclude_writer, telemetry.enabled)
-                for chunk in chunks
-            ]
-            results: List[List[ConfusionCounts]] = []
-            for future in futures:
-                chunk_results, worker_snapshot = future.result()
-                if worker_snapshot is not None:
-                    telemetry.merge(Telemetry.from_json(worker_snapshot))
-                for per_trace in chunk_results:
-                    results.append(
-                        [
-                            ConfusionCounts(
-                                true_positive=tp,
-                                false_positive=fp,
-                                false_negative=fn,
-                                true_negative=tn,
-                            )
-                            for tp, fp, fn, tn in per_trace
-                        ]
-                    )
-        return results
+            telemetry.gauge(
+                "engine.parallel.transport_shm", 1.0 if published is not None else 0.0
+            )
+        assert all(entry is not None for entry in results)
+        return results  # type: ignore[return-value]

@@ -9,6 +9,7 @@ Examples::
     repro-bench all                 # every paper table and figure
     repro-bench ext-patterns        # extension experiments (DESIGN.md §5)
     repro-bench fig6 --no-cache     # force recomputation
+    repro-bench table8 --resume     # continue a killed sweep from its journal
 
 Backend selection: ``--backend`` / ``--jobs`` win; otherwise the
 ``REPRO_BACKEND`` and ``REPRO_JOBS`` environment variables apply; the
@@ -41,7 +42,7 @@ from repro.harness.experiments import (
     run_experiment,
 )
 from repro.harness.figures import render_figure
-from repro.harness.runner import TraceSet
+from repro.harness.runner import CheckpointPolicy, TraceSet, set_checkpoint_policy
 from repro.harness.tables import render_table
 from repro.telemetry import RunReport, Telemetry, set_telemetry
 from repro.util.persist import atomic_write_json
@@ -99,6 +100,19 @@ def _build_parser(experiments) -> argparse.ArgumentParser:
         choices=sorted(BACKENDS),
         default=None,
         help="evaluation backend (default: REPRO_BACKEND or vectorized)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "resume an interrupted sweep from its checkpoint journal "
+            "(bit-identical to an uninterrupted run)"
+        ),
+    )
+    parser.add_argument(
+        "--no-journal",
+        action="store_true",
+        help="disable sweep checkpoint journaling (implies no --resume)",
     )
     parser.add_argument(
         "--telemetry",
@@ -163,7 +177,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     profiler = cProfile.Profile() if args.profile else None
 
+    if args.resume and args.no_journal:
+        parser.error("--resume requires journaling; drop --no-journal")
+
     previous_engine = set_default_engine(engine)
+    previous_policy = set_checkpoint_policy(
+        CheckpointPolicy(enabled=not args.no_journal, resume=args.resume)
+    )
     previous_telemetry = set_telemetry(report.telemetry) if collect_telemetry else None
     if profiler is not None:
         profiler.enable()
@@ -189,6 +209,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         if profiler is not None:
             profiler.disable()
         set_default_engine(previous_engine)
+        set_checkpoint_policy(previous_policy)
         if collect_telemetry:
             set_telemetry(previous_telemetry)
 

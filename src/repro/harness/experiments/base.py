@@ -30,7 +30,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 from repro.core.schemes import Scheme
 from repro.engine import EvaluationEngine, get_default_engine
 from repro.harness.results import ExperimentResult
-from repro.harness.runner import TraceSet
+from repro.harness.runner import SweepJournal, TraceSet
 from repro.metrics.confusion import ConfusionCounts
 from repro.metrics.screening import ScreeningStats
 
@@ -173,15 +173,49 @@ def suite_average(
 
 
 def batch_scheme_stats(
-    schemes: Sequence[Scheme], traces, engine: Optional[EvaluationEngine] = None
+    schemes: Sequence[Scheme],
+    traces,
+    engine: Optional[EvaluationEngine] = None,
+    *,
+    journal: Optional[SweepJournal] = None,
 ) -> List[Dict[str, float]]:
     """:func:`suite_average` for many schemes through one engine batch.
 
     This is the sweep entry point: the engine sees the whole batch at once,
     so the parallel backend can shard it across workers.
+
+    With a ``journal``, schemes the journal already holds are replayed from
+    their recorded counts (bit-identical -- the stored integers are the
+    result) and each freshly evaluated scheme is appended to the journal as
+    the engine reports it, so a killed run resumes instead of restarting.
     """
     engine = engine if engine is not None else get_default_engine()
-    all_counts = engine.evaluate_batch(list(schemes), list(traces))
+    schemes = list(schemes)
+    traces = list(traces)
+    if journal is None:
+        all_counts = engine.evaluate_batch(schemes, traces)
+        return [screening_summary(counts) for counts in all_counts]
+
+    all_counts: List[Optional[List[ConfusionCounts]]] = [None] * len(schemes)
+    pending_indices: List[int] = []
+    pending_schemes: List[Scheme] = []
+    for index, scheme in enumerate(schemes):
+        recorded = journal.get(scheme.full_name)
+        if recorded is not None and len(recorded) == len(traces):
+            all_counts[index] = recorded
+        else:
+            pending_indices.append(index)
+            pending_schemes.append(scheme)
+    if pending_schemes:
+
+        def checkpoint(pending_index: int, per_trace: List[ConfusionCounts]) -> None:
+            journal.record(pending_schemes[pending_index].full_name, per_trace)
+
+        fresh = engine.evaluate_batch(
+            pending_schemes, traces, on_result=checkpoint
+        )
+        for index, counts in zip(pending_indices, fresh):
+            all_counts[index] = counts
     return [screening_summary(counts) for counts in all_counts]
 
 

@@ -20,7 +20,7 @@ from repro.harness.experiments.base import (
     scheme_row,
 )
 from repro.harness.results import ExperimentResult, cached_result
-from repro.harness.runner import TraceSet
+from repro.harness.runner import TraceSet, open_sweep_journal
 
 #: Minimum suite-average sensitivity for a scheme to be ranked by PVP.
 #: Guards the top-PVP tables against degenerate schemes that make a handful
@@ -54,21 +54,35 @@ def sweep_schemes(update: UpdateMode, num_nodes: int) -> List:
 
 
 def _sweep_rows(trace_set: TraceSet, update: UpdateMode, use_cache: bool) -> List[Dict]:
+    name = f"sweep-{update.value}"
+
     def compute() -> ExperimentResult:
         traces = trace_set.traces()
         schemes = sweep_schemes(update, trace_set.num_nodes)
+        # Checkpoint completed schemes as the engine reports them; a killed
+        # run restarted with --resume replays the journal instead of
+        # re-evaluating.  The journal is dropped once the finished result
+        # lands in the (atomic) result cache, which supersedes it.
+        journal = open_sweep_journal(
+            name, trace_set.fingerprint(), [trace.name for trace in traces]
+        )
+        try:
+            stats_rows = batch_scheme_stats(schemes, traces, journal=journal)
+        finally:
+            if journal is not None:
+                journal.close()
         result = ExperimentResult(
-            name=f"sweep-{update.value}",
+            name=name,
             title=f"Design-space sweep, {update.value} update",
             columns=["scheme", "size", "prev", "pvp", "sens"],
         )
-        for scheme, stats in zip(schemes, batch_scheme_stats(schemes, traces)):
+        for scheme, stats in zip(schemes, stats_rows):
             result.rows.append(scheme_row(scheme, stats, trace_set.num_nodes))
+        if journal is not None:
+            journal.discard()
         return result
 
-    result = cached_result(
-        f"sweep-{update.value}", trace_set.fingerprint(), compute, use_cache
-    )
+    result = cached_result(name, trace_set.fingerprint(), compute, use_cache)
     return result.rows
 
 

@@ -177,7 +177,7 @@ PRIOR_SCHEMES: Sequence[Tuple[str, str]] = (
     ("baseline-last", "last()1"),
     ("Kaxiras-instr.-last", "last(pid+pc8)1"),
     ("Kaxiras-instr.-inter.", "inter(pid+pc8)2"),
-    ("Lai-address+pid-last", "last(pid+mem8)1"),
+    ("Lai-address+pid-last", "last(pid+add8)1"),
 )
 
 

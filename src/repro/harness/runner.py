@@ -1,4 +1,4 @@
-"""Trace generation and caching for the experiment harness.
+"""Trace generation/caching and sweep checkpointing for the harness.
 
 Generating a benchmark trace means running the full protocol simulation
 over a few hundred thousand memory references, so traces are cached as
@@ -7,18 +7,32 @@ over a few hundred thousand memory references, so traces are cached as
 package's trace-format version).  Delete the cache directory (default
 ``<repo>/data/traces``, override with ``REPRO_CACHE_DIR``) to force
 regeneration.
+
+This module also owns **sweep checkpointing**: the design-space sweeps
+evaluate thousands of schemes and used to restart from scratch if the run
+was killed.  :class:`SweepJournal` appends each completed scheme's
+per-trace confusion counts to a schema-versioned JSONL journal as the
+engine reports them (via the ``on_result`` batch callback), and a later
+run started with ``repro-bench --resume`` replays the journal instead of
+re-evaluating the finished schemes -- the replayed counts are the recorded
+integers, so a resumed sweep is bit-identical to an uninterrupted one.
+:class:`CheckpointPolicy` (installed by the CLI, queried by the sweep
+experiments) decides whether journals are written, read, or skipped.
 """
 
 from __future__ import annotations
 
 import hashlib
+import json
 import logging
 import os
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.memory.cache import CacheConfig
 from repro.memory.system import MultiprocessorSystem, SystemConfig
+from repro.metrics.confusion import ConfusionCounts
 from repro.telemetry import get_telemetry
 from repro.trace.events import SharingTrace
 from repro.trace.io import load_trace, save_trace
@@ -35,6 +49,10 @@ logger = logging.getLogger("repro.harness.runner")
 
 #: bump when trace semantics change, to invalidate caches
 TRACE_SCHEMA = 7
+
+#: bump when the sweep-journal line format changes; old journals are
+#: discarded, never misread
+JOURNAL_SCHEMA = 1
 
 
 def default_cache_dir() -> Path:
@@ -229,3 +247,223 @@ class TraceSet:
 def default_trace_set() -> TraceSet:
     """The suite at default scale -- what all paper experiments run on."""
     return TraceSet()
+
+
+# ----------------------------------------------------------------------
+# Sweep checkpoint journal
+# ----------------------------------------------------------------------
+
+
+def default_checkpoint_dir() -> Path:
+    """Where sweep journals live (``REPRO_CHECKPOINT_DIR`` overrides)."""
+    override = os.environ.get("REPRO_CHECKPOINT_DIR")
+    if override:
+        return Path(override)
+    return Path(__file__).resolve().parents[3] / "data" / "checkpoints"
+
+
+@dataclass(frozen=True)
+class CheckpointPolicy:
+    """How sweep experiments use checkpoint journals.
+
+    Attributes:
+        enabled: write a journal while sweeping (``--no-journal`` clears it).
+        resume: replay an existing compatible journal instead of starting
+            fresh (``--resume``); without it a stale journal is discarded.
+        directory: journal directory (default :func:`default_checkpoint_dir`).
+    """
+
+    enabled: bool = True
+    resume: bool = False
+    directory: Optional[Path] = None
+
+    def journal_dir(self) -> Path:
+        return self.directory if self.directory is not None else default_checkpoint_dir()
+
+
+_CHECKPOINT_POLICY = CheckpointPolicy()
+
+
+def get_checkpoint_policy() -> CheckpointPolicy:
+    """The process-wide checkpoint policy sweeps consult."""
+    return _CHECKPOINT_POLICY
+
+
+def set_checkpoint_policy(policy: CheckpointPolicy) -> CheckpointPolicy:
+    """Install a new policy; returns the previous one for restoration."""
+    global _CHECKPOINT_POLICY
+    previous = _CHECKPOINT_POLICY
+    _CHECKPOINT_POLICY = policy
+    return previous
+
+
+class SweepJournal:
+    """Append-only JSONL checkpoint of completed sweep evaluations.
+
+    Line 1 is a header binding the journal to one exact computation:
+    journal schema, sweep name, trace-set fingerprint, and the benchmark
+    suite order.  Every following line is one completed scheme::
+
+        {"scheme": "<full name>", "counts": [[tp, fp, fn, tn], ...]}
+
+    with one count quadruple per benchmark, in suite order.  Appends are
+    flushed per record, so a killed process loses at most the scheme it was
+    mid-evaluating; a torn final line (the kill landed mid-write) is
+    silently dropped on replay.  A journal whose header does not match the
+    requested computation is discarded -- resuming can change wall-clock,
+    never results.
+    """
+
+    def __init__(
+        self,
+        path: Path,
+        *,
+        name: str,
+        fingerprint: str,
+        trace_names: Sequence[str],
+        resume: bool = False,
+    ):
+        self.path = Path(path)
+        self.name = name
+        self.fingerprint = fingerprint
+        self.trace_names = list(trace_names)
+        self._completed: Dict[str, List[ConfusionCounts]] = {}
+        self._handle = None
+        if resume and self.path.exists():
+            self._completed = self._replay()
+        elif self.path.exists():
+            logger.info(
+                "discarding existing sweep journal %s (resume not requested)",
+                self.path,
+            )
+            self.path.unlink()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fresh = not self.path.exists()
+        self._handle = open(self.path, "a", encoding="utf-8")
+        if fresh:
+            self._write_line(self._header())
+        telemetry = get_telemetry()
+        if self._completed:
+            telemetry.count("journal.resumed_schemes", len(self._completed))
+
+    def _header(self) -> dict:
+        return {
+            "schema": JOURNAL_SCHEMA,
+            "kind": "sweep-journal",
+            "name": self.name,
+            "fingerprint": self.fingerprint,
+            "traces": self.trace_names,
+        }
+
+    def _replay(self) -> Dict[str, List[ConfusionCounts]]:
+        """Parse an existing journal; incompatible or corrupt -> start over.
+
+        Only a *verified* header admits records; any undecodable line after
+        it ends the replay (a torn tail from the killed writer), keeping
+        every record before it.
+        """
+        telemetry = get_telemetry()
+        completed: Dict[str, List[ConfusionCounts]] = {}
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                lines = handle.read().splitlines()
+        except OSError as error:
+            discard_corrupt(self.path, f"unreadable sweep journal: {error}")
+            telemetry.count("journal.discards")
+            return {}
+        if not lines:
+            self.path.unlink()
+            return {}
+        try:
+            header = json.loads(lines[0])
+        except ValueError:
+            header = None
+        if header != self._header():
+            discard_corrupt(
+                self.path,
+                f"sweep journal header {header!r} does not match this sweep",
+            )
+            telemetry.count("journal.discards")
+            return {}
+        for line in lines[1:]:
+            try:
+                record = json.loads(line)
+                scheme = record["scheme"]
+                counts = [
+                    ConfusionCounts(
+                        true_positive=tp,
+                        false_positive=fp,
+                        false_negative=fn,
+                        true_negative=tn,
+                    )
+                    for tp, fp, fn, tn in record["counts"]
+                ]
+            except (ValueError, KeyError, TypeError):
+                logger.warning(
+                    "sweep journal %s has a torn trailing record; dropping it",
+                    self.path,
+                )
+                telemetry.count("journal.torn_records")
+                break
+            if len(counts) != len(self.trace_names):
+                telemetry.count("journal.torn_records")
+                break
+            completed[scheme] = counts
+        return completed
+
+    def _write_line(self, payload: dict) -> None:
+        self._handle.write(json.dumps(payload, separators=(",", ":")) + "\n")
+        self._handle.flush()
+
+    def get(self, scheme_name: str) -> Optional[List[ConfusionCounts]]:
+        """The journaled per-trace counts for a scheme, if completed."""
+        return self._completed.get(scheme_name)
+
+    def __len__(self) -> int:
+        return len(self._completed)
+
+    def record(self, scheme_name: str, counts: Sequence[ConfusionCounts]) -> None:
+        """Append one completed scheme's per-trace counts (flushed)."""
+        quads = [
+            [c.true_positive, c.false_positive, c.false_negative, c.true_negative]
+            for c in counts
+        ]
+        self._write_line({"scheme": scheme_name, "counts": quads})
+        self._completed[scheme_name] = list(counts)
+        get_telemetry().count("journal.records")
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def discard(self) -> None:
+        """Close and delete the journal (the sweep finished and was cached)."""
+        self.close()
+        try:
+            self.path.unlink()
+        except FileNotFoundError:
+            pass
+
+    def __enter__(self) -> "SweepJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def open_sweep_journal(
+    name: str, fingerprint: str, trace_names: Sequence[str]
+) -> Optional[SweepJournal]:
+    """A journal for one sweep under the installed policy (None = disabled)."""
+    policy = get_checkpoint_policy()
+    if not policy.enabled:
+        return None
+    path = policy.journal_dir() / f"{name}-{fingerprint}.jsonl"
+    return SweepJournal(
+        path,
+        name=name,
+        fingerprint=fingerprint,
+        trace_names=trace_names,
+        resume=policy.resume,
+    )

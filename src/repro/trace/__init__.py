@@ -10,6 +10,14 @@ closes the epoch).
 
 from repro.trace.events import SharingEvent, SharingTrace
 from repro.trace.io import load_trace, save_trace
+from repro.trace.shm import (
+    TraceDescriptor,
+    attach_trace,
+    publish_traces,
+    shm_available,
+    shm_enabled,
+    trace_fingerprint,
+)
 from repro.trace.stats import TraceStats, compute_trace_stats
 
 __all__ = [
@@ -19,4 +27,10 @@ __all__ = [
     "save_trace",
     "TraceStats",
     "compute_trace_stats",
+    "TraceDescriptor",
+    "attach_trace",
+    "publish_traces",
+    "shm_available",
+    "shm_enabled",
+    "trace_fingerprint",
 ]

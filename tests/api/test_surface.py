@@ -1,0 +1,60 @@
+"""Public-API snapshot: the :mod:`repro.api` surface cannot drift silently.
+
+``api_surface.txt`` is the reviewed record of every public name and callable
+signature.  If this test fails, either the change was unintentional (fix the
+code) or it is a deliberate API change -- regenerate the snapshot with::
+
+    PYTHONPATH=src python -m tests.api.test_surface
+
+and commit the diff so the change is visible in review.
+"""
+
+import inspect
+from pathlib import Path
+
+SNAPSHOT_PATH = Path(__file__).with_name("api_surface.txt")
+
+
+def describe_surface() -> str:
+    """A stable, human-reviewable rendering of ``repro.api``'s surface."""
+    import repro.api
+
+    lines = [f"# repro.api public surface (regenerate: see {Path(__file__).name})"]
+    for name in sorted(repro.api.__all__):
+        obj = getattr(repro.api, name)
+        if inspect.isclass(obj):
+            lines.append(f"{name} [class {obj.__module__}.{obj.__qualname__}]")
+        elif callable(obj):
+            lines.append(f"{name}{inspect.signature(obj)}")
+        else:
+            lines.append(f"{name} [{type(obj).__name__}]")
+    return "\n".join(lines) + "\n"
+
+
+class TestApiSurface:
+    def test_all_names_resolve_and_are_sorted(self):
+        import repro.api
+
+        for name in repro.api.__all__:
+            assert hasattr(repro.api, name), name
+        assert list(repro.api.__all__) == sorted(repro.api.__all__)
+
+    def test_surface_matches_snapshot(self):
+        assert SNAPSHOT_PATH.exists(), (
+            f"missing {SNAPSHOT_PATH}; regenerate with "
+            "'PYTHONPATH=src python -m tests.api.test_surface'"
+        )
+        expected = SNAPSHOT_PATH.read_text(encoding="utf-8")
+        actual = describe_surface()
+        assert actual == expected, (
+            "repro.api surface drifted from the reviewed snapshot.\n"
+            "If this change is intentional, regenerate with "
+            "'PYTHONPATH=src python -m tests.api.test_surface' and commit "
+            "api_surface.txt.\n\n"
+            f"--- snapshot ---\n{expected}\n--- current ---\n{actual}"
+        )
+
+
+if __name__ == "__main__":
+    SNAPSHOT_PATH.write_text(describe_surface(), encoding="utf-8")
+    print(f"wrote {SNAPSHOT_PATH}")

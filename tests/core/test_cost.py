@@ -22,7 +22,7 @@ class TestPaperSizeColumn:
         [
             ("last(pid+pc8)1", 16),  # Table 7
             ("inter(pid+pc8)2", 17),  # Table 7
-            ("last(pid+mem8)1", 16),  # Table 7
+            ("last(pid+add8)1", 16),  # Table 7
             ("inter(pid+add6)4", 16),  # Table 8
             ("inter(pid+pc2+add6)4", 18),  # Table 8
             ("inter(pid+add4)4", 14),  # Table 8

@@ -1,0 +1,115 @@
+"""`parse_scheme` contract tests: error paths, aliases, and round-trips.
+
+The parser is the public front door of the whole taxonomy (it is re-exported
+by `repro.api`), so its rejections need to be as well-defined as its
+acceptances: every malformed input raises ``ValueError`` with the offending
+fragment in the message, never a silent misparse.
+"""
+
+import pytest
+
+from repro.core.indexing import IndexSpec
+from repro.core.schemes import Scheme, parse_scheme
+from repro.core.update import UpdateMode
+
+
+class TestMalformedSchemes:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",  # empty
+            "union",  # no index parens
+            "union(",  # unclosed parens
+            "union(pid",  # unclosed parens with field
+            "(pid)1",  # missing function
+            "union(pid)1[",  # unclosed update bracket
+            "union(pid)1[direct] extra",  # trailing junk
+            "union(pid)x",  # non-numeric depth
+            "union(pid)-1",  # negative depth never matches
+        ],
+    )
+    def test_rejected_with_value_error(self, bad):
+        with pytest.raises(ValueError):
+            parse_scheme(bad)
+
+    def test_error_message_names_the_input(self):
+        with pytest.raises(ValueError, match="not-a-scheme"):
+            parse_scheme("not-a-scheme")
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(ValueError, match="bogus"):
+            parse_scheme("bogus(pid)1")
+
+    def test_depth_zero_rejected(self):
+        with pytest.raises(ValueError, match="depth"):
+            parse_scheme("union(pid)0")
+
+    def test_depth_zero_rejected_on_construction(self):
+        with pytest.raises(ValueError, match="depth"):
+            Scheme(function="union", depth=0)
+
+    @pytest.mark.parametrize("bad", ["union(pid)1[bogus]", "union(pid)1[perfect]"])
+    def test_unknown_update_mode_rejected(self, bad):
+        with pytest.raises(ValueError, match="update mode"):
+            parse_scheme(bad)
+
+    @pytest.mark.parametrize(
+        "bad", ["union(zip4)1", "union(pid+pc)1", "union(add)1", "union(pid pc4)1"]
+    )
+    def test_malformed_index_fields_rejected(self, bad):
+        with pytest.raises(ValueError, match="index field"):
+            parse_scheme(bad)
+
+
+class TestUpdateModeAliases:
+    @pytest.mark.parametrize(
+        "alias,expected",
+        [
+            ("direct", UpdateMode.DIRECT),
+            ("forwarded", UpdateMode.FORWARDED),
+            ("forward", UpdateMode.FORWARDED),
+            ("fwd", UpdateMode.FORWARDED),
+            ("ordered", UpdateMode.ORDERED),
+            ("ordered-fwd", UpdateMode.ORDERED),
+            (" FWD ", UpdateMode.FORWARDED),  # case/whitespace-insensitive
+        ],
+    )
+    def test_alias_resolves(self, alias, expected):
+        assert parse_scheme(f"last()1[{alias}]").update is expected
+
+    def test_full_name_uses_canonical_spelling(self):
+        assert parse_scheme("last()1[fwd]").full_name == "last()1[forwarded]"
+
+
+class TestNameRoundTrips:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "last()1[direct]",
+            "last(pid)1[forwarded]",
+            "union(pid+pc8)2[ordered]",
+            "union(dir+add14)4[direct]",
+            "inter(pid+pc2+add6)4[forwarded]",
+            "overlap(dir)1[direct]",
+            "pas(pid+pc4)2[ordered]",
+        ],
+    )
+    def test_full_name_round_trips(self, text):
+        scheme = parse_scheme(text)
+        assert parse_scheme(scheme.full_name) == scheme
+        assert scheme.full_name == text
+
+    def test_whitespace_tolerated(self):
+        assert parse_scheme(" union ( pid + pc4 ) 2 [ direct ] ") == parse_scheme(
+            "union(pid+pc4)2[direct]"
+        )
+
+    def test_addr_spelling_canonicalizes_to_add(self):
+        scheme = parse_scheme("union(addr6)2")
+        assert scheme.index == IndexSpec(addr_bits=6)
+        assert scheme.name == "union(add6)2"
+
+    def test_mem_spelling_deprecated_but_equivalent(self):
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            legacy = parse_scheme("last(pid+mem8)1")
+        assert legacy == parse_scheme("last(pid+add8)1")

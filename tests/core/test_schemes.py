@@ -43,8 +43,8 @@ class TestParsing:
         assert parse_scheme(scheme.full_name) == scheme
 
     def test_depth_defaults_to_one(self):
-        # The paper writes last(pid+mem8) without a depth.
-        assert parse_scheme("last(pid+mem8)").depth == 1
+        # The paper writes last(pid+add8) without a depth.
+        assert parse_scheme("last(pid+add8)").depth == 1
 
     def test_update_default_parameter(self):
         scheme = parse_scheme("last()1", default_update=UpdateMode.FORWARDED)
@@ -58,8 +58,9 @@ class TestParsing:
         # The paper writes union(dir+pid+add8)1[forward].
         assert parse_scheme("last()1[forward]").update is UpdateMode.FORWARDED
 
-    def test_mem_field_parses(self):
-        scheme = parse_scheme("last(pid+mem8)1")
+    def test_mem_field_parses_with_deprecation(self):
+        with pytest.warns(DeprecationWarning, match="'mem8'.*deprecated"):
+            scheme = parse_scheme("last(pid+mem8)1")
         assert scheme.index == IndexSpec(use_pid=True, addr_bits=8)
 
     @pytest.mark.parametrize("bad", ["", "union", "union(pid", "union()0", "union()2[bogus]"])

@@ -63,10 +63,15 @@ def test_serial_backends_reproduce_golden_counts(
         )
 
 
-def test_parallel_batch_reproduces_golden_counts(trace_set, traces):
-    """One real pooled batch over all golden schemes at once."""
+@pytest.mark.parametrize("use_shm", [True, False], ids=["shm", "pickle"])
+def test_parallel_batch_reproduces_golden_counts(use_shm, trace_set, traces):
+    """One real pooled batch over all golden schemes at once.
+
+    Runs once per trace transport -- shared-memory and pickled -- so both
+    worker-boundary data paths are pinned to the same frozen counts.
+    """
     schemes = [parse_scheme(text) for text in GOLDEN_SCHEMES]
-    engine = ParallelEngine(jobs=2, chunk_size=2)
+    engine = ParallelEngine(jobs=2, chunk_size=2, use_shm=use_shm)
     batch = engine.evaluate_batch(schemes, traces)
     assert len(batch) == len(schemes)
     for scheme_text, per_trace in zip(GOLDEN_SCHEMES, batch):

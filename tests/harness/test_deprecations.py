@@ -1,0 +1,88 @@
+"""Deprecation shims: legacy spellings keep working, loudly, for one release."""
+
+import warnings
+
+import pytest
+
+from repro.core.schemes import parse_scheme
+from repro.engine.backends import VectorizedEngine
+from tests.conftest import make_random_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return make_random_trace(num_nodes=8, num_events=120, num_blocks=10, seed="dep")
+
+
+class TestMonolithImportShims:
+    @pytest.mark.parametrize(
+        "name,home",
+        [
+            ("_scheme_row", "repro.harness.experiments.base"),
+            ("_sweep_rows", "repro.harness.experiments.sweeps"),
+            ("_top10", "repro.harness.experiments.sweeps"),
+            ("_combo_spec", "repro.harness.experiments.figures"),
+            ("_figure_sweep", "repro.harness.experiments.figures"),
+            ("_ALL_MODES", "repro.harness.experiments.figures"),
+        ],
+    )
+    def test_legacy_name_resolves_with_warning(self, name, home):
+        import importlib
+
+        import repro.harness.experiments as experiments
+
+        with pytest.warns(DeprecationWarning, match=home):
+            legacy = getattr(experiments, name)
+        assert legacy is getattr(importlib.import_module(home), name)
+
+    def test_unknown_attribute_still_raises(self):
+        import repro.harness.experiments as experiments
+
+        with pytest.raises(AttributeError):
+            experiments.does_not_exist
+
+    def test_public_surface_warns_nothing(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            from repro.harness.experiments import (  # noqa: F401
+                EXPERIMENTS,
+                batch_scheme_stats,
+                run_experiment,
+                suite_average,
+            )
+
+
+class TestPositionalExcludeWriterShims:
+    def test_evaluate_positional_warns_and_matches_keyword(self, trace):
+        engine = VectorizedEngine()
+        scheme = parse_scheme("last(pid)1")
+        with pytest.warns(DeprecationWarning, match="exclude_writer"):
+            legacy = engine.evaluate(scheme, trace, False)
+        assert legacy == engine.evaluate(scheme, trace, exclude_writer=False)
+
+    def test_evaluate_suite_positional_warns(self, trace):
+        engine = VectorizedEngine()
+        scheme = parse_scheme("last()1")
+        with pytest.warns(DeprecationWarning, match="exclude_writer"):
+            legacy = engine.evaluate_suite(scheme, [trace], True)
+        assert legacy == engine.evaluate_suite(scheme, [trace], exclude_writer=True)
+
+    def test_evaluate_batch_positional_warns(self, trace):
+        engine = VectorizedEngine()
+        schemes = [parse_scheme("last()1"), parse_scheme("union(add4)2")]
+        with pytest.warns(DeprecationWarning, match="exclude_writer"):
+            legacy = engine.evaluate_batch(schemes, [trace], False)
+        assert legacy == engine.evaluate_batch(
+            schemes, [trace], exclude_writer=False
+        )
+
+    def test_extra_positionals_are_a_type_error(self, trace):
+        engine = VectorizedEngine()
+        with pytest.raises(TypeError):
+            engine.evaluate(parse_scheme("last()1"), trace, True, "junk")
+
+    def test_keyword_calls_warn_nothing(self, trace):
+        engine = VectorizedEngine()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            engine.evaluate(parse_scheme("last()1"), trace, exclude_writer=False)

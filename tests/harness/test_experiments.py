@@ -10,11 +10,11 @@ from repro.harness.experiments import (
     EXPERIMENTS,
     FIGURE6_COMBOS,
     FIGURE8_COMBOS,
-    _combo_spec,
     run_experiment,
     suite_average,
     table1,
 )
+from repro.harness.experiments.figures import _combo_spec
 from repro.harness.runner import TraceSet
 from repro.core.schemes import parse_scheme
 

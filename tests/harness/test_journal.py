@@ -1,0 +1,354 @@
+"""Sweep checkpoint journals: record/replay round trips, corruption
+tolerance, policy plumbing, and the kill-mid-sweep --resume contract.
+
+The load-bearing property: a sweep resumed from a journal produces counts
+bit-identical to an uninterrupted run, because replay returns the recorded
+integers rather than re-deriving anything.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.core.schemes import parse_scheme
+from repro.engine.backends import VectorizedEngine
+from repro.harness.experiments.base import batch_scheme_stats
+from repro.harness.runner import (
+    JOURNAL_SCHEMA,
+    CheckpointPolicy,
+    SweepJournal,
+    get_checkpoint_policy,
+    open_sweep_journal,
+    set_checkpoint_policy,
+)
+from repro.metrics.confusion import ConfusionCounts
+from tests.conftest import make_random_trace
+
+SCHEMES = [
+    "last()1[direct]",
+    "last(pid)1[direct]",
+    "union(add4)2[direct]",
+    "union(dir)2[forwarded]",
+    "inter(pc4)2[direct]",
+    "overlap(pid+pc2)1[forwarded]",
+]
+
+TRACE_NAMES = ["alpha", "beta"]
+
+
+def make_counts(base: int):
+    return [
+        ConfusionCounts(
+            true_positive=base,
+            false_positive=base + 1,
+            false_negative=base + 2,
+            true_negative=base + 3,
+        )
+        for _ in TRACE_NAMES
+    ]
+
+
+def fresh_journal(path: Path, resume: bool = False) -> SweepJournal:
+    return SweepJournal(
+        path,
+        name="sweep-test",
+        fingerprint="cafe0123",
+        trace_names=TRACE_NAMES,
+        resume=resume,
+    )
+
+
+class TestSweepJournal:
+    def test_fresh_journal_writes_header(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        journal = fresh_journal(path)
+        journal.close()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 1
+        header = json.loads(lines[0])
+        assert header["schema"] == JOURNAL_SCHEMA
+        assert header["kind"] == "sweep-journal"
+        assert header["fingerprint"] == "cafe0123"
+        assert header["traces"] == TRACE_NAMES
+
+    def test_record_then_resume_round_trips(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        journal = fresh_journal(path)
+        journal.record("scheme-a", make_counts(10))
+        journal.record("scheme-b", make_counts(20))
+        journal.close()
+
+        resumed = fresh_journal(path, resume=True)
+        assert len(resumed) == 2
+        assert resumed.get("scheme-a") == make_counts(10)
+        assert resumed.get("scheme-b") == make_counts(20)
+        assert resumed.get("scheme-c") is None
+        resumed.close()
+
+    def test_resume_appends_rather_than_truncating(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        journal = fresh_journal(path)
+        journal.record("scheme-a", make_counts(1))
+        journal.close()
+        resumed = fresh_journal(path, resume=True)
+        resumed.record("scheme-b", make_counts(2))
+        resumed.close()
+        third = fresh_journal(path, resume=True)
+        assert len(third) == 2
+        third.close()
+
+    def test_no_resume_discards_existing_journal(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        journal = fresh_journal(path)
+        journal.record("scheme-a", make_counts(1))
+        journal.close()
+        restarted = fresh_journal(path, resume=False)
+        assert len(restarted) == 0
+        restarted.close()
+
+    def test_mismatched_header_discarded_on_resume(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        journal = fresh_journal(path)
+        journal.record("scheme-a", make_counts(1))
+        journal.close()
+        other = SweepJournal(
+            path,
+            name="sweep-test",
+            fingerprint="deadbeef",  # different trace set
+            trace_names=TRACE_NAMES,
+            resume=True,
+        )
+        assert len(other) == 0
+        other.close()
+
+    def test_torn_trailing_record_dropped(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        journal = fresh_journal(path)
+        journal.record("scheme-a", make_counts(1))
+        journal.record("scheme-b", make_counts(2))
+        journal.close()
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"scheme": "scheme-c", "counts": [[1, 2')  # torn write
+        resumed = fresh_journal(path, resume=True)
+        assert len(resumed) == 2
+        assert resumed.get("scheme-c") is None
+        resumed.close()
+
+    def test_discard_removes_file(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        journal = fresh_journal(path)
+        journal.record("scheme-a", make_counts(1))
+        journal.discard()
+        assert not path.exists()
+
+
+class TestCheckpointPolicy:
+    def test_default_policy_journals_without_resume(self):
+        policy = get_checkpoint_policy()
+        assert policy.enabled is True
+        assert policy.resume is False
+
+    def test_disabled_policy_yields_no_journal(self, tmp_path):
+        previous = set_checkpoint_policy(
+            CheckpointPolicy(enabled=False, directory=tmp_path)
+        )
+        try:
+            assert open_sweep_journal("sweep-x", "f00d", TRACE_NAMES) is None
+        finally:
+            set_checkpoint_policy(previous)
+
+    def test_enabled_policy_places_journal_in_directory(self, tmp_path):
+        previous = set_checkpoint_policy(
+            CheckpointPolicy(enabled=True, directory=tmp_path)
+        )
+        try:
+            journal = open_sweep_journal("sweep-x", "f00d", TRACE_NAMES)
+            assert journal is not None
+            assert journal.path == tmp_path / "sweep-x-f00d.jsonl"
+            journal.close()
+        finally:
+            set_checkpoint_policy(previous)
+
+    def test_checkpoint_dir_env_override(self, tmp_path, monkeypatch):
+        from repro.harness.runner import default_checkpoint_dir
+
+        monkeypatch.setenv("REPRO_CHECKPOINT_DIR", str(tmp_path / "ckpt"))
+        assert default_checkpoint_dir() == tmp_path / "ckpt"
+
+
+class CountingEngine(VectorizedEngine):
+    """A backend that remembers which schemes it was asked to evaluate."""
+
+    def __init__(self):
+        super().__init__()
+        self.batched_schemes = []
+
+    def _evaluate_batch(self, schemes, traces, *, exclude_writer, on_result):
+        self.batched_schemes.extend(scheme.full_name for scheme in schemes)
+        return super()._evaluate_batch(
+            schemes, traces, exclude_writer=exclude_writer, on_result=on_result
+        )
+
+
+def journal_traces():
+    return [
+        make_random_trace(num_nodes=8, num_events=150, num_blocks=10, seed="journal-a"),
+        make_random_trace(num_nodes=8, num_events=120, num_blocks=8, seed="journal-b"),
+    ]
+
+
+class TestBatchSchemeStatsWithJournal:
+    def test_journal_skips_completed_schemes(self, tmp_path):
+        traces = journal_traces()
+        schemes = [parse_scheme(text) for text in SCHEMES]
+        path = tmp_path / "sweep.jsonl"
+
+        journal = SweepJournal(
+            path,
+            name="sweep-test",
+            fingerprint="cafe0123",
+            trace_names=[trace.name for trace in traces],
+        )
+        baseline = batch_scheme_stats(
+            schemes, traces, engine=VectorizedEngine(), journal=journal
+        )
+        journal.close()
+
+        engine = CountingEngine()
+        resumed_journal = SweepJournal(
+            path,
+            name="sweep-test",
+            fingerprint="cafe0123",
+            trace_names=[trace.name for trace in traces],
+            resume=True,
+        )
+        resumed = batch_scheme_stats(
+            schemes, traces, engine=engine, journal=resumed_journal
+        )
+        resumed_journal.close()
+        assert engine.batched_schemes == []  # everything replayed
+        assert resumed == baseline
+
+    def test_partial_journal_evaluates_only_remainder(self, tmp_path):
+        traces = journal_traces()
+        schemes = [parse_scheme(text) for text in SCHEMES]
+        baseline = batch_scheme_stats(schemes, traces, engine=VectorizedEngine())
+
+        # journal only the first half, as a killed run would have
+        path = tmp_path / "sweep.jsonl"
+        journal = SweepJournal(
+            path,
+            name="sweep-test",
+            fingerprint="cafe0123",
+            trace_names=[trace.name for trace in traces],
+        )
+        reference = VectorizedEngine()
+        for scheme in schemes[:3]:
+            journal.record(
+                scheme.full_name, reference.evaluate_suite(scheme, traces)
+            )
+        journal.close()
+
+        engine = CountingEngine()
+        resumed_journal = SweepJournal(
+            path,
+            name="sweep-test",
+            fingerprint="cafe0123",
+            trace_names=[trace.name for trace in traces],
+            resume=True,
+        )
+        resumed = batch_scheme_stats(
+            schemes, traces, engine=engine, journal=resumed_journal
+        )
+        resumed_journal.close()
+        assert engine.batched_schemes == [s.full_name for s in schemes[3:]]
+        assert resumed == baseline
+
+
+KILL_SCRIPT = textwrap.dedent(
+    """
+    import os
+    import sys
+    from pathlib import Path
+
+    from repro.core.schemes import parse_scheme
+    from repro.engine.backends import VectorizedEngine
+    from repro.harness.experiments.base import batch_scheme_stats
+    from repro.harness.runner import SweepJournal
+    from tests.harness.test_journal import SCHEMES, journal_traces
+
+    journal_path = Path(sys.argv[1])
+    kill_after = int(sys.argv[2])
+    traces = journal_traces()
+    schemes = [parse_scheme(text) for text in SCHEMES]
+
+    class KillingJournal(SweepJournal):
+        def record(self, scheme_name, counts):
+            super().record(scheme_name, counts)
+            if len(self) >= kill_after:
+                os._exit(137)  # simulate a hard kill mid-sweep
+
+    journal = KillingJournal(
+        journal_path,
+        name="sweep-kill",
+        fingerprint="cafe0123",
+        trace_names=[trace.name for trace in traces],
+    )
+    batch_scheme_stats(schemes, traces, engine=VectorizedEngine(), journal=journal)
+    os._exit(0)  # only reached if the kill never fired
+    """
+)
+
+
+class TestKillAndResume:
+    def test_killed_sweep_resumes_bit_identical(self, tmp_path):
+        """A sweep killed mid-run finishes under --resume semantics with
+        exactly the counts an uninterrupted run produces, evaluating only
+        the schemes the journal does not already hold."""
+        kill_after = 3
+        journal_path = tmp_path / "sweep-kill.jsonl"
+        script = tmp_path / "kill_sweep.py"
+        script.write_text(KILL_SCRIPT, encoding="utf-8")
+
+        repo_root = Path(__file__).resolve().parents[2]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(repo_root / "src"), str(repo_root)]
+        )
+        completed = subprocess.run(
+            [sys.executable, str(script), str(journal_path), str(kill_after)],
+            env=env,
+            cwd=repo_root,
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert completed.returncode == 137, completed.stderr
+
+        # the journal survived the kill: header + exactly kill_after records
+        lines = journal_path.read_text().splitlines()
+        assert len(lines) == 1 + kill_after
+
+        traces = journal_traces()
+        schemes = [parse_scheme(text) for text in SCHEMES]
+        engine = CountingEngine()
+        journal = SweepJournal(
+            journal_path,
+            name="sweep-kill",
+            fingerprint="cafe0123",
+            trace_names=[trace.name for trace in traces],
+            resume=True,
+        )
+        resumed = batch_scheme_stats(schemes, traces, engine=engine, journal=journal)
+        journal.close()
+
+        # only the unfinished tail was evaluated...
+        assert len(engine.batched_schemes) == len(schemes) - kill_after
+        # ...and the final statistics are bit-identical to a clean run
+        clean = batch_scheme_stats(schemes, traces, engine=VectorizedEngine())
+        assert resumed == clean

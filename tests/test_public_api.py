@@ -19,13 +19,18 @@ class TestTopLevelExports:
 
     def test_readme_quickstart_surface(self):
         """The exact imports the README's quickstart uses."""
-        from repro import ScreeningStats, evaluate_scheme_fast, parse_scheme  # noqa: F401
-        from repro.harness import default_trace_set  # noqa: F401
+        from repro.api import (  # noqa: F401
+            ScreeningStats,
+            default_trace_set,
+            evaluate,
+            sweep,
+        )
 
 
 @pytest.mark.parametrize(
     "module",
     [
+        "repro.api",
         "repro.core",
         "repro.core.indexing",
         "repro.core.functions",
@@ -51,6 +56,7 @@ class TestTopLevelExports:
         "repro.trace.events",
         "repro.trace.builder",
         "repro.trace.io",
+        "repro.trace.shm",
         "repro.trace.stats",
         "repro.trace.patterns",
         "repro.workloads",
