@@ -36,21 +36,27 @@ from typing import Dict, List, Optional, Sequence, Union
 from repro.core.schemes import Scheme, parse_scheme
 from repro.core.update import UpdateMode
 from repro.engine import EvaluationEngine, make_engine
+from repro.forwarding.simulator import ForwardingConfig
 from repro.metrics.confusion import ConfusionCounts
 from repro.metrics.screening import ScreeningStats
+from repro.metrics.traffic import TrafficModel, TrafficReport
 from repro.trace.events import SharingTrace
 
 __all__ = [
     "ConfusionCounts",
+    "ForwardingConfig",
     "Scheme",
     "ScreeningStats",
     "SharingTrace",
+    "TrafficModel",
+    "TrafficReport",
     "UpdateMode",
     "default_trace_set",
     "evaluate",
     "evaluate_suite",
     "make_engine",
     "parse_scheme",
+    "simulate_forwarding",
     "sweep",
 ]
 
@@ -108,6 +114,39 @@ def evaluate_suite(
     """Score one scheme on each trace, fresh predictor state per trace."""
     return _resolve_engine(engine).evaluate_suite(
         _as_scheme(scheme), list(traces), exclude_writer=exclude_writer
+    )
+
+
+def simulate_forwarding(
+    scheme: SchemeLike,
+    trace: SharingTrace,
+    *,
+    topology: str = "mesh",
+    model: Optional[TrafficModel] = None,
+    engine: Optional[EvaluationEngine] = None,
+) -> TrafficReport:
+    """Simulate prediction-driven forwarding on one trace.
+
+    Replays the trace through the epoch-level directory protocol twice --
+    the invalidate/request baseline and the forwarding run driven by
+    ``scheme``'s predictions -- and returns the
+    :class:`TrafficReport` comparing their message ledgers and hop-weighted
+    latency.  The report's confusion quad is bit-identical to
+    :func:`evaluate` on the same inputs.
+
+    Args:
+        scheme: a :class:`Scheme` or its string form.
+        trace: the sharing trace to replay.
+        topology: interconnect shape pricing each hop (``crossbar``,
+            ``ring``, ``mesh``, or ``hypercube``).
+        model: message cost model; default :class:`TrafficModel`.
+        engine: evaluation backend; default per environment configuration.
+    """
+    config = ForwardingConfig(
+        topology=topology, model=model if model is not None else TrafficModel()
+    )
+    return _resolve_engine(engine).simulate_traffic(
+        _as_scheme(scheme), trace, config=config
     )
 
 

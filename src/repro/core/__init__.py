@@ -26,8 +26,8 @@ from repro.core.functions import (
     make_function,
 )
 from repro.core.twolevel import PAsFunction
-from repro.core.evaluator import evaluate_scheme
-from repro.core.vectorized import evaluate_scheme_fast
+from repro.core.evaluator import evaluate_scheme, predict_scheme
+from repro.core.vectorized import evaluate_scheme_fast, predict_scheme_fast
 from repro.core.space import enumerate_schemes
 
 __all__ = [
@@ -43,5 +43,7 @@ __all__ = [
     "make_function",
     "evaluate_scheme",
     "evaluate_scheme_fast",
+    "predict_scheme",
+    "predict_scheme_fast",
     "enumerate_schemes",
 ]

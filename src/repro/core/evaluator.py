@@ -22,42 +22,30 @@ Update-mode timing implemented here (see DESIGN.md section 3):
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.core.schemes import Scheme
 from repro.core.update import UpdateMode
 from repro.metrics.confusion import ConfusionCounts
-from repro.trace.events import SharingTrace
+from repro.trace.events import SharingEvent, SharingTrace
 from repro.util.bitmaps import bitmap_mask
 
 
-def evaluate_scheme(
-    scheme: Scheme,
-    trace: SharingTrace,
-    exclude_writer: bool = True,
-    counts: Optional[ConfusionCounts] = None,
-) -> ConfusionCounts:
-    """Run ``scheme`` over ``trace`` and return accumulated confusion counts.
+def _iter_predictions(
+    scheme: Scheme, trace: SharingTrace, exclude_writer: bool
+) -> Iterator[Tuple[SharingEvent, int]]:
+    """Yield ``(event, prediction)`` for every event, in trace order.
 
-    Args:
-        scheme: the predictor configuration (function, index, depth, update).
-        trace: the sharing-event stream to predict.
-        exclude_writer: mask the writer's own bit out of every prediction
-            (forwarding data to their producer is meaningless).  The bit
-            still counts as a decision, landing in the true-negative cell,
-            so totals stay at ``len(trace) * num_nodes``.
-        counts: optional accumulator to merge into (for multi-trace runs).
-
-    Returns:
-        The :class:`ConfusionCounts` accumulator.
+    This generator *is* the reference semantics: it maintains the real
+    predictor table and applies each update mode's feedback timing, yielding
+    the (optionally writer-masked) bitmap the predictor would hand the
+    forwarding hardware at that event.  Scoring and traffic simulation both
+    consume it, so they cannot drift apart.
     """
-    if counts is None:
-        counts = ConfusionCounts()
     num_nodes = trace.num_nodes
     function = scheme.make_function(num_nodes)
     index = scheme.index
     mode = scheme.update
-    decision_mask = bitmap_mask(num_nodes)
 
     table: Dict[int, object] = {}
 
@@ -92,11 +80,52 @@ def evaluate_scheme(
         prediction = function.predict(entry_for(key))
         if exclude_writer:
             prediction &= ~(1 << event.writer)
-        counts.record(prediction, event.truth, decision_mask)
+        yield event, prediction
 
         if mode is UpdateMode.ORDERED:
             function.update(entry_for(key), event.truth)
 
+
+def predict_scheme(
+    scheme: Scheme, trace: SharingTrace, exclude_writer: bool = True
+) -> List[int]:
+    """The per-event prediction bitmaps ``scheme`` emits over ``trace``.
+
+    The reference-path counterpart of
+    :func:`repro.core.vectorized.predict_scheme_fast`; feed the result to
+    :func:`repro.forwarding.replay_traffic` to simulate the traffic.
+    """
+    return [
+        prediction
+        for _event, prediction in _iter_predictions(scheme, trace, exclude_writer)
+    ]
+
+
+def evaluate_scheme(
+    scheme: Scheme,
+    trace: SharingTrace,
+    exclude_writer: bool = True,
+    counts: Optional[ConfusionCounts] = None,
+) -> ConfusionCounts:
+    """Run ``scheme`` over ``trace`` and return accumulated confusion counts.
+
+    Args:
+        scheme: the predictor configuration (function, index, depth, update).
+        trace: the sharing-event stream to predict.
+        exclude_writer: mask the writer's own bit out of every prediction
+            (forwarding data to their producer is meaningless).  The bit
+            still counts as a decision, landing in the true-negative cell,
+            so totals stay at ``len(trace) * num_nodes``.
+        counts: optional accumulator to merge into (for multi-trace runs).
+
+    Returns:
+        The :class:`ConfusionCounts` accumulator.
+    """
+    if counts is None:
+        counts = ConfusionCounts()
+    decision_mask = bitmap_mask(trace.num_nodes)
+    for event, prediction in _iter_predictions(scheme, trace, exclude_writer):
+        counts.record(prediction, event.truth, decision_mask)
     return counts
 
 

@@ -47,17 +47,17 @@ from repro.util.bitmaps import POPCOUNT16, bitmap_mask
 _BITMAP_FUNCTIONS = ("last", "union", "inter", "overlap")
 
 
-def evaluate_scheme_fast(
-    scheme: Scheme,
-    trace: SharingTrace,
-    exclude_writer: bool = True,
-    counts: Optional[ConfusionCounts] = None,
-) -> ConfusionCounts:
-    """Drop-in fast replacement for :func:`repro.core.evaluator.evaluate_scheme`."""
-    if counts is None:
-        counts = ConfusionCounts()
+def predict_scheme_fast(
+    scheme: Scheme, trace: SharingTrace, exclude_writer: bool = True
+) -> np.ndarray:
+    """The per-event prediction bitmaps ``scheme`` emits over ``trace``.
+
+    A ``uint32`` array, one forwarding bitmap per event -- the fast-path
+    counterpart of :func:`repro.core.evaluator.predict_scheme`, and the
+    array :func:`repro.forwarding.replay_traffic` consumes.
+    """
     if len(trace) == 0:
-        return counts
+        return np.zeros(0, dtype=np.uint32)
     if scheme.function in _BITMAP_FUNCTIONS:
         predictions = _predict_bitmap_scheme(scheme, trace)
     elif scheme.function == "pas":
@@ -71,7 +71,21 @@ def evaluate_scheme_fast(
     if exclude_writer:
         writer_bit = (np.uint32(1) << trace.writer.astype(np.uint32)).astype(np.uint32)
         predictions = predictions & ~writer_bit
+    return predictions
 
+
+def evaluate_scheme_fast(
+    scheme: Scheme,
+    trace: SharingTrace,
+    exclude_writer: bool = True,
+    counts: Optional[ConfusionCounts] = None,
+) -> ConfusionCounts:
+    """Drop-in fast replacement for :func:`repro.core.evaluator.evaluate_scheme`."""
+    if counts is None:
+        counts = ConfusionCounts()
+    if len(trace) == 0:
+        return counts
+    predictions = predict_scheme_fast(scheme, trace, exclude_writer=exclude_writer)
     _score(predictions, trace, counts)
     return counts
 

@@ -30,7 +30,7 @@ import os
 from typing import Dict, Optional, Type
 
 from repro.engine.backends import ReferenceEngine, VectorizedEngine
-from repro.engine.base import EvaluationEngine, pooled
+from repro.engine.base import EvaluationEngine, ResultCallback, TrafficCallback, pooled
 from repro.engine.parallel import ParallelEngine
 
 logger = logging.getLogger("repro.engine")
@@ -41,6 +41,8 @@ __all__ = [
     "VectorizedEngine",
     "ParallelEngine",
     "BACKENDS",
+    "ResultCallback",
+    "TrafficCallback",
     "make_engine",
     "get_default_engine",
     "set_default_engine",

@@ -7,7 +7,9 @@ and swap execution strategies by name.
 
 from __future__ import annotations
 
-from repro.core.evaluator import evaluate_scheme
+from typing import Sequence
+
+from repro.core.evaluator import evaluate_scheme, predict_scheme
 from repro.core.schemes import Scheme
 from repro.core.vectorized import evaluate_scheme_fast
 from repro.engine.base import EvaluationEngine
@@ -28,6 +30,12 @@ class ReferenceEngine(EvaluationEngine):
         self, scheme: Scheme, trace: SharingTrace, exclude_writer: bool
     ) -> ConfusionCounts:
         return evaluate_scheme(scheme, trace, exclude_writer=exclude_writer)
+
+    def _predict_one(self, scheme: Scheme, trace: SharingTrace) -> Sequence[int]:
+        # The reference engine's traffic reports are derived from its own
+        # prediction path, so the differential tests cross-check the two
+        # predictor implementations end to end, not just their scoring.
+        return predict_scheme(scheme, trace)
 
 
 class VectorizedEngine(EvaluationEngine):

@@ -57,13 +57,23 @@ from abc import ABC, abstractmethod
 from typing import Callable, List, Optional, Sequence
 
 from repro.core.schemes import Scheme
+from repro.forwarding.simulator import (
+    DEFAULT_FORWARDING_CONFIG,
+    ForwardingConfig,
+    replay_traffic,
+)
 from repro.metrics.confusion import ConfusionCounts
+from repro.metrics.traffic import TrafficReport
 from repro.telemetry import get_telemetry
 from repro.trace.events import SharingTrace
 
 #: callback signature for incremental batch results:
 #: ``on_result(scheme_index, per_trace_counts)``
 ResultCallback = Callable[[int, List[ConfusionCounts]], None]
+
+#: callback signature for incremental traffic results:
+#: ``on_result(scheme_index, per_trace_reports)``
+TrafficCallback = Callable[[int, List[TrafficReport]], None]
 
 
 def _legacy_exclude_writer(method: str, legacy: tuple, exclude_writer: bool) -> bool:
@@ -189,6 +199,101 @@ class EvaluationEngine(ABC):
             per_trace = self.evaluate_suite(
                 scheme, traces, exclude_writer=exclude_writer
             )
+            if on_result is not None:
+                on_result(index, per_trace)
+            results.append(per_trace)
+        return results
+
+    # ------------------------------------------------------------------
+    # Traffic simulation
+    # ------------------------------------------------------------------
+
+    def _predict_one(self, scheme: Scheme, trace: SharingTrace) -> Sequence[int]:
+        """Backend hook: the per-event prediction bitmaps for one trace.
+
+        The default routes through the vectorized predictor -- correct for
+        every scheme -- so backends only override it to exercise their own
+        prediction path (the reference engine does, keeping the traffic
+        simulation as independently-derived as its confusion counts).
+        """
+        from repro.core.vectorized import predict_scheme_fast
+
+        return predict_scheme_fast(scheme, trace)
+
+    def simulate_traffic(
+        self,
+        scheme: Scheme,
+        trace: SharingTrace,
+        *,
+        config: Optional[ForwardingConfig] = None,
+    ) -> TrafficReport:
+        """Predict over one trace and replay it through the directory.
+
+        Returns the :class:`~repro.metrics.traffic.TrafficReport` comparing
+        the baseline invalidate protocol against prediction-driven
+        forwarding under ``config``'s topology and cost model.  The report's
+        confusion quad is bit-identical to :meth:`evaluate` on the same
+        inputs (the simulator scores the very prediction stream it replays).
+        """
+        if config is None:
+            config = DEFAULT_FORWARDING_CONFIG
+        predictions = self._predict_one(scheme, trace)
+        return replay_traffic(
+            trace,
+            predictions,
+            scheme=scheme.full_name,
+            topology=config.topology,
+            model=config.model,
+        )
+
+    def evaluate_traffic(
+        self,
+        schemes: Sequence[Scheme],
+        traces: Sequence[SharingTrace],
+        *,
+        config: Optional[ForwardingConfig] = None,
+        on_result: Optional[TrafficCallback] = None,
+    ) -> List[List[TrafficReport]]:
+        """Simulate forwarding traffic for every scheme on every trace.
+
+        The traffic analogue of :meth:`evaluate_batch`: one report list per
+        scheme (input order), one report per trace; ``on_result`` fires per
+        scheme as its suite completes, possibly out of input order, which is
+        what the traffic-sweep journal checkpoints on.
+        """
+        if config is None:
+            config = DEFAULT_FORWARDING_CONFIG
+        telemetry = get_telemetry()
+        if not telemetry.enabled:
+            return self._evaluate_traffic_batch(
+                schemes, traces, config=config, on_result=on_result
+            )
+        started = time.perf_counter()
+        results = self._evaluate_traffic_batch(
+            schemes, traces, config=config, on_result=on_result
+        )
+        telemetry.timer_add(
+            f"engine.{self.name}.traffic_seconds", time.perf_counter() - started
+        )
+        telemetry.count(f"engine.{self.name}.traffic_batches")
+        telemetry.count(f"engine.{self.name}.traffic_schemes", len(schemes))
+        return results
+
+    def _evaluate_traffic_batch(
+        self,
+        schemes: Sequence[Scheme],
+        traces: Sequence[SharingTrace],
+        *,
+        config: ForwardingConfig,
+        on_result: Optional[TrafficCallback],
+    ) -> List[List[TrafficReport]]:
+        """Backend hook: the serial scheme-by-scheme traffic strategy."""
+        results: List[List[TrafficReport]] = []
+        for index, scheme in enumerate(schemes):
+            per_trace = [
+                self.simulate_traffic(scheme, trace, config=config)
+                for trace in traces
+            ]
             if on_result is not None:
                 on_result(index, per_trace)
             results.append(per_trace)

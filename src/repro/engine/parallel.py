@@ -48,13 +48,15 @@ import math
 import os
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.schemes import Scheme
-from repro.core.vectorized import evaluate_scheme_fast
+from repro.core.vectorized import evaluate_scheme_fast, predict_scheme_fast
 from repro.engine.backends import VectorizedEngine
-from repro.engine.base import EvaluationEngine, ResultCallback
+from repro.engine.base import EvaluationEngine, ResultCallback, TrafficCallback
+from repro.forwarding.simulator import ForwardingConfig, replay_traffic
 from repro.metrics.confusion import ConfusionCounts
+from repro.metrics.traffic import TrafficReport
 from repro.telemetry import Telemetry, get_telemetry
 from repro.trace.events import SharingTrace
 from repro.trace.shm import attach_trace, publish_traces, shm_available, shm_enabled
@@ -150,6 +152,44 @@ def _evaluate_chunk(
     telemetry.timer_add(f"{prefix}.seconds", elapsed)
     if _WORKER_SEGMENTS:
         telemetry.count(f"{prefix}.shm_attached_traces", len(_WORKER_SEGMENTS))
+    return results, elapsed, events, telemetry.to_json()
+
+
+def _traffic_chunk(
+    schemes: List[Scheme], config: ForwardingConfig, with_telemetry: bool = False
+) -> Tuple[List[List[dict]], float, int, Optional[dict]]:
+    """Worker task: simulate forwarding traffic for a chunk of schemes.
+
+    The traffic twin of :func:`_evaluate_chunk`, returning one
+    ``TrafficReport.to_json()`` dict per (scheme, trace) so result pickling
+    stays flat; the parent rehydrates with ``TrafficReport.from_json``.
+    """
+    started = time.perf_counter()
+    results = []
+    events = 0
+    for scheme in schemes:
+        per_trace = []
+        for trace in _WORKER_TRACES:
+            predictions = predict_scheme_fast(scheme, trace)
+            report = replay_traffic(
+                trace,
+                predictions,
+                scheme=scheme.full_name,
+                topology=config.topology,
+                model=config.model,
+            )
+            events += len(trace)
+            per_trace.append(report.to_json())
+        results.append(per_trace)
+    elapsed = time.perf_counter() - started
+    if not with_telemetry:
+        return results, elapsed, events, None
+    telemetry = Telemetry()
+    prefix = f"engine.parallel.worker.{os.getpid()}"
+    telemetry.count(f"{prefix}.chunks")
+    telemetry.count(f"{prefix}.schemes", len(schemes))
+    telemetry.count(f"{prefix}.events", events)
+    telemetry.timer_add(f"{prefix}.seconds", elapsed)
     return results, elapsed, events, telemetry.to_json()
 
 
@@ -359,12 +399,46 @@ class ParallelEngine(EvaluationEngine):
         exclude_writer: bool,
         on_result: Optional[ResultCallback],
     ) -> List[List[ConfusionCounts]]:
+        def decode(per_trace: List[Tuple[int, int, int, int]]) -> List[ConfusionCounts]:
+            return [
+                ConfusionCounts(
+                    true_positive=tp,
+                    false_positive=fp,
+                    false_negative=fn,
+                    true_negative=tn,
+                )
+                for tp, fp, fn, tn in per_trace
+            ]
+
+        return self._run_pooled(
+            schemes, traces, _evaluate_chunk, (exclude_writer,), decode, on_result
+        )
+
+    def _run_pooled(
+        self,
+        schemes: Sequence[Scheme],
+        traces: Sequence[SharingTrace],
+        task: Callable,
+        task_args: tuple,
+        decode: Callable[[list], list],
+        on_result: Optional[Callable[[int, list], None]],
+    ) -> List[list]:
+        """Demand-driven pooled execution of ``task`` over scheme chunks.
+
+        The shared control plane of every pooled batch shape: transport
+        setup, adaptive chunk scheduling, completion-order result decoding,
+        and telemetry folding.  ``task`` is a module-level worker function
+        called as ``task(chunk_schemes, *task_args, with_telemetry)`` and
+        must return the ``(per_scheme_payloads, elapsed, events, snapshot)``
+        quadruple; ``decode`` rehydrates one scheme's payload into the
+        caller's result objects.
+        """
         telemetry = get_telemetry()
         schemes = list(schemes)
         scheduler = _ChunkScheduler(len(schemes), self.chunk_size, self.jobs)
         workers = min(self.jobs, len(schemes))
         max_inflight = workers * INFLIGHT_PER_WORKER
-        results: List[Optional[List[ConfusionCounts]]] = [None] * len(schemes)
+        results: List[Optional[list]] = [None] * len(schemes)
         published, payload = self._prepare_transport(traces)
         try:
             with ProcessPoolExecutor(
@@ -377,9 +451,9 @@ class ParallelEngine(EvaluationEngine):
                     while scheduler.has_pending() and len(inflight) < max_inflight:
                         start, size = scheduler.next_chunk()
                         future = pool.submit(
-                            _evaluate_chunk,
+                            task,
                             schemes[start : start + size],
-                            exclude_writer,
+                            *task_args,
                             telemetry.enabled,
                         )
                         inflight[future] = (start, size)
@@ -393,18 +467,10 @@ class ParallelEngine(EvaluationEngine):
                         if snapshot is not None:
                             telemetry.merge(Telemetry.from_json(snapshot))
                         for offset, per_trace in enumerate(chunk_results):
-                            counts = [
-                                ConfusionCounts(
-                                    true_positive=tp,
-                                    false_positive=fp,
-                                    false_negative=fn,
-                                    true_negative=tn,
-                                )
-                                for tp, fp, fn, tn in per_trace
-                            ]
-                            results[start + offset] = counts
+                            decoded = decode(per_trace)
+                            results[start + offset] = decoded
                             if on_result is not None:
-                                on_result(start + offset, counts)
+                                on_result(start + offset, decoded)
         finally:
             if published is not None:
                 published.close()
@@ -416,3 +482,37 @@ class ParallelEngine(EvaluationEngine):
             )
         assert all(entry is not None for entry in results)
         return results  # type: ignore[return-value]
+
+    def _evaluate_traffic_batch(
+        self,
+        schemes: Sequence[Scheme],
+        traces: Sequence[SharingTrace],
+        *,
+        config: ForwardingConfig,
+        on_result: Optional[TrafficCallback],
+    ) -> List[List[TrafficReport]]:
+        if self.jobs <= 1 or len(schemes) < MIN_BATCH_FOR_POOL:
+            return super()._evaluate_traffic_batch(
+                schemes, traces, config=config, on_result=on_result
+            )
+        telemetry = get_telemetry()
+        try:
+            return self._run_pooled(
+                schemes,
+                traces,
+                _traffic_chunk,
+                (config,),
+                lambda per_trace: [TrafficReport.from_json(d) for d in per_trace],
+                on_result,
+            )
+        except Exception as error:  # noqa: BLE001 - any pool failure degrades
+            logger.warning(
+                "parallel traffic backend failed (%s: %s); falling back to "
+                "serial in-process simulation",
+                type(error).__name__,
+                error,
+            )
+            telemetry.count("engine.parallel.fallbacks")
+            return super()._evaluate_traffic_batch(
+                schemes, traces, config=config, on_result=on_result
+            )

@@ -1,0 +1,243 @@
+"""The end-to-end forwarding-traffic simulator.
+
+:func:`replay_traffic` replays one sharing trace through the epoch-level
+directory protocol twice -- the baseline invalidate/request run and the
+prediction-driven forwarding run -- and tallies every coherence message
+into a :class:`~repro.metrics.traffic.TrafficReport`.  The per-event
+message model (all legs skipped when source == destination, i.e. the
+transaction is node-local):
+
+* **write transaction** (both runs): request ``writer -> home`` plus a
+  data grant ``home -> writer``.
+* **epoch close** (both runs, identical by construction): invalidation
+  ``home -> copy`` and ack ``copy -> home`` for every legitimate copy of
+  the previous epoch; staged-but-unread forwards expire silently.
+* **demand read** by reader *r* (every true reader in the baseline; only
+  uncovered readers in the forwarding run): request ``r -> home``, an
+  intervention ``home -> owner`` *only when the home is not the owner*
+  (charging it when the writer is already the block's home double-counts
+  the directory-to-owner hop), and a data response ``owner -> r``.
+* **forward** (forwarding run only): one pushed data message
+  ``writer -> p`` per predicted reader *p*; tallied as ``forwards`` when
+  *p* really reads this epoch (a true positive) and ``useless_forwards``
+  otherwise -- so the useless-forward count *is* the evaluator's FP count.
+
+Latency: each message costs its payload (:meth:`TrafficModel.payload_cost`)
+plus ``hop_cost`` times the topology distance between its endpoints.  A
+consumed forward hides the reader's whole demand-read latency, credited to
+``latency_hidden`` (per node and in aggregate).
+
+Everything is derived from the same prediction arrays the evaluation
+engines score, so the report's confusion quad is bit-identical to the
+golden-fixture counts (``tests/golden/test_traffic_differential.py``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Sequence, Union
+
+from repro.forwarding.topology import Topology, make_topology
+from repro.memory.protocol import EpochProtocol
+from repro.metrics.confusion import ConfusionCounts
+from repro.metrics.traffic import MESSAGE_CLASSES, TrafficModel, TrafficReport
+from repro.telemetry import get_telemetry
+from repro.trace.events import SharingTrace
+from repro.util.bitmaps import bitmap_mask, iter_set_bits
+
+
+@dataclass(frozen=True)
+class ForwardingConfig:
+    """The simulator's knobs: network shape and message cost model."""
+
+    topology: str = "mesh"
+    model: TrafficModel = field(default_factory=TrafficModel)
+
+
+#: the default 16-node configuration (a 4x4 mesh, paper machine size)
+DEFAULT_FORWARDING_CONFIG = ForwardingConfig()
+
+
+def demand_read_cost(
+    reader: int,
+    writer: int,
+    home: int,
+    topology: Topology,
+    model: TrafficModel,
+) -> "tuple[int, float]":
+    """Messages and latency of one demand read in the three-leg protocol.
+
+    The intervention leg exists only when the home is not the owner; a
+    local leg (source == destination) is free.  Returns ``(messages,
+    latency)``.
+    """
+    messages = 1
+    latency = model.data_cost + model.hop_cost * topology.hops(writer, reader)
+    if reader != home:
+        messages += 1
+        latency += model.request_cost + model.hop_cost * topology.hops(reader, home)
+    if home != writer:
+        messages += 1
+        latency += model.request_cost + model.hop_cost * topology.hops(home, writer)
+    return messages, latency
+
+
+def replay_traffic(
+    trace: SharingTrace,
+    predictions: Sequence[int],
+    scheme: str = "",
+    topology: Union[str, Topology] = "mesh",
+    model: TrafficModel = TrafficModel(),
+) -> TrafficReport:
+    """Simulate baseline and forwarding runs of one trace; return the report.
+
+    ``predictions`` holds one forwarding bitmap per event -- whatever the
+    predictor emitted (any residual writer bit is masked off, matching the
+    evaluators' ``exclude_writer`` convention).
+    """
+    started = time.perf_counter()
+    num_nodes = trace.num_nodes
+    if not isinstance(topology, Topology):
+        topology = make_topology(topology, num_nodes)
+    if topology.num_nodes != num_nodes:
+        raise ValueError(
+            f"topology is for {topology.num_nodes} nodes, trace for {num_nodes}"
+        )
+    if len(predictions) != len(trace):
+        raise ValueError(
+            f"got {len(predictions)} predictions for {len(trace)} events"
+        )
+
+    mask = bitmap_mask(num_nodes)
+    hops = topology.matrix
+    request_cost = model.request_cost
+    data_cost = model.data_cost
+    hop_cost = model.hop_cost
+
+    baseline = EpochProtocol(num_nodes)
+    forwarding = EpochProtocol(num_nodes)
+    counts = ConfusionCounts()
+    base_msgs = dict.fromkeys(MESSAGE_CLASSES, 0)
+    fwd_msgs = dict.fromkeys(MESSAGE_CLASSES, 0)
+    base_latency = 0.0
+    fwd_latency = 0.0
+    saved_per_node = [0] * num_nodes
+    hidden_per_node = [0.0] * num_nodes
+
+    writers = trace.writer.tolist()
+    homes = trace.home.tolist()
+    blocks = trace.block.tolist()
+    truths = trace.truth.tolist()
+    invals = trace.inval.tolist()
+    has_invals = trace.has_inval.tolist()
+
+    for position in range(len(trace)):
+        writer = writers[position]
+        home = homes[position]
+        block = blocks[position]
+        truth = truths[position]
+        inval = invals[position]
+        has_inval = has_invals[position]
+        # Forwarding to the writer is meaningless (it holds the line), so
+        # its bit is masked out of the prediction; like the evaluation
+        # engines, the bit still counts as a decision (a guaranteed true
+        # negative), keeping this quad bit-identical to theirs.
+        predicted = int(predictions[position]) & mask & ~(1 << writer)
+        counts.record(predicted, truth, mask)
+
+        base_transition = baseline.apply_event(
+            writer, block, truth, 0, inval, has_inval
+        )
+        forwarding.apply_event(writer, block, truth, predicted, inval, has_inval)
+
+        # Write transaction: request + data grant, in both runs.
+        if writer != home:
+            cost = (
+                request_cost
+                + data_cost
+                + hop_cost * (hops[writer][home] + hops[home][writer])
+            )
+            base_msgs["requests"] += 1
+            base_msgs["responses"] += 1
+            fwd_msgs["requests"] += 1
+            fwd_msgs["responses"] += 1
+            base_latency += cost
+            fwd_latency += cost
+
+        # Epoch close: identical in both runs (staged copies expire free).
+        home_row = hops[home]
+        for copy in iter_set_bits(base_transition.invalidated):
+            if copy == home:
+                continue
+            cost = 2 * request_cost + hop_cost * (home_row[copy] + hops[copy][home])
+            base_msgs["invalidations"] += 1
+            base_msgs["acks"] += 1
+            fwd_msgs["invalidations"] += 1
+            fwd_msgs["acks"] += 1
+            base_latency += cost
+            fwd_latency += cost
+
+        # Demand reads: the baseline serves every true reader; the
+        # forwarding run only those the predictor missed.  A consumed
+        # forward saves the whole three-leg read and hides its latency.
+        writer_row = hops[writer]
+        for reader in iter_set_bits(truth):
+            messages = 1
+            latency = data_cost + hop_cost * writer_row[reader]
+            if reader != home:
+                messages += 1
+                latency += request_cost + hop_cost * hops[reader][home]
+            if home != writer:
+                messages += 1
+                latency += request_cost + hop_cost * home_row[writer]
+            base_msgs["requests"] += reader != home
+            base_msgs["interventions"] += home != writer
+            base_msgs["responses"] += 1
+            base_latency += latency
+            if (predicted >> reader) & 1:
+                saved_per_node[reader] += messages - 1
+                hidden_per_node[reader] += latency
+            else:
+                fwd_msgs["requests"] += reader != home
+                fwd_msgs["interventions"] += home != writer
+                fwd_msgs["responses"] += 1
+                fwd_latency += latency
+
+        # Forwards: one pushed data message per predicted reader.
+        for target in iter_set_bits(predicted):
+            if (truth >> target) & 1:
+                fwd_msgs["forwards"] += 1
+            else:
+                fwd_msgs["useless_forwards"] += 1
+            fwd_latency += data_cost + hop_cost * writer_row[target]
+
+    report = TrafficReport(
+        scheme=scheme,
+        trace=trace.name,
+        num_nodes=num_nodes,
+        topology=topology.name,
+        model=model,
+        true_positive=counts.true_positive,
+        false_positive=counts.false_positive,
+        false_negative=counts.false_negative,
+        true_negative=counts.true_negative,
+        baseline_messages=base_msgs,
+        forwarding_messages=fwd_msgs,
+        baseline_latency=base_latency,
+        forwarding_latency=fwd_latency,
+        messages_saved=sum(saved_per_node),
+        latency_hidden=sum(hidden_per_node),
+        per_node_messages_saved=tuple(saved_per_node),
+        per_node_latency_hidden=tuple(hidden_per_node),
+    )
+    telemetry = get_telemetry()
+    if telemetry.enabled:
+        telemetry.count("forwarding.reports")
+        telemetry.count("forwarding.events", len(trace))
+        telemetry.count("forwarding.messages_saved", report.messages_saved)
+        telemetry.count("forwarding.useless_forwards", report.useless_forwards)
+        telemetry.timer_add(
+            "forwarding.simulate_seconds", time.perf_counter() - started
+        )
+    return report

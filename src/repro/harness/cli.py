@@ -10,6 +10,8 @@ Examples::
     repro-bench ext-patterns        # extension experiments (DESIGN.md §5)
     repro-bench fig6 --no-cache     # force recomputation
     repro-bench table8 --resume     # continue a killed sweep from its journal
+    repro-bench --traffic           # forwarding-protocol traffic simulation
+    repro-bench --traffic-out t.json --benchmarks gauss  # dump TrafficReports
 
 Backend selection: ``--backend`` / ``--jobs`` win; otherwise the
 ``REPRO_BACKEND`` and ``REPRO_JOBS`` environment variables apply; the
@@ -63,10 +65,27 @@ def _build_parser(experiments) -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiments",
-        nargs="+",
+        nargs="*",
         help=(
             f"experiment names ({', '.join(experiments)}), "
             "'all' (paper tables/figures), or 'ext' (all extensions)"
+        ),
+    )
+    parser.add_argument(
+        "--traffic",
+        action="store_true",
+        help=(
+            "run the journaled traffic-savings sweep (the forwarding-protocol "
+            "simulator over the canonical schemes) and print the table"
+        ),
+    )
+    parser.add_argument(
+        "--traffic-out",
+        metavar="FILE",
+        default=None,
+        help=(
+            "write the traffic sweep's full per-benchmark TrafficReports as "
+            "schema-versioned JSON to FILE (implies --traffic)"
         ),
     )
     parser.add_argument(
@@ -145,6 +164,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = _build_parser(experiments)
     args = parser.parse_args(argv)
 
+    run_traffic = args.traffic or args.traffic_out is not None
+    if not args.experiments and not run_traffic:
+        parser.error("name at least one experiment (or pass --traffic)")
+
     names: List[str] = []
     for name in args.experiments:
         if name == "all":
@@ -205,6 +228,46 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"\n[{name} completed in {elapsed:.1f}s "
                 f"(backend={engine.name})]\n"
             )
+        if run_traffic:
+            # The sweep runs directly (not via run_experiment) so the
+            # journaled grid is in hand for --traffic-out: the result cache
+            # only keeps the rendered table, not the per-benchmark reports.
+            from repro.harness.experiments.traffic import (
+                DEFAULT_TRAFFIC_CONFIG,
+                run_traffic_sweep,
+                traffic_savings_result,
+            )
+            from repro.metrics.traffic import TRAFFIC_SCHEMA
+
+            started = time.perf_counter()
+            schemes, grid = run_traffic_sweep(trace_set)
+            elapsed = time.perf_counter() - started
+            report.add_experiment("traffic-savings", elapsed)
+            print(
+                render_table(
+                    traffic_savings_result(schemes, grid, DEFAULT_TRAFFIC_CONFIG)
+                )
+            )
+            print(
+                f"\n[traffic-savings completed in {elapsed:.1f}s "
+                f"(backend={engine.name})]\n"
+            )
+            if args.traffic_out:
+                payload = {
+                    "schema": TRAFFIC_SCHEMA,
+                    "topology": DEFAULT_TRAFFIC_CONFIG.topology,
+                    "benchmarks": trace_set.benchmarks,
+                    "schemes": [scheme.full_name for scheme in schemes],
+                    "reports": [
+                        [report_.to_json() for report_ in reports]
+                        for reports in grid
+                    ],
+                }
+                atomic_write_json(args.traffic_out, payload)
+                print(
+                    f"[traffic reports written to {args.traffic_out}]",
+                    file=sys.stderr,
+                )
     finally:
         if profiler is not None:
             profiler.disable()

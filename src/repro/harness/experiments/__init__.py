@@ -140,15 +140,17 @@ def __getattr__(name: str):
 
 
 def all_experiments() -> Dict[str, Callable[..., ExperimentResult]]:
-    """Paper experiments plus the extension experiments of DESIGN.md §5.
+    """Paper experiments plus the extension and traffic experiment families.
 
     Imported lazily to avoid a module cycle (extensions build on the
     helpers defined here).
     """
+    from repro.harness.experiments.traffic import TRAFFIC_EXPERIMENTS
     from repro.harness.extensions import EXTENSION_EXPERIMENTS
 
     combined = dict(EXPERIMENTS)
     combined.update(EXTENSION_EXPERIMENTS)
+    combined.update(TRAFFIC_EXPERIMENTS)
     return combined
 
 

@@ -312,7 +312,15 @@ class SweepJournal:
     silently dropped on replay.  A journal whose header does not match the
     requested computation is discarded -- resuming can change wall-clock,
     never results.
+
+    Subclasses journal other per-scheme payloads by overriding :data:`KIND`
+    and the :meth:`_encode_payload` / :meth:`_decode_payload` pair
+    (:class:`TrafficJournal` checkpoints traffic reports this way); the
+    header discipline, torn-tail handling, and resume semantics are shared.
     """
+
+    #: header tag binding a journal file to one payload format
+    KIND = "sweep-journal"
 
     def __init__(
         self,
@@ -327,7 +335,7 @@ class SweepJournal:
         self.name = name
         self.fingerprint = fingerprint
         self.trace_names = list(trace_names)
-        self._completed: Dict[str, List[ConfusionCounts]] = {}
+        self._completed: Dict[str, list] = {}
         self._handle = None
         if resume and self.path.exists():
             self._completed = self._replay()
@@ -349,13 +357,38 @@ class SweepJournal:
     def _header(self) -> dict:
         return {
             "schema": JOURNAL_SCHEMA,
-            "kind": "sweep-journal",
+            "kind": self.KIND,
             "name": self.name,
             "fingerprint": self.fingerprint,
             "traces": self.trace_names,
         }
 
-    def _replay(self) -> Dict[str, List[ConfusionCounts]]:
+    def _encode_payload(self, payload: list) -> dict:
+        """Payload hook: one completed scheme's per-trace data as JSON fields."""
+        return {
+            "counts": [
+                [c.true_positive, c.false_positive, c.false_negative, c.true_negative]
+                for c in payload
+            ]
+        }
+
+    def _decode_payload(self, record: dict) -> list:
+        """Payload hook: invert :meth:`_encode_payload`.
+
+        Must raise ``ValueError`` / ``KeyError`` / ``TypeError`` on any
+        malformed record -- that is how the replay loop detects a torn tail.
+        """
+        return [
+            ConfusionCounts(
+                true_positive=tp,
+                false_positive=fp,
+                false_negative=fn,
+                true_negative=tn,
+            )
+            for tp, fp, fn, tn in record["counts"]
+        ]
+
+    def _replay(self) -> Dict[str, list]:
         """Parse an existing journal; incompatible or corrupt -> start over.
 
         Only a *verified* header admits records; any undecodable line after
@@ -363,7 +396,7 @@ class SweepJournal:
         every record before it.
         """
         telemetry = get_telemetry()
-        completed: Dict[str, List[ConfusionCounts]] = {}
+        completed: Dict[str, list] = {}
         try:
             with open(self.path, "r", encoding="utf-8") as handle:
                 lines = handle.read().splitlines()
@@ -389,15 +422,7 @@ class SweepJournal:
             try:
                 record = json.loads(line)
                 scheme = record["scheme"]
-                counts = [
-                    ConfusionCounts(
-                        true_positive=tp,
-                        false_positive=fp,
-                        false_negative=fn,
-                        true_negative=tn,
-                    )
-                    for tp, fp, fn, tn in record["counts"]
-                ]
+                payload = self._decode_payload(record)
             except (ValueError, KeyError, TypeError):
                 logger.warning(
                     "sweep journal %s has a torn trailing record; dropping it",
@@ -405,31 +430,29 @@ class SweepJournal:
                 )
                 telemetry.count("journal.torn_records")
                 break
-            if len(counts) != len(self.trace_names):
+            if len(payload) != len(self.trace_names):
                 telemetry.count("journal.torn_records")
                 break
-            completed[scheme] = counts
+            completed[scheme] = payload
         return completed
 
     def _write_line(self, payload: dict) -> None:
         self._handle.write(json.dumps(payload, separators=(",", ":")) + "\n")
         self._handle.flush()
 
-    def get(self, scheme_name: str) -> Optional[List[ConfusionCounts]]:
-        """The journaled per-trace counts for a scheme, if completed."""
+    def get(self, scheme_name: str) -> Optional[list]:
+        """The journaled per-trace payload for a scheme, if completed."""
         return self._completed.get(scheme_name)
 
     def __len__(self) -> int:
         return len(self._completed)
 
-    def record(self, scheme_name: str, counts: Sequence[ConfusionCounts]) -> None:
-        """Append one completed scheme's per-trace counts (flushed)."""
-        quads = [
-            [c.true_positive, c.false_positive, c.false_negative, c.true_negative]
-            for c in counts
-        ]
-        self._write_line({"scheme": scheme_name, "counts": quads})
-        self._completed[scheme_name] = list(counts)
+    def record(self, scheme_name: str, payload: Sequence) -> None:
+        """Append one completed scheme's per-trace payload (flushed)."""
+        line = {"scheme": scheme_name}
+        line.update(self._encode_payload(list(payload)))
+        self._write_line(line)
+        self._completed[scheme_name] = list(payload)
         get_telemetry().count("journal.records")
 
     def close(self) -> None:
@@ -461,6 +484,50 @@ def open_sweep_journal(
         return None
     path = policy.journal_dir() / f"{name}-{fingerprint}.jsonl"
     return SweepJournal(
+        path,
+        name=name,
+        fingerprint=fingerprint,
+        trace_names=trace_names,
+        resume=policy.resume,
+    )
+
+
+class TrafficJournal(SweepJournal):
+    """Checkpoint journal for traffic sweeps: one TrafficReport per trace.
+
+    Same header/torn-tail/resume discipline as :class:`SweepJournal`; each
+    record line is ``{"scheme": ..., "reports": [TrafficReport.to_json()]}``
+    so a resumed sweep rehydrates bit-identical reports without re-running
+    the simulator.
+    """
+
+    KIND = "traffic-journal"
+
+    def _encode_payload(self, payload: list) -> dict:
+        return {"reports": [report.to_json() for report in payload]}
+
+    def _decode_payload(self, record: dict) -> list:
+        from repro.metrics.traffic import TrafficReport
+
+        reports = record["reports"]
+        if not isinstance(reports, list):
+            raise TypeError("reports must be a list")
+        return [TrafficReport.from_json(entry) for entry in reports]
+
+
+def open_traffic_journal(
+    name: str, fingerprint: str, trace_names: Sequence[str]
+) -> Optional[TrafficJournal]:
+    """A journal for one traffic sweep (None when journaling is disabled).
+
+    The journal class is resolved through the module global at call time so
+    tests can substitute a fault-injecting subclass.
+    """
+    policy = get_checkpoint_policy()
+    if not policy.enabled:
+        return None
+    path = policy.journal_dir() / f"{name}-{fingerprint}.jsonl"
+    return TrafficJournal(
         path,
         name=name,
         fingerprint=fingerprint,

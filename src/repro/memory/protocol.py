@@ -1,7 +1,7 @@
-"""The MSI invalidation protocol engine.
+"""The MSI invalidation protocol engine, and the epoch-level replay path.
 
-Processes per-node reads and writes against the caches and directory,
-generating the machine's coherence behaviour:
+The first half of this module processes per-node reads and writes against
+the caches and directory, generating the machine's coherence behaviour:
 
 * **read miss** — fetch a shared copy; a modified owner is downgraded to
   shared (sharing writeback).  The reader's access bit is set in the open
@@ -17,6 +17,21 @@ generating the machine's coherence behaviour:
 
 The engine is timing-free; requests complete atomically in program
 interleaving order, which is all the sharing study needs (paper Section 5.1).
+
+The second half is :class:`EpochProtocol`, the epoch-granularity replay of
+a *finalized* sharing trace with an optional data-forwarding path.  Where
+:class:`CoherenceProtocol` consumes raw accesses and produces a trace, the
+replay consumes the trace's events (one per coherence store, each carrying
+its epoch's eventual reader set) and reproduces the directory's epoch
+lifecycle -- invalidate the old copies, install the new owner, serve the
+epoch's readers -- while additionally pushing the written line to any
+predicted readers.  Forwarded copies sit in a staging buffer until the
+recipient actually reads (then they become ordinary shared copies) or the
+epoch closes (then they self-invalidate silently: the staging buffer keeps
+no access rights, so dropping a stale forward costs no message).  That
+choice keeps invalidation traffic identical between the baseline and
+forwarding runs, which is what makes the traffic ledgers of
+:mod:`repro.forwarding` exactly comparable.
 """
 
 from __future__ import annotations
@@ -282,4 +297,182 @@ class CoherenceProtocol:
             if len(exclusive_holders) > 1:
                 raise AssertionError(
                     f"block {block} has multiple exclusive copies at {exclusive_holders}"
+                )
+
+
+# ----------------------------------------------------------------------
+# Epoch-level replay with a forwarding path
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class EpochTransition:
+    """What one replayed event did to its block (all sets are bitmaps).
+
+    ``invalidated`` covers the previous epoch's legitimate copies (its
+    writer and readers, minus the new writer if it already held one);
+    ``expired_forwards`` are staged copies that were never read and
+    self-invalidate without traffic.  ``demand_readers`` +
+    ``consumed_forwards`` partition the new epoch's true reader set by how
+    each reader obtained the line.
+    """
+
+    writer: int
+    block: int
+    invalidated: int = 0
+    expired_forwards: int = 0
+    forwarded: int = 0
+    consumed_forwards: int = 0
+    demand_readers: int = 0
+
+
+@dataclass
+class EpochReplayStats:
+    """Aggregate counters over one :class:`EpochProtocol` replay."""
+
+    events: int = 0
+    copies_invalidated: int = 0
+    forwards_pushed: int = 0
+    forwards_consumed: int = 0
+    forwards_expired: int = 0
+    demand_reads: int = 0
+
+
+@dataclass
+class _BlockEpochState:
+    """Per-block directory view between replayed events."""
+
+    owner: int
+    holders: int  # presence bitmap of real (readable) copies, incl. owner
+    staged: int  # forwarded-but-unread copies; disjoint from holders
+    modified: bool  # owner holds the only copy, dirty
+
+
+class EpochProtocol:
+    """Directory replay of sharing events, with an optional forwarding path.
+
+    Each :meth:`apply_event` call processes one coherence store *and* the
+    whole epoch it opens: prior copies are invalidated, the writer becomes
+    the modified owner, predicted readers (``forward_to``) receive staged
+    copies, and the epoch's true readers then either consume their staged
+    copy or demand-fetch from the owner (downgrading it to shared).  With
+    ``forward_to == 0`` this is exactly the baseline invalidate protocol.
+
+    The replay validates the trace's epoch linkage as it goes (the
+    directory's reader view at each close must equal the event's
+    invalidation bitmap) and :meth:`check_invariants` asserts SWMR --
+    single writer *or* multiple readers, never both -- plus staging
+    discipline after any event.
+    """
+
+    def __init__(self, num_nodes: int):
+        if num_nodes < 1 or num_nodes > 32:
+            raise ValueError(f"num_nodes must be in [1, 32], got {num_nodes}")
+        self.num_nodes = num_nodes
+        self.blocks: Dict[int, _BlockEpochState] = {}
+        self.stats = EpochReplayStats()
+
+    def apply_event(
+        self,
+        writer: int,
+        block: int,
+        truth: int,
+        forward_to: int = 0,
+        inval: int = 0,
+        has_inval: bool = False,
+    ) -> EpochTransition:
+        """Replay one event and the epoch it opens; returns the transition."""
+        writer_bit = 1 << writer
+        state = self.blocks.get(block)
+        if state is None:
+            if has_inval:
+                raise ValueError(
+                    f"event on block {block} closes an epoch the replay never saw"
+                )
+            invalidated = 0
+            expired = 0
+        else:
+            readers_seen = state.holders & ~(1 << state.owner)
+            if has_inval and readers_seen != inval:
+                raise ValueError(
+                    f"block {block}: directory saw readers {readers_seen:#x} "
+                    f"but the closing event invalidates {inval:#x}"
+                )
+            invalidated = state.holders & ~writer_bit
+            expired = state.staged
+
+        # Open the new epoch: the writer is the sole, modified owner...
+        push = forward_to & ~writer_bit
+        consumed = push & truth
+        demand = truth & ~push
+        # ...then serve the epoch's readers: staged copies are consumed in
+        # place, everyone else demand-fetches; any remote read downgrades
+        # the owner to shared.
+        if state is None:
+            state = _BlockEpochState(
+                owner=writer, holders=0, staged=0, modified=False
+            )
+            self.blocks[block] = state
+        state.owner = writer
+        state.holders = writer_bit | truth
+        state.staged = push & ~truth
+        state.modified = truth == 0
+
+        stats = self.stats
+        stats.events += 1
+        stats.copies_invalidated += bin(invalidated).count("1")
+        stats.forwards_pushed += bin(push).count("1")
+        stats.forwards_consumed += bin(consumed).count("1")
+        stats.forwards_expired += bin(expired).count("1")
+        stats.demand_reads += bin(demand).count("1")
+        return EpochTransition(
+            writer=writer,
+            block=block,
+            invalidated=invalidated,
+            expired_forwards=expired,
+            forwarded=push,
+            consumed_forwards=consumed,
+            demand_readers=demand,
+        )
+
+    def apply(self, event, forward_to: int = 0) -> EpochTransition:
+        """Replay one :class:`~repro.trace.events.SharingEvent` record."""
+        return self.apply_event(
+            event.writer,
+            event.block,
+            event.truth,
+            forward_to=forward_to,
+            inval=event.inval,
+            has_inval=event.has_inval,
+        )
+
+    def check_invariants(self) -> None:
+        """Assert SWMR and staging discipline on every replayed block.
+
+        * a modified block is held by exactly its owner (single writer);
+        * a block with readers is not modified (multiple readers are all
+          shared);
+        * the owner always holds a copy of its block;
+        * staged (forwarded-but-unread) copies never overlap real copies
+          and the owner never stages its own line.
+        """
+        for block, state in self.blocks.items():
+            owner_bit = 1 << state.owner
+            if not state.holders & owner_bit:
+                raise AssertionError(
+                    f"block {block}: owner {state.owner} holds no copy"
+                )
+            if state.modified and state.holders != owner_bit:
+                raise AssertionError(
+                    f"block {block}: modified but holders {state.holders:#x} != "
+                    f"owner bit {owner_bit:#x} (SWMR violated)"
+                )
+            if state.staged & state.holders:
+                raise AssertionError(
+                    f"block {block}: staged copies {state.staged:#x} overlap "
+                    f"holders {state.holders:#x}"
+                )
+            if state.staged & owner_bit:
+                raise AssertionError(
+                    f"block {block}: owner {state.owner} staged its own line"
                 )

@@ -2,17 +2,27 @@
 
 Bundles address space, per-node caches, directory, and protocol engine
 behind the two-call interface the rest of the repo uses: feed it an access
-stream, then take the sharing trace and statistics.
+stream, then take the sharing trace and statistics.  The module also owns
+the epoch-replay entry point (:func:`replay_sharing_trace`): once a trace
+is finalized, it can be pushed back through the directory at epoch
+granularity -- optionally with per-event forwarding decisions -- which is
+how the traffic simulator in :mod:`repro.forwarding` grounds its message
+ledgers in protocol state rather than bare counts.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.memory.address import AddressSpace, HomePolicy
 from repro.memory.cache import CacheConfig
-from repro.memory.protocol import CoherenceProtocol, ProtocolStats
+from repro.memory.protocol import (
+    CoherenceProtocol,
+    EpochProtocol,
+    EpochTransition,
+    ProtocolStats,
+)
 
 
 @dataclass(frozen=True)
@@ -94,3 +104,50 @@ class MultiprocessorSystem:
     def finalize_trace(self):
         """Finish and return the sharing trace for everything run so far."""
         return self.protocol.finalize_trace()
+
+    def replay_trace(
+        self,
+        trace,
+        predictions: Optional[Sequence[int]] = None,
+        check_invariants: bool = False,
+    ) -> Tuple[EpochProtocol, List[EpochTransition]]:
+        """Replay a finalized trace at epoch granularity on this machine size."""
+        if trace.num_nodes != self.num_nodes:
+            raise ValueError(
+                f"trace is for {trace.num_nodes} nodes, system for {self.num_nodes}"
+            )
+        return replay_sharing_trace(
+            trace, predictions=predictions, check_invariants=check_invariants
+        )
+
+
+def replay_sharing_trace(
+    trace,
+    predictions: Optional[Sequence[int]] = None,
+    check_invariants: bool = False,
+) -> Tuple[EpochProtocol, List[EpochTransition]]:
+    """Replay a finalized sharing trace through the epoch-level directory.
+
+    Args:
+        trace: a :class:`~repro.trace.events.SharingTrace`.
+        predictions: one forwarding bitmap per event (the nodes to push the
+            written line to); ``None`` replays the pure invalidate baseline.
+        check_invariants: assert SWMR and staging discipline after every
+            event (slow; used by the property-test suite).
+
+    Returns:
+        The finished :class:`EpochProtocol` (with its replay stats and final
+        block states) and the per-event :class:`EpochTransition` list.
+    """
+    if predictions is not None and len(predictions) != len(trace):
+        raise ValueError(
+            f"got {len(predictions)} predictions for {len(trace)} events"
+        )
+    protocol = EpochProtocol(trace.num_nodes)
+    transitions: List[EpochTransition] = []
+    for position in range(len(trace)):
+        forward_to = int(predictions[position]) if predictions is not None else 0
+        transitions.append(protocol.apply(trace[position], forward_to=forward_to))
+        if check_invariants:
+            protocol.check_invariants()
+    return protocol, transitions

@@ -1,29 +1,59 @@
-"""Data-forwarding traffic accounting (paper footnote 8 and Section 6).
+"""Traffic and latency accounting for prediction-driven forwarding.
 
-The paper evaluates prediction accuracy in isolation, but footnote 8 and
-the summary's bandwidth-latency discussion sketch the traffic economics a
-forwarding protocol implies.  This module makes those economics explicit
-for a scheme's confusion counts under a simple message model:
+The paper evaluates prediction accuracy in isolation; this module defines
+the report that connects a scheme's confusion quad to actual coherence
+traffic.  A :class:`TrafficReport` is produced by the epoch-level protocol
+simulator (:mod:`repro.forwarding`), which replays a sharing trace twice --
+once through the baseline invalidate/request protocol, once with the
+predictor forwarding newly written data -- and tallies every message by
+class with a hop-weighted latency from a topology cost table:
 
-* every **true positive** forward replaces a demand request+response pair
-  with one forwarded-data message: one message saved, and the consumer's
-  miss latency potentially hidden;
-* every **false positive** forward adds one wasted data message (and the
-  cache pollution the paper acknowledges but does not model);
-* every **false negative** is a demand miss that prediction could have
-  hidden: the request+response pair remains.
+* **requests / interventions / responses** -- the three legs of a demand
+  read (reader -> home, home -> owner, owner -> reader).  The intervention
+  leg exists only when the home is *not* the owner; charging it
+  unconditionally double-counts the directory-to-owner hop whenever the
+  writer is the block's home.
+* **invalidations / acks** -- epoch-close traffic, identical in both runs
+  (unconsumed forwarded copies self-invalidate silently; see DESIGN.md).
+* **forwards / useless_forwards** -- the pushes prediction adds: consumed
+  ones (true positives) replace a whole demand read, unconsumed ones
+  (false positives, exactly the evaluator's FP count) are pure waste.
 
-All counts are per sharing decision; multiply by the machine's line size
-for bytes.  The model deliberately charges a data-sized message for every
-forward and response, and a header-sized message for requests, with the
-ratio configurable.
+Message counts are per sharing decision; multiply by line size for bytes.
+A data-bearing message (response, forward) costs :attr:`TrafficModel.data_cost`,
+a header-only message costs :attr:`TrafficModel.request_cost`, and every
+network hop adds :attr:`TrafficModel.hop_cost`.
+
+:func:`traffic_report` keeps the original counts-only economics (paper
+footnote 8) as a degenerate zero-hop report, so quad-level analyses like
+``ext-traffic`` need no simulator run.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Sequence, Tuple
 
 from repro.metrics.confusion import ConfusionCounts
+
+#: bump when the TrafficReport JSON layout changes; old payloads are
+#: rejected by :meth:`TrafficReport.from_json`, never misread
+TRAFFIC_SCHEMA = 2
+
+#: every message class a report tallies, in rendering order
+MESSAGE_CLASSES = (
+    "requests",
+    "interventions",
+    "responses",
+    "invalidations",
+    "acks",
+    "forwards",
+    "useless_forwards",
+)
+
+#: classes that carry a cache line (cost ``data_cost``; the rest cost
+#: ``request_cost``)
+DATA_CLASSES = frozenset({"responses", "forwards", "useless_forwards"})
 
 
 @dataclass(frozen=True)
@@ -31,78 +61,298 @@ class TrafficModel:
     """Relative message costs (a request header vs a data-carrying message).
 
     Defaults approximate a 64-byte line with 8-byte headers: a data message
-    costs 9 units (header + line), a request costs 1.
+    costs 9 units (header + line), a request costs 1, and each network hop
+    adds 1 unit of latency on top of the payload cost.
     """
 
     request_cost: float = 1.0
     data_cost: float = 9.0
+    hop_cost: float = 1.0
 
     def __post_init__(self) -> None:
-        if self.request_cost < 0 or self.data_cost <= 0:
+        if self.request_cost < 0 or self.data_cost <= 0 or self.hop_cost < 0:
             raise ValueError(
                 f"costs must be positive (request={self.request_cost}, "
-                f"data={self.data_cost})"
+                f"data={self.data_cost}, hop={self.hop_cost})"
             )
+
+    def payload_cost(self, message_class: str) -> float:
+        """The hop-independent cost of one message of ``message_class``."""
+        return self.data_cost if message_class in DATA_CLASSES else self.request_cost
+
+
+def _zero_classes() -> Dict[str, int]:
+    return dict.fromkeys(MESSAGE_CLASSES, 0)
 
 
 @dataclass(frozen=True)
 class TrafficReport:
-    """Traffic consequences of one scheme's confusion counts."""
+    """One scheme's simulated traffic on one trace (or a merged suite).
 
-    #: forwards that were consumed (true positives)
-    useful_forwards: int
-    #: forwards nobody read (false positives)
-    wasted_forwards: int
-    #: demand misses the scheme failed to cover (false negatives)
-    residual_misses: int
-    #: traffic units without prediction (every reader demand-fetches)
-    baseline_traffic: float
-    #: traffic units with prediction
-    predicted_traffic: float
+    The confusion quad is the *same* quad the evaluation engines produce
+    for the scheme (bit-identical; frozen against the golden fixtures), so
+    accuracy and traffic numbers never drift apart.  ``messages_saved`` is
+    the gross demand-read traffic eliminated by consumed forwards; the
+    ledger identity::
+
+        total(forwarding) == total(baseline) - messages_saved + useless
+
+    holds exactly and is property-tested in ``tests/memory``.
+    """
+
+    scheme: str
+    trace: str
+    num_nodes: int
+    topology: str
+    model: TrafficModel = field(default_factory=TrafficModel)
+    true_positive: int = 0
+    false_positive: int = 0
+    false_negative: int = 0
+    true_negative: int = 0
+    baseline_messages: Mapping[str, int] = field(default_factory=_zero_classes)
+    forwarding_messages: Mapping[str, int] = field(default_factory=_zero_classes)
+    baseline_latency: float = 0.0
+    forwarding_latency: float = 0.0
+    messages_saved: int = 0
+    latency_hidden: float = 0.0
+    per_node_messages_saved: Tuple[int, ...] = ()
+    per_node_latency_hidden: Tuple[float, ...] = ()
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+
+    def counts(self) -> ConfusionCounts:
+        """The confusion quad as the evaluator's accumulator type."""
+        return ConfusionCounts(
+            true_positive=self.true_positive,
+            false_positive=self.false_positive,
+            false_negative=self.false_negative,
+            true_negative=self.true_negative,
+        )
+
+    @property
+    def useful_forwards(self) -> int:
+        """Forwards that were consumed (== true positives)."""
+        return self.true_positive
+
+    @property
+    def wasted_forwards(self) -> int:
+        """Forwards nobody read (== false positives)."""
+        return self.false_positive
+
+    @property
+    def useless_forwards(self) -> int:
+        """The wasted-forward *messages* the forwarding run actually sent."""
+        return int(self.forwarding_messages.get("useless_forwards", 0))
+
+    @property
+    def residual_misses(self) -> int:
+        """Demand misses the scheme failed to cover (== false negatives)."""
+        return self.false_negative
 
     @property
     def forwarding_traffic(self) -> int:
         """Total forwards sent -- the paper's TP + FP traffic measure."""
-        return self.useful_forwards + self.wasted_forwards
+        return self.true_positive + self.false_positive
+
+    @property
+    def total_baseline_messages(self) -> int:
+        return sum(self.baseline_messages.values())
+
+    @property
+    def total_forwarding_messages(self) -> int:
+        return sum(self.forwarding_messages.values())
+
+    @property
+    def baseline_traffic(self) -> float:
+        """Latency-weighted traffic units without prediction."""
+        return self.baseline_latency
+
+    @property
+    def predicted_traffic(self) -> float:
+        """Latency-weighted traffic units with prediction."""
+        return self.forwarding_latency
 
     @property
     def traffic_ratio(self) -> float:
-        """Predicted over baseline traffic; < 1 means prediction saves bytes."""
-        if self.baseline_traffic == 0:
+        """Predicted over baseline traffic; < 1 means prediction saves units."""
+        if self.baseline_latency == 0:
             return 1.0
-        return self.predicted_traffic / self.baseline_traffic
+        return self.forwarding_latency / self.baseline_latency
 
     @property
     def coverage(self) -> float:
         """Fraction of reader misses eliminated (== sensitivity)."""
-        covered = self.useful_forwards
-        total = covered + self.residual_misses
-        return covered / total if total else 0.0
+        total = self.true_positive + self.false_negative
+        return self.true_positive / total if total else 0.0
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+
+    def to_json(self) -> dict:
+        return {
+            "schema": TRAFFIC_SCHEMA,
+            "scheme": self.scheme,
+            "trace": self.trace,
+            "num_nodes": self.num_nodes,
+            "topology": self.topology,
+            "model": {
+                "request_cost": self.model.request_cost,
+                "data_cost": self.model.data_cost,
+                "hop_cost": self.model.hop_cost,
+            },
+            "counts": [
+                self.true_positive,
+                self.false_positive,
+                self.false_negative,
+                self.true_negative,
+            ],
+            "baseline_messages": dict(self.baseline_messages),
+            "forwarding_messages": dict(self.forwarding_messages),
+            "baseline_latency": self.baseline_latency,
+            "forwarding_latency": self.forwarding_latency,
+            "messages_saved": self.messages_saved,
+            "latency_hidden": self.latency_hidden,
+            "per_node_messages_saved": list(self.per_node_messages_saved),
+            "per_node_latency_hidden": list(self.per_node_latency_hidden),
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "TrafficReport":
+        if data.get("schema") != TRAFFIC_SCHEMA:
+            raise ValueError(
+                f"traffic report schema {data.get('schema')!r} != {TRAFFIC_SCHEMA}"
+            )
+        tp, fp, fn, tn = data["counts"]
+        return cls(
+            scheme=data["scheme"],
+            trace=data["trace"],
+            num_nodes=int(data["num_nodes"]),
+            topology=data["topology"],
+            model=TrafficModel(**data["model"]),
+            true_positive=int(tp),
+            false_positive=int(fp),
+            false_negative=int(fn),
+            true_negative=int(tn),
+            baseline_messages={
+                key: int(value) for key, value in data["baseline_messages"].items()
+            },
+            forwarding_messages={
+                key: int(value) for key, value in data["forwarding_messages"].items()
+            },
+            baseline_latency=float(data["baseline_latency"]),
+            forwarding_latency=float(data["forwarding_latency"]),
+            messages_saved=int(data["messages_saved"]),
+            latency_hidden=float(data["latency_hidden"]),
+            per_node_messages_saved=tuple(
+                int(value) for value in data["per_node_messages_saved"]
+            ),
+            per_node_latency_hidden=tuple(
+                float(value) for value in data["per_node_latency_hidden"]
+            ),
+        )
+
+
+def merge_reports(
+    reports: Sequence[TrafficReport], trace: str = "suite"
+) -> TrafficReport:
+    """Pool per-trace reports of one scheme into a suite aggregate.
+
+    All inputs must describe the same scheme under the same topology and
+    model on the same machine size; everything additive is summed.
+    """
+    if not reports:
+        raise ValueError("cannot merge zero traffic reports")
+    first = reports[0]
+    for report in reports[1:]:
+        if (
+            report.scheme != first.scheme
+            or report.topology != first.topology
+            or report.model != first.model
+            or report.num_nodes != first.num_nodes
+        ):
+            raise ValueError(
+                f"cannot merge traffic reports of different runs: "
+                f"{report.scheme}/{report.topology} vs {first.scheme}/{first.topology}"
+            )
+    nodes = range(first.num_nodes)
+    return TrafficReport(
+        scheme=first.scheme,
+        trace=trace,
+        num_nodes=first.num_nodes,
+        topology=first.topology,
+        model=first.model,
+        true_positive=sum(r.true_positive for r in reports),
+        false_positive=sum(r.false_positive for r in reports),
+        false_negative=sum(r.false_negative for r in reports),
+        true_negative=sum(r.true_negative for r in reports),
+        baseline_messages={
+            cls: sum(r.baseline_messages.get(cls, 0) for r in reports)
+            for cls in MESSAGE_CLASSES
+        },
+        forwarding_messages={
+            cls: sum(r.forwarding_messages.get(cls, 0) for r in reports)
+            for cls in MESSAGE_CLASSES
+        },
+        baseline_latency=sum(r.baseline_latency for r in reports),
+        forwarding_latency=sum(r.forwarding_latency for r in reports),
+        messages_saved=sum(r.messages_saved for r in reports),
+        latency_hidden=sum(r.latency_hidden for r in reports),
+        per_node_messages_saved=tuple(
+            sum(r.per_node_messages_saved[node] for r in reports) for node in nodes
+        ),
+        per_node_latency_hidden=tuple(
+            sum(r.per_node_latency_hidden[node] for r in reports) for node in nodes
+        ),
+    )
 
 
 def traffic_report(
-    counts: ConfusionCounts, model: TrafficModel = TrafficModel()
+    counts: ConfusionCounts,
+    model: TrafficModel = TrafficModel(),
+    scheme: str = "",
+    trace: str = "",
 ) -> TrafficReport:
-    """Derive the traffic economics of a scheme from its confusion counts.
+    """The counts-only traffic economics of a scheme (paper footnote 8).
 
-    Baseline (no prediction): every true reader issues a demand request and
-    receives a data response.  With prediction: true positives receive one
-    pushed data message (no request); false positives add a pushed data
-    message; false negatives still demand-fetch.
+    This is the pre-simulator model kept as a degenerate report: an
+    abstract zero-hop network where every true reader demand-fetches with a
+    request + data-response pair (no separate intervention leg -- the
+    topology-aware simulator in :mod:`repro.forwarding` models that), every
+    true positive replaces that pair with one pushed data message, and
+    every false positive adds one wasted data message.
     """
+    ap = counts.actual_positive
+    tp = counts.true_positive
+    fp = counts.false_positive
+    fn = counts.false_negative
     demand_pair = model.request_cost + model.data_cost
-    baseline = counts.actual_positive * demand_pair
-    predicted = (
-        counts.true_positive * model.data_cost
-        + counts.false_positive * model.data_cost
-        + counts.false_negative * demand_pair
-    )
+    baseline = _zero_classes()
+    baseline["requests"] = ap
+    baseline["responses"] = ap
+    forwarding = _zero_classes()
+    forwarding["requests"] = fn
+    forwarding["responses"] = fn
+    forwarding["forwards"] = tp
+    forwarding["useless_forwards"] = fp
     return TrafficReport(
-        useful_forwards=counts.true_positive,
-        wasted_forwards=counts.false_positive,
-        residual_misses=counts.false_negative,
-        baseline_traffic=baseline,
-        predicted_traffic=predicted,
+        scheme=scheme,
+        trace=trace,
+        num_nodes=0,
+        topology="abstract",
+        model=model,
+        true_positive=tp,
+        false_positive=fp,
+        false_negative=fn,
+        true_negative=counts.true_negative,
+        baseline_messages=baseline,
+        forwarding_messages=forwarding,
+        baseline_latency=ap * demand_pair,
+        forwarding_latency=fn * demand_pair + (tp + fp) * model.data_cost,
+        messages_saved=tp,
+        latency_hidden=tp * demand_pair,
     )
 
 

@@ -29,6 +29,17 @@ else:
         print_blob=True,
         suppress_health_check=[HealthCheck.too_slow],
     )
+    # The CI profile keeps the deterministic discipline but spends more
+    # examples on the protocol-invariant suite (CI machines have the time;
+    # a laptop pre-commit run does not need the extra depth).
+    settings.register_profile(
+        "ci",
+        derandomize=True,
+        deadline=timedelta(milliseconds=4000),
+        max_examples=120,
+        print_blob=True,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
     settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "repro-deterministic"))
 
 from repro.memory.cache import CacheConfig

@@ -1,0 +1,85 @@
+"""Differential traffic tests: TrafficReport vs. the golden confusion quads.
+
+The forwarding simulator keeps its own confusion ledger while replaying the
+protocol.  For every golden scheme that ledger must bit-match the frozen
+fixture counts -- i.e. the simulator and the predictor evaluators agree on
+TP/FP/FN/TN exactly -- and forwarding must never cost more messages than
+the baseline protocol (``messages_saved >= 0``), on every backend.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.schemes import parse_scheme
+from repro.engine import ParallelEngine, ReferenceEngine, VectorizedEngine
+from repro.forwarding import DEFAULT_FORWARDING_CONFIG
+from repro.harness.runner import TraceSet
+
+from tests.golden import GOLDEN_SCHEMES, load_fixture
+from tests.golden.test_golden import expected_counts
+
+
+@pytest.fixture(scope="module")
+def trace_set() -> TraceSet:
+    return TraceSet()
+
+
+@pytest.fixture(scope="module")
+def traces(trace_set):
+    return trace_set.traces()
+
+
+def check_reports(backend_name, scheme_text, per_trace, trace_set):
+    expected = expected_counts(load_fixture(scheme_text), trace_set)
+    for benchmark, report, want in zip(trace_set.benchmarks, per_trace, expected):
+        got = report.counts()
+        assert got == want, (
+            f"{backend_name} traffic report diverged from golden counts for "
+            f"{scheme_text} on {benchmark}: {got} != {want}"
+        )
+        assert report.useless_forwards == want.false_positive
+        assert report.forwarding_messages["forwards"] == want.true_positive
+        assert report.messages_saved >= 0
+        assert report.total_forwarding_messages == (
+            report.total_baseline_messages
+            - report.messages_saved
+            + report.useless_forwards
+        )
+
+
+@pytest.mark.parametrize("scheme_text", GOLDEN_SCHEMES)
+@pytest.mark.parametrize("backend", [ReferenceEngine, VectorizedEngine])
+def test_serial_backends_match_golden_quads(backend, scheme_text, trace_set, traces):
+    engine = backend()
+    per_trace = [
+        engine.simulate_traffic(parse_scheme(scheme_text), trace) for trace in traces
+    ]
+    check_reports(engine.name, scheme_text, per_trace, trace_set)
+
+
+def test_parallel_batch_matches_golden_quads(trace_set, traces):
+    """One real pooled traffic batch over all golden schemes at once."""
+    schemes = [parse_scheme(text) for text in GOLDEN_SCHEMES]
+    engine = ParallelEngine(jobs=2, chunk_size=2)
+    delivered = {}
+    batch = engine.evaluate_traffic(
+        schemes,
+        traces,
+        config=DEFAULT_FORWARDING_CONFIG,
+        on_result=lambda index, per_trace: delivered.setdefault(index, per_trace),
+    )
+    assert len(batch) == len(schemes)
+    assert sorted(delivered) == list(range(len(schemes)))
+    for index, (scheme_text, per_trace) in enumerate(zip(GOLDEN_SCHEMES, batch)):
+        assert delivered[index] == per_trace
+        check_reports("parallel", scheme_text, per_trace, trace_set)
+
+
+def test_backends_agree_bit_for_bit(traces):
+    """Reference and vectorized reports are *equal*, not just quad-equal."""
+    scheme = parse_scheme("union(dir+add14)4[direct]")
+    trace = traces[0]
+    reference = ReferenceEngine().simulate_traffic(scheme, trace)
+    vectorized = VectorizedEngine().simulate_traffic(scheme, trace)
+    assert reference == vectorized

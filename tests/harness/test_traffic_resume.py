@@ -1,0 +1,164 @@
+"""The ``repro-bench --traffic`` contract: JSON round trip and kill-survival.
+
+Extends the kill-mid-sweep pattern of ``test_journal.py`` to the traffic
+sweep: a run SIGKILLed between scheme checkpoints must leave a usable
+journal, and ``--resume`` must then produce per-benchmark TrafficReports
+bit-identical to an uninterrupted run.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.harness.cli import main
+from repro.metrics.traffic import TRAFFIC_SCHEMA, TrafficReport
+
+
+@pytest.fixture(autouse=True)
+def isolated_dirs(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.setenv("REPRO_CHECKPOINT_DIR", str(tmp_path / "ckpt"))
+
+
+def load_reports(path: Path) -> dict:
+    """Parse a --traffic-out file back into TrafficReport grids."""
+    payload = json.loads(path.read_text())
+    assert payload["schema"] == TRAFFIC_SCHEMA
+    payload["reports"] = [
+        [TrafficReport.from_json(entry) for entry in reports]
+        for reports in payload["reports"]
+    ]
+    return payload
+
+
+class TestTrafficCli:
+    def test_traffic_out_round_trips_through_json(self, tmp_path, capsys):
+        out_file = tmp_path / "traffic.json"
+        assert (
+            main(
+                [
+                    "--traffic",
+                    "--traffic-out",
+                    str(out_file),
+                    "--benchmarks",
+                    "gauss",
+                ]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert "traffic-savings completed" in captured.out
+        assert "msg_ratio" in captured.out
+
+        payload = load_reports(out_file)
+        assert payload["topology"] == "mesh"
+        assert payload["benchmarks"] == ["gauss"]
+        assert len(payload["schemes"]) == len(payload["reports"]) == 8
+        for reports in payload["reports"]:
+            (report,) = reports
+            assert report.trace == "gauss"
+            assert report.messages_saved >= 0
+            assert report.total_forwarding_messages == (
+                report.total_baseline_messages
+                - report.messages_saved
+                + report.useless_forwards
+            )
+            # to_json -> disk -> from_json is exact, not approximate
+            assert TrafficReport.from_json(report.to_json()) == report
+
+    def test_traffic_composes_with_experiments(self, capsys):
+        assert main(["table6", "--traffic", "--benchmarks", "gauss"]) == 0
+        out = capsys.readouterr().out
+        assert "[table6 completed" in out
+        assert "[traffic-savings completed" in out
+
+
+KILL_SCRIPT = textwrap.dedent(
+    """
+    import os
+    import sys
+
+    import repro.harness.runner as runner
+    from repro.harness import cli
+
+    kill_after = int(sys.argv[1])
+
+    class KillingTrafficJournal(runner.TrafficJournal):
+        def record(self, scheme_name, payload):
+            super().record(scheme_name, payload)
+            if len(self) >= kill_after:
+                os._exit(137)  # hard kill between scheme checkpoints
+
+    runner.TrafficJournal = KillingTrafficJournal
+    cli.main(["--traffic", "--benchmarks", "gauss"])
+    os._exit(0)  # only reached if the kill never fired
+    """
+)
+
+
+class TestKillAndResume:
+    def test_killed_traffic_sweep_resumes_bit_identical(self, tmp_path, capsys):
+        kill_after = 3
+        script = tmp_path / "kill_traffic.py"
+        script.write_text(KILL_SCRIPT, encoding="utf-8")
+
+        repo_root = Path(__file__).resolve().parents[2]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join([str(repo_root / "src"), str(repo_root)])
+        completed = subprocess.run(
+            [sys.executable, str(script), str(kill_after)],
+            env=env,
+            cwd=repo_root,
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert completed.returncode == 137, completed.stderr
+
+        # the journal survived the kill: header + exactly kill_after records
+        journals = list((tmp_path / "ckpt").glob("traffic-mesh-*.jsonl"))
+        assert len(journals) == 1
+        lines = journals[0].read_text().splitlines()
+        assert len(lines) == 1 + kill_after
+        assert json.loads(lines[0])["kind"] == "traffic-journal"
+
+        resumed_file = tmp_path / "resumed.json"
+        assert (
+            main(
+                [
+                    "--traffic",
+                    "--resume",
+                    "--traffic-out",
+                    str(resumed_file),
+                    "--benchmarks",
+                    "gauss",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+
+        clean_file = tmp_path / "clean.json"
+        assert (
+            main(
+                [
+                    "--traffic",
+                    "--traffic-out",
+                    str(clean_file),
+                    "--benchmarks",
+                    "gauss",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+
+        # --resume after SIGKILL is bit-identical to the uninterrupted run
+        assert json.loads(resumed_file.read_text()) == json.loads(
+            clean_file.read_text()
+        )

@@ -1,0 +1,122 @@
+"""Property tests: the forwarding protocol's safety and accounting invariants.
+
+Random (but well-formed) sharing traces plus arbitrary forwarding decisions
+must never break the protocol or the traffic arithmetic:
+
+* SWMR -- after every event, both the baseline and the forwarding replay
+  hold the single-writer/multiple-reader discipline and the staging rules
+  (:meth:`EpochProtocol.check_invariants`).
+* message identity -- ``total(forwarding) == total(baseline) -
+  messages_saved + useless_forwards`` exactly, for any prediction stream.
+* evaluator agreement -- when the predictions come from a real scheme, the
+  report's useless-forward count equals the false-positive count of the
+  matching predictor evaluation (and the whole confusion quad matches).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+pytest.importorskip("hypothesis")
+from hypothesis import given, strategies as st
+
+from repro.core.schemes import parse_scheme
+from repro.core.vectorized import evaluate_scheme_fast, predict_scheme_fast
+from repro.forwarding import replay_traffic
+from repro.memory.system import replay_sharing_trace
+from repro.util.bitmaps import bitmap_mask
+from repro.util.rng import DeterministicRng
+
+from tests.conftest import make_random_trace
+
+#: schemes the evaluator-agreement property draws from -- one per function
+#: family, covering all three update modes
+SCHEME_POOL = (
+    "last()1[direct]",
+    "last(dir+add4)1[direct]",
+    "union(dir+add6)2[forwarded]",
+    "inter(pid+pc4)2[ordered]",
+    "overlap(dir+add6)1[direct]",
+)
+
+
+@st.composite
+def trace_params(draw):
+    return {
+        "num_nodes": draw(st.integers(min_value=2, max_value=16)),
+        "num_events": draw(st.integers(min_value=1, max_value=120)),
+        "num_blocks": draw(st.integers(min_value=1, max_value=12)),
+        "seed": f"fwd-{draw(st.integers(min_value=0, max_value=10_000))}",
+        "reader_rate": draw(st.sampled_from([0.0, 0.1, 0.3, 0.6])),
+    }
+
+
+def random_predictions(trace, seed: str) -> list:
+    """An arbitrary (not scheme-derived) forwarding stream for the trace."""
+    rng = DeterministicRng(seed)
+    mask = bitmap_mask(trace.num_nodes)
+    return [rng.integers(0, mask + 1) for _ in range(len(trace))]
+
+
+@given(params=trace_params())
+def test_replay_preserves_swmr_and_staging(params):
+    trace = make_random_trace(**params)
+    predictions = random_predictions(trace, params["seed"] + "-p")
+    # The baseline replay and an arbitrarily-forwarding replay must both
+    # hold the invariants after every single event.
+    replay_sharing_trace(trace, check_invariants=True)
+    protocol, transitions = replay_sharing_trace(
+        trace, predictions=predictions, check_invariants=True
+    )
+    assert len(transitions) == len(trace)
+    assert protocol.stats.events == len(trace)
+
+
+@given(params=trace_params())
+def test_message_identity_holds_for_arbitrary_predictions(params):
+    trace = make_random_trace(**params)
+    predictions = random_predictions(trace, params["seed"] + "-m")
+    report = replay_traffic(trace, predictions)
+    assert report.total_forwarding_messages == (
+        report.total_baseline_messages
+        - report.messages_saved
+        + report.useless_forwards
+    )
+    assert report.messages_saved >= 0
+    assert report.useless_forwards == report.false_positive
+    # Per-node vectors sum to the aggregates.
+    assert sum(report.per_node_messages_saved) == report.messages_saved
+    assert sum(report.per_node_latency_hidden) == pytest.approx(
+        report.latency_hidden
+    )
+    # Invalidation traffic is identical by construction: staged-but-unread
+    # forwards expire silently, they are never chased by an invalidation.
+    assert (
+        report.baseline_messages["invalidations"]
+        == report.forwarding_messages["invalidations"]
+    )
+    assert report.baseline_messages["acks"] == report.forwarding_messages["acks"]
+
+
+@given(params=trace_params())
+def test_zero_predictions_reduce_to_baseline(params):
+    trace = make_random_trace(**params)
+    report = replay_traffic(trace, [0] * len(trace))
+    assert report.forwarding_messages == report.baseline_messages
+    assert report.forwarding_latency == pytest.approx(report.baseline_latency)
+    assert report.messages_saved == 0
+    assert report.useless_forwards == 0
+    assert report.true_positive == 0 and report.false_positive == 0
+
+
+@given(params=trace_params(), scheme_text=st.sampled_from(SCHEME_POOL))
+def test_useless_forwards_equal_evaluator_false_positives(params, scheme_text):
+    trace = make_random_trace(**params)
+    scheme = parse_scheme(scheme_text)
+    report = replay_traffic(
+        trace, predict_scheme_fast(scheme, trace), scheme=scheme.full_name
+    )
+    counts = evaluate_scheme_fast(scheme, trace)
+    assert report.useless_forwards == counts.false_positive
+    assert report.counts() == counts
+    assert report.forwarding_messages["forwards"] == counts.true_positive

@@ -46,6 +46,9 @@ class TestTopLevelExports:
         "repro.metrics.confusion",
         "repro.metrics.screening",
         "repro.metrics.traffic",
+        "repro.forwarding",
+        "repro.forwarding.simulator",
+        "repro.forwarding.topology",
         "repro.memory",
         "repro.memory.address",
         "repro.memory.cache",
@@ -75,6 +78,7 @@ class TestTopLevelExports:
         "repro.harness.experiments.tables",
         "repro.harness.experiments.sweeps",
         "repro.harness.experiments.figures",
+        "repro.harness.experiments.traffic",
         "repro.harness.extensions",
         "repro.harness.results",
         "repro.harness.tables",
