@@ -162,8 +162,13 @@ def sweep(
     Returns one summary dict per scheme (input order) with the paper's
     screening statistics: suite-average ``prev``, ``sens``, ``pvp`` and the
     suite-pooled ``pooled_tp`` / ``pooled_fp`` counts.  The batch is handed
-    to the engine whole, so the parallel backend shards it across workers
-    (and the shared-memory transport publishes each trace once).
+    to the engine whole, so it flows through the sweep planner
+    (:mod:`repro.core.plan`): schemes sharing an index spec compute their
+    key stream once per trace, bitmap schemes sharing an update mode share
+    one feedback pass, and the parallel backend steals plan-ordered chunks
+    across workers (with the shared-memory transport publishing each trace
+    once).  Planning never changes numbers -- results are bit-identical to
+    scoring each scheme alone.
     """
     from repro.harness.experiments.base import screening_summary
 

@@ -27,7 +27,9 @@ from repro.core.functions import (
 )
 from repro.core.twolevel import PAsFunction
 from repro.core.evaluator import evaluate_scheme, predict_scheme
-from repro.core.vectorized import evaluate_scheme_fast, predict_scheme_fast
+from repro.core.kernel import PredictorKernel
+from repro.core.plan import KeyCache, SweepPlan, evaluate_plan
+from repro.core.vectorized import compute_keys, evaluate_scheme_fast, predict_scheme_fast
 from repro.core.space import enumerate_schemes
 
 __all__ = [
@@ -45,5 +47,10 @@ __all__ = [
     "evaluate_scheme_fast",
     "predict_scheme",
     "predict_scheme_fast",
+    "compute_keys",
+    "PredictorKernel",
+    "SweepPlan",
+    "KeyCache",
+    "evaluate_plan",
     "enumerate_schemes",
 ]

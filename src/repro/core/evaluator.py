@@ -6,26 +6,19 @@ against the epoch's eventual truth bitmap.  It is the semantic definition of
 every update mode; the fast numpy engine in :mod:`repro.core.vectorized` is
 property-tested against it.
 
-Update-mode timing implemented here (see DESIGN.md section 3):
-
-* DIRECT: at each event, the reader set just invalidated (``inval``) enters
-  the entry the event consults, then the entry predicts.  The first event on
-  a block closes no epoch and performs no update.
-* FORWARDED: when event *i* closes the epoch opened by event *j*, the
-  feedback ``truth[j]`` is delivered to entry ``key[j]`` (the entry that
-  made prediction *j*) at event *i*, before event *i*'s own prediction.
-  Each event closes at most one epoch, so delivery order is unambiguous.
-* ORDERED: feedback ``truth[i]`` reaches entry ``key[i]`` immediately after
-  prediction *i* -- i.e. before the entry's next use, even if the epoch is
-  still open then (the idealized scheme of paper Figure 4).
+The update-mode feedback-timing rules themselves live in one place,
+:class:`repro.core.kernel.PredictorKernel` (see its docstring for the
+normative statement); this module contributes the *reference* way of
+producing keys -- one scalar :meth:`IndexSpec.key` call per event, fully
+independent of the vectorized key computation -- and the scoring loop.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Iterator, List, Optional, Tuple
 
+from repro.core.kernel import PredictorKernel
 from repro.core.schemes import Scheme
-from repro.core.update import UpdateMode
 from repro.metrics.confusion import ConfusionCounts
 from repro.trace.events import SharingEvent, SharingTrace
 from repro.util.bitmaps import bitmap_mask
@@ -36,54 +29,36 @@ def _iter_predictions(
 ) -> Iterator[Tuple[SharingEvent, int]]:
     """Yield ``(event, prediction)`` for every event, in trace order.
 
-    This generator *is* the reference semantics: it maintains the real
-    predictor table and applies each update mode's feedback timing, yielding
-    the (optionally writer-masked) bitmap the predictor would hand the
+    This generator *is* the reference semantics: it computes each event's
+    key with the scalar :meth:`IndexSpec.key` (deliberately not sharing the
+    vectorized key path, so the two stay cross-checkable) and drives the
+    shared :class:`PredictorKernel` over a real
+    :class:`~repro.core.functions.PredictionFunction` table, yielding the
+    (optionally writer-masked) bitmap the predictor would hand the
     forwarding hardware at that event.  Scoring and traffic simulation both
     consume it, so they cannot drift apart.
     """
     num_nodes = trace.num_nodes
     function = scheme.make_function(num_nodes)
     index = scheme.index
-    mode = scheme.update
 
-    table: Dict[int, object] = {}
-
-    def entry_for(key: int) -> object:
-        entry = table.get(key)
-        if entry is None:
-            entry = function.new_entry()
-            table[key] = entry
-        return entry
-
-    # Forwarded update: key under which each still-open epoch predicted, so
-    # its truth can be routed there when the epoch closes.  Indexed by block
-    # because the closing event identifies the epoch via its block.
-    pending_key_by_block: Dict[int, int] = {}
-
-    for position in range(len(trace)):
-        event = trace[position]
-        key = index.key(event.writer, event.pc, event.home, event.block, num_nodes)
-
-        if mode is UpdateMode.DIRECT:
-            if event.has_inval:
-                function.update(entry_for(key), event.inval)
-        elif mode is UpdateMode.FORWARDED:
-            if event.has_inval:
-                # This event closes its block's previous epoch; deliver that
-                # epoch's truth (== this event's inval bitmap) to the entry
-                # that predicted it.
-                origin_key = pending_key_by_block[event.block]
-                function.update(entry_for(origin_key), event.inval)
-            pending_key_by_block[event.block] = key
-
-        prediction = function.predict(entry_for(key))
+    events = [trace[position] for position in range(len(trace))]
+    keys = [
+        index.key(event.writer, event.pc, event.home, event.block, num_nodes)
+        for event in events
+    ]
+    kernel = PredictorKernel(scheme.update, function)
+    stream = kernel.run(
+        keys,
+        [event.block for event in events],
+        [event.has_inval for event in events],
+        [event.inval for event in events],
+        [event.truth for event in events],
+    )
+    for event, prediction in zip(events, stream):
         if exclude_writer:
             prediction &= ~(1 << event.writer)
         yield event, prediction
-
-        if mode is UpdateMode.ORDERED:
-            function.update(entry_for(key), event.truth)
 
 
 def predict_scheme(

@@ -1,0 +1,319 @@
+"""The sweep planner: share every pass a scheme batch can legally share.
+
+A design-space sweep evaluates hundreds of schemes that differ only along
+one axis at a time, so most of the per-scheme work is redundant:
+
+* every scheme with the same :class:`IndexSpec` (including its pc/addr
+  truncation -- truncation is part of the spec) reads a byte-identical key
+  stream, so :func:`repro.core.vectorized.compute_keys` needs to run once
+  per *(trace, index group)*, not once per scheme;
+* every bitmap-family scheme sharing ``(IndexSpec, update mode)`` folds the
+  same sorted feedback stream, so the sort + ``searchsorted`` + history
+  gather (:class:`~repro.core.vectorized._BitmapPass`) runs once per batch
+  at the batch's maximum window, and each scheme contributes only its cheap
+  per-depth reduction.
+
+:class:`SweepPlan` makes that sharing explicit and deterministic: it groups
+a scheme list by ``IndexSpec`` (first-appearance order), sub-groups each
+index group by prediction-function family (``bitmap`` / ``pas`` /
+``sequential``), and records each scheme's original position so results --
+and the per-scheme ``on_result`` checkpoint callbacks that sweep journaling
+depends on -- are always reported against the caller's order.
+
+:class:`KeyCache` holds the computed key streams, keyed by
+``(trace fingerprint, IndexSpec)``.  Fingerprint keying (content hash, not
+object identity) means equal traces share entries across batches within a
+cache's lifetime -- e.g. across every chunk a parallel worker evaluates.
+Hits and misses surface as ``plan.key_cache.hits`` / ``plan.key_cache.misses``
+telemetry, which is also the acceptance probe for the planner's central
+guarantee: exactly one key computation per (trace, index group).
+
+Grouping is pure scheduling: :func:`evaluate_plan` is bit-identical to
+evaluating each scheme independently (frozen against the golden fixtures on
+every backend), so planner changes can never move a published number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.indexing import IndexSpec
+from repro.core.schemes import Scheme
+from repro.core.update import UpdateMode
+from repro.core.vectorized import (
+    _BITMAP_FUNCTIONS,
+    _bitmap_window,
+    _BitmapPass,
+    _predict_pas,
+    _predict_sequential,
+    _reduce_bitmap,
+    _score,
+    compute_keys,
+)
+from repro.metrics.confusion import ConfusionCounts
+from repro.telemetry import get_telemetry
+from repro.trace.events import SharingTrace
+from repro.trace.shm import trace_fingerprint
+
+#: family names, in deterministic batch order within an index group
+FAMILY_BITMAP = "bitmap"
+FAMILY_PAS = "pas"
+FAMILY_SEQUENTIAL = "sequential"
+
+
+def scheme_family(scheme: Scheme) -> str:
+    """The shared-pass family a scheme's prediction function belongs to."""
+    if scheme.function in _BITMAP_FUNCTIONS:
+        return FAMILY_BITMAP
+    if scheme.function == "pas":
+        return FAMILY_PAS
+    return FAMILY_SEQUENTIAL
+
+
+@dataclass(frozen=True)
+class PlanMember:
+    """One scheme and its position in the caller's original batch order."""
+
+    position: int
+    scheme: Scheme
+
+
+@dataclass(frozen=True)
+class FamilyBatch:
+    """Schemes of one family within one index group.
+
+    A bitmap batch is scored with one shared :class:`_BitmapPass` per update
+    mode present; pas/sequential batches still run per scheme but share the
+    group's key stream.
+    """
+
+    family: str
+    members: Tuple[PlanMember, ...]
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+
+@dataclass(frozen=True)
+class IndexGroup:
+    """All schemes sharing one :class:`IndexSpec` (hence one key stream)."""
+
+    spec: IndexSpec
+    batches: Tuple[FamilyBatch, ...]
+
+    def __len__(self) -> int:
+        return sum(len(batch) for batch in self.batches)
+
+
+class SweepPlan:
+    """A deterministic shared-pass execution plan for a scheme batch.
+
+    Construction is pure bookkeeping (no trace access); the same scheme
+    list always yields the same plan.  Iterate ``plan.groups`` for the
+    grouped view, or :meth:`order` / :meth:`batch_boundaries` for the flat
+    plan-ordered permutation the parallel scheduler chunks over.
+    """
+
+    def __init__(self, schemes: Sequence[Scheme]) -> None:
+        self.schemes: List[Scheme] = list(schemes)
+        by_spec: Dict[IndexSpec, Dict[str, List[PlanMember]]] = {}
+        for position, scheme in enumerate(self.schemes):
+            families = by_spec.setdefault(scheme.index, {})
+            families.setdefault(scheme_family(scheme), []).append(
+                PlanMember(position, scheme)
+            )
+        self.groups: Tuple[IndexGroup, ...] = tuple(
+            IndexGroup(
+                spec=spec,
+                batches=tuple(
+                    FamilyBatch(family, tuple(members))
+                    for family, members in families.items()
+                ),
+            )
+            for spec, families in by_spec.items()
+        )
+
+    @property
+    def num_schemes(self) -> int:
+        return len(self.schemes)
+
+    @property
+    def num_groups(self) -> int:
+        return len(self.groups)
+
+    def order(self) -> List[int]:
+        """Original positions in plan order (a permutation of ``range(n)``)."""
+        return [
+            member.position
+            for group in self.groups
+            for batch in group.batches
+            for member in batch.members
+        ]
+
+    def batch_boundaries(self) -> List[int]:
+        """Cumulative batch end offsets in plan order; last == num_schemes.
+
+        Chunks cut strictly inside these boundaries contain schemes of one
+        ``(IndexSpec, family)``, so a worker evaluating the chunk shares its
+        key stream and bitmap passes at full efficiency.
+        """
+        boundaries: List[int] = []
+        total = 0
+        for group in self.groups:
+            for batch in group.batches:
+                total += len(batch)
+                boundaries.append(total)
+        return boundaries
+
+    def record_telemetry(self, telemetry) -> None:
+        """Surface the plan's shape under ``plan.*`` (batch-level, once)."""
+        telemetry.count("plan.batches")
+        telemetry.count("plan.schemes", self.num_schemes)
+        telemetry.count("plan.index_groups", self.num_groups)
+        if self.groups:
+            telemetry.gauge(
+                "plan.group_size", max(len(group) for group in self.groups)
+            )
+
+
+class KeyCache:
+    """Fingerprint-keyed cache of per-(trace, IndexSpec) key streams.
+
+    The fingerprint (a content hash of the trace arrays) is memoized per
+    trace object, so repeated lookups hash each trace once per cache
+    lifetime, not once per scheme.  Every miss is exactly one
+    :func:`compute_keys` call; the planner's one-computation-per-group
+    guarantee is therefore directly observable from the
+    ``plan.key_cache.*`` counters.
+    """
+
+    def __init__(self) -> None:
+        self._streams: Dict[Tuple[str, IndexSpec], np.ndarray] = {}
+        self._fingerprints: Dict[int, str] = {}
+        # pin fingerprinted traces so id() reuse cannot alias the memo
+        self._pinned: List[SharingTrace] = []
+
+    def _fingerprint(self, trace: SharingTrace) -> str:
+        fingerprint = self._fingerprints.get(id(trace))
+        if fingerprint is None:
+            fingerprint = trace_fingerprint(trace)
+            self._fingerprints[id(trace)] = fingerprint
+            self._pinned.append(trace)
+        return fingerprint
+
+    def key_stream(self, trace: SharingTrace, spec: IndexSpec) -> np.ndarray:
+        """The (cached) :func:`compute_keys` stream for ``(trace, spec)``."""
+        telemetry = get_telemetry()
+        cache_key = (self._fingerprint(trace), spec)
+        stream = self._streams.get(cache_key)
+        if stream is None:
+            stream = compute_keys(spec, trace)
+            self._streams[cache_key] = stream
+            telemetry.count("plan.key_cache.misses")
+        else:
+            telemetry.count("plan.key_cache.hits")
+        return stream
+
+    def clear(self) -> None:
+        self._streams.clear()
+        self._fingerprints.clear()
+        self._pinned.clear()
+
+
+def _predict_batch(
+    batch: FamilyBatch,
+    spec: IndexSpec,
+    trace: SharingTrace,
+    key_cache: KeyCache,
+    exclude_writer: bool,
+) -> List[np.ndarray]:
+    """Prediction arrays for every member of one batch on one trace.
+
+    This is where the sharing happens: one key stream for the whole batch,
+    and -- for bitmap batches -- one :class:`_BitmapPass` per update mode
+    present, gathered at the batch's maximum window so every member reduces
+    over its own prefix of the same gather.  ``plan.trace_passes`` counts
+    the full trace passes actually made (one per bitmap (mode) sub-batch,
+    one per pas/sequential scheme); the saving relative to
+    ``len(batch) * len(traces)`` is the planner's whole point.
+    """
+    telemetry = get_telemetry()
+    if len(trace) == 0:
+        return [np.zeros(0, dtype=np.uint32) for _ in batch.members]
+    keys = key_cache.key_stream(trace, spec)
+    predictions: List[Optional[np.ndarray]] = [None] * len(batch.members)
+
+    if batch.family == FAMILY_BITMAP:
+        by_mode: Dict[UpdateMode, List[int]] = {}
+        for offset, member in enumerate(batch.members):
+            by_mode.setdefault(member.scheme.update, []).append(offset)
+        for mode, offsets in by_mode.items():
+            window = max(
+                _bitmap_window(batch.members[offset].scheme) for offset in offsets
+            )
+            shared = _BitmapPass(trace, keys, mode, window)
+            telemetry.count("plan.trace_passes")
+            for offset in offsets:
+                scheme = batch.members[offset].scheme
+                predictions[offset] = _reduce_bitmap(
+                    scheme.function,
+                    _bitmap_window(scheme),
+                    shared,
+                    trace.num_nodes,
+                )
+    else:
+        predict = _predict_pas if batch.family == FAMILY_PAS else _predict_sequential
+        for offset, member in enumerate(batch.members):
+            predictions[offset] = predict(member.scheme, trace, keys)
+            telemetry.count("plan.trace_passes")
+
+    if exclude_writer:
+        writer_bit = (np.uint32(1) << trace.writer.astype(np.uint32)).astype(np.uint32)
+        predictions = [array & ~writer_bit for array in predictions]
+    return predictions  # type: ignore[return-value]
+
+
+def evaluate_plan(
+    plan: SweepPlan,
+    traces: Sequence[SharingTrace],
+    *,
+    exclude_writer: bool = True,
+    key_cache: Optional[KeyCache] = None,
+    on_result: Optional[Callable[[int, List[ConfusionCounts]], None]] = None,
+) -> List[List[ConfusionCounts]]:
+    """Execute a plan: per-trace confusion counts for every scheme.
+
+    Returns the same shape, in the same caller order, as
+    ``EvaluationEngine.evaluate_batch`` -- one list per scheme, one
+    :class:`ConfusionCounts` per trace -- and fires ``on_result`` once per
+    scheme as its batch finishes the suite (batch-grouped, so possibly out
+    of the caller's order; journaling already handles that).  Pass a
+    long-lived ``key_cache`` to share key streams across calls (the
+    parallel workers do); by default each call gets a private cache.
+    """
+    if key_cache is None:
+        key_cache = KeyCache()
+    results: List[Optional[List[ConfusionCounts]]] = [None] * plan.num_schemes
+    for group in plan.groups:
+        for batch in group.batches:
+            per_member: List[List[ConfusionCounts]] = [
+                [] for _ in range(len(batch.members))
+            ]
+            for trace in traces:
+                arrays = _predict_batch(
+                    batch, group.spec, trace, key_cache, exclude_writer
+                )
+                for offset, predictions in enumerate(arrays):
+                    counts = ConfusionCounts()
+                    if len(trace):
+                        _score(predictions, trace, counts)
+                    per_member[offset].append(counts)
+            for member, per_trace in zip(batch.members, per_member):
+                results[member.position] = per_trace
+                if on_result is not None:
+                    on_result(member.position, per_trace)
+    assert all(entry is not None for entry in results)
+    return results  # type: ignore[return-value]

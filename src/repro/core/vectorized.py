@@ -24,9 +24,23 @@ Delivery times are unique within a mode (an event closes at most one epoch),
 so one ``searchsorted`` over a composite ``(key, time)`` ordering recovers
 each prediction's history window exactly.
 
+The expensive parts of a sweep are *shared*, not per-scheme, and the module
+is factored accordingly so :mod:`repro.core.plan` can reuse them:
+
+* :func:`compute_keys` depends only on the :class:`IndexSpec`, so every
+  scheme in an index group reads the same key stream;
+* :class:`_BitmapPass` -- the feedback sort + ``searchsorted`` + history
+  gather -- depends only on ``(keys, update mode, max window)``, so all
+  depths and functions of a bitmap batch reduce over one pass via
+  :func:`_reduce_bitmap`.
+
 PAs entries carry counter state that depends on the full feedback sequence,
-not a window, so they take an optimized sequential path instead
-(:func:`_evaluate_pas`); it shares the same delivery-time semantics.
+not a window, so they run the shared :class:`~repro.core.kernel.PredictorKernel`
+sequentially over flat counter state (:class:`_PasOps`); arbitrary
+:class:`~repro.core.functions.PredictionFunction` objects (the
+confidence-gated extensions) take the same kernel with real entry objects.
+Both therefore share the update-timing state machine with the reference
+evaluator by construction.
 
 ``evaluate_scheme_fast`` is property-tested against the reference evaluator
 in ``tests/core/test_vectorized_equivalence.py``.
@@ -38,6 +52,8 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.core.indexing import IndexSpec
+from repro.core.kernel import PredictorKernel
 from repro.core.schemes import Scheme
 from repro.core.update import UpdateMode
 from repro.metrics.confusion import ConfusionCounts
@@ -48,25 +64,37 @@ _BITMAP_FUNCTIONS = ("last", "union", "inter", "overlap")
 
 
 def predict_scheme_fast(
-    scheme: Scheme, trace: SharingTrace, exclude_writer: bool = True
+    scheme: Scheme,
+    trace: SharingTrace,
+    exclude_writer: bool = True,
+    keys: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """The per-event prediction bitmaps ``scheme`` emits over ``trace``.
 
     A ``uint32`` array, one forwarding bitmap per event -- the fast-path
     counterpart of :func:`repro.core.evaluator.predict_scheme`, and the
     array :func:`repro.forwarding.replay_traffic` consumes.
+
+    ``keys`` optionally supplies a precomputed :func:`compute_keys` stream
+    for ``scheme.index`` (the sweep planner's key cache); omitted, the keys
+    are computed here.  Passing cached keys is bit-identical by definition
+    -- the same function produced them.
     """
     if len(trace) == 0:
         return np.zeros(0, dtype=np.uint32)
+    if keys is None:
+        keys = compute_keys(scheme.index, trace)
     if scheme.function in _BITMAP_FUNCTIONS:
-        predictions = _predict_bitmap_scheme(scheme, trace)
+        window = _bitmap_window(scheme)
+        shared = _BitmapPass(trace, keys, scheme.update, window)
+        predictions = _reduce_bitmap(scheme.function, window, shared, trace.num_nodes)
     elif scheme.function == "pas":
-        predictions = _evaluate_pas(scheme, trace)
+        predictions = _predict_pas(scheme, trace, keys)
     else:
         # Generic sequential path: any PredictionFunction (e.g. the
         # confidence-gated extensions) evaluates correctly, just without
         # the vectorized speedup.
-        predictions = _evaluate_sequential(scheme, trace)
+        predictions = _predict_sequential(scheme, trace, keys)
 
     if exclude_writer:
         writer_bit = (np.uint32(1) << trace.writer.astype(np.uint32)).astype(np.uint32)
@@ -91,13 +119,17 @@ def evaluate_scheme_fast(
 
 
 # ----------------------------------------------------------------------
-# Bitmap-history schemes
+# Key streams (shared per IndexSpec)
 # ----------------------------------------------------------------------
 
 
-def _compute_keys(scheme: Scheme, trace: SharingTrace) -> np.ndarray:
-    """Vectorized mirror of :meth:`IndexSpec.key` over the whole trace."""
-    spec = scheme.index
+def compute_keys(spec: IndexSpec, trace: SharingTrace) -> np.ndarray:
+    """Vectorized mirror of :meth:`IndexSpec.key` over the whole trace.
+
+    Takes the :class:`IndexSpec` rather than a scheme: the key stream is a
+    property of the index group, which is exactly what lets the sweep
+    planner compute it once and share it across every scheme in the group.
+    """
     num_nodes = trace.num_nodes
     node_bits = spec.node_bits(num_nodes)
     node_mask = (1 << node_bits) - 1
@@ -113,12 +145,24 @@ def _compute_keys(scheme: Scheme, trace: SharingTrace) -> np.ndarray:
     return keys
 
 
+# ----------------------------------------------------------------------
+# Bitmap-history schemes
+# ----------------------------------------------------------------------
+
+
+def _bitmap_window(scheme: Scheme) -> int:
+    """History slots a bitmap scheme actually reads.
+
+    Overlap-last keeps two bitmaps regardless of nominal depth.
+    """
+    return 2 if scheme.function == "overlap" else scheme.depth
+
+
 def _feedback_stream(
-    scheme: Scheme, trace: SharingTrace, keys: np.ndarray
+    mode: UpdateMode, trace: SharingTrace, keys: np.ndarray
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, str]:
     """Return (feedback keys, values, delivery times, searchsorted side)."""
     length = len(trace)
-    mode = scheme.update
     if mode is UpdateMode.DIRECT:
         selector = trace.has_inval
         return keys[selector], trace.inval[selector], np.nonzero(selector)[0], "right"
@@ -130,42 +174,70 @@ def _feedback_stream(
     raise AssertionError(f"unhandled update mode {mode}")  # pragma: no cover
 
 
-def _predict_bitmap_scheme(scheme: Scheme, trace: SharingTrace) -> np.ndarray:
-    length = len(trace)
-    keys = _compute_keys(scheme, trace)
-    fb_keys, fb_values, fb_times, side = _feedback_stream(scheme, trace, keys)
+class _BitmapPass:
+    """The shared per-(key stream, update mode) trace pass.
 
-    # Composite (key, time) ordering.  time <= length, so (length + 1) keeps
-    # keys in distinct, non-overlapping ranges.
-    stride = np.int64(length + 1)
-    fb_composite = fb_keys * stride + fb_times
-    order = np.argsort(fb_composite, kind="stable")
-    fb_composite = fb_composite[order]
-    fb_values = fb_values[order].astype(np.uint32)
+    Sorts the mode's feedback stream into composite ``(key, time)`` order,
+    locates every prediction's history window with two ``searchsorted``
+    calls, and gathers up to ``window`` most-recent feedback bitmaps per
+    event.  Everything here is independent of the prediction function and
+    of any depth ``<= window``: slot *s* of :attr:`gathered` is the
+    *(s+1)*-th most recent feedback (zero-filled outside the window), so a
+    scheme of depth ``d`` simply reduces over the first ``d`` slots.  That
+    is the whole shared-pass trick -- one sort and one gather score an
+    entire batch of bitmap schemes.
+    """
 
-    use_composite = keys * stride + np.arange(length, dtype=np.int64)
-    positions = np.searchsorted(fb_composite, use_composite, side=side)
-    group_starts = np.searchsorted(fb_composite, keys * stride, side="left")
-    available = positions - group_starts
+    __slots__ = ("length", "available", "gathered")
 
-    # Overlap-last keeps two bitmaps regardless of nominal depth.
-    window = 2 if scheme.function == "overlap" else scheme.depth
-    gathered = np.zeros((window, length), dtype=np.uint32)
-    valid_to = np.minimum(available, window)
-    for slot in range(1, window + 1):
-        indices = positions - slot
-        in_window = indices >= group_starts
-        gathered[slot - 1, in_window] = fb_values[indices[in_window]]
+    def __init__(
+        self, trace: SharingTrace, keys: np.ndarray, mode: UpdateMode, window: int
+    ) -> None:
+        length = len(trace)
+        fb_keys, fb_values, fb_times, side = _feedback_stream(mode, trace, keys)
 
-    full_mask = np.uint32(bitmap_mask(trace.num_nodes))
-    if scheme.function in ("union", "last"):
+        # Composite (key, time) ordering.  time <= length, so (length + 1)
+        # keeps keys in distinct, non-overlapping ranges.
+        stride = np.int64(length + 1)
+        fb_composite = fb_keys * stride + fb_times
+        order = np.argsort(fb_composite, kind="stable")
+        fb_composite = fb_composite[order]
+        fb_values = fb_values[order].astype(np.uint32)
+
+        use_composite = keys * stride + np.arange(length, dtype=np.int64)
+        positions = np.searchsorted(fb_composite, use_composite, side=side)
+        group_starts = np.searchsorted(fb_composite, keys * stride, side="left")
+
+        self.length = length
+        #: feedback values already delivered to each event's entry
+        self.available = positions - group_starts
+        self.gathered = np.zeros((window, length), dtype=np.uint32)
+        for slot in range(1, window + 1):
+            indices = positions - slot
+            in_window = indices >= group_starts
+            self.gathered[slot - 1, in_window] = fb_values[indices[in_window]]
+
+
+def _reduce_bitmap(
+    function: str, window: int, shared: _BitmapPass, num_nodes: int
+) -> np.ndarray:
+    """Fold one scheme's prediction function over a shared bitmap pass.
+
+    ``window`` is the scheme's own slot count and may be smaller than the
+    pass's gather width (the planner gathers once at the batch maximum).
+    """
+    length = shared.length
+    available = shared.available
+    gathered = shared.gathered
+    full_mask = np.uint32(bitmap_mask(num_nodes))
+    if function in ("union", "last"):
         predictions = np.zeros(length, dtype=np.uint32)
         for slot in range(window):
             predictions |= gathered[slot]
-    elif scheme.function == "inter":
+    elif function == "inter":
         predictions = np.full(length, full_mask, dtype=np.uint32)
         for slot in range(window):
-            active = valid_to > slot
+            active = available > slot
             predictions[active] &= gathered[slot, active]
         predictions[available == 0] = 0
     else:  # overlap-last
@@ -181,47 +253,39 @@ def _predict_bitmap_scheme(scheme: Scheme, trace: SharingTrace) -> np.ndarray:
 
 
 # ----------------------------------------------------------------------
-# PAs schemes (sequential, but with a tight flat-state inner loop)
+# PAs schemes (kernel-driven, but with tight flat-state entry ops)
 # ----------------------------------------------------------------------
 
 
-def _evaluate_pas(scheme: Scheme, trace: SharingTrace) -> np.ndarray:
-    """Sequential PAs evaluation producing the per-event prediction array.
+class _PasOps:
+    """Flat-state PAs entry operations for the shared kernel.
 
-    Entry state is kept as flat Python lists (one history int per node, one
-    byte per counter) inside a dict keyed by the scheme index; the inner
-    loops bind everything to locals because this path is the cost ceiling of
-    the whole design-space sweep.
+    An entry is ``[histories list, counters bytearray]`` (one history int
+    per node, one byte per 2-bit saturating counter) rather than a
+    :class:`~repro.core.twolevel.PAsFunction` deque entry: this path is the
+    cost ceiling of the whole design-space sweep, so entry state stays flat
+    and the loops bind to locals.  The update timing itself comes from
+    :class:`~repro.core.kernel.PredictorKernel` -- this class only defines
+    what a PAs entry *is*.
     """
-    length = len(trace)
-    num_nodes = trace.num_nodes
-    depth = scheme.depth
-    mask = (1 << depth) - 1
-    counters_per_entry = num_nodes << depth
-    mode = scheme.update
 
-    keys = _compute_keys(scheme, trace).tolist()
-    truth = trace.truth.tolist()
-    inval = trace.inval.tolist()
-    has_inval = trace.has_inval.tolist()
-    blocks = trace.block.tolist()
+    __slots__ = ("num_nodes", "depth", "mask", "counters_per_entry", "node_range")
 
-    # table[key] = [histories list, counters bytearray]
-    table: dict = {}
-    pending_key_by_block: dict = {}
-    predictions = np.zeros(length, dtype=np.uint32)
-    node_range = range(num_nodes)
+    def __init__(self, num_nodes: int, depth: int) -> None:
+        self.num_nodes = num_nodes
+        self.depth = depth
+        self.mask = (1 << depth) - 1
+        self.counters_per_entry = num_nodes << depth
+        self.node_range = range(num_nodes)
 
-    def get_entry(key: int) -> list:
-        entry = table.get(key)
-        if entry is None:
-            entry = [[0] * num_nodes, bytearray([1]) * counters_per_entry]
-            table[key] = entry
-        return entry
+    def new_entry(self) -> list:
+        return [[0] * self.num_nodes, bytearray([1]) * self.counters_per_entry]
 
-    def apply_feedback(entry: list, feedback: int) -> None:
+    def update(self, entry: list, feedback: int) -> None:
         histories, counters = entry
-        for node in node_range:
+        depth = self.depth
+        mask = self.mask
+        for node in self.node_range:
             history = histories[node]
             slot = (node << depth) | history
             if (feedback >> node) & 1:
@@ -233,33 +297,22 @@ def _evaluate_pas(scheme: Scheme, trace: SharingTrace) -> np.ndarray:
                     counters[slot] -= 1
                 histories[node] = (history << 1) & mask
 
-    direct = mode is UpdateMode.DIRECT
-    forwarded = mode is UpdateMode.FORWARDED
-    ordered = mode is UpdateMode.ORDERED
-
-    for position in range(length):
-        key = keys[position]
-        if direct:
-            if has_inval[position]:
-                apply_feedback(get_entry(key), inval[position])
-        elif forwarded:
-            block = blocks[position]
-            if has_inval[position]:
-                apply_feedback(get_entry(pending_key_by_block[block]), inval[position])
-            pending_key_by_block[block] = key
-
-        entry = get_entry(key)
+    def predict(self, entry: list) -> int:
         histories, counters = entry
+        depth = self.depth
         prediction = 0
-        for node in node_range:
+        for node in self.node_range:
             if counters[(node << depth) | histories[node]] >= 2:
                 prediction |= 1 << node
-        predictions[position] = prediction
+        return prediction
 
-        if ordered:
-            apply_feedback(entry, truth[position])
 
-    return predictions
+def _predict_pas(scheme: Scheme, trace: SharingTrace, keys: np.ndarray) -> np.ndarray:
+    """Sequential PAs evaluation producing the per-event prediction array."""
+    kernel = PredictorKernel(scheme.update, _PasOps(trace.num_nodes, scheme.depth))
+    return np.fromiter(
+        kernel.run_trace(trace, keys.tolist()), dtype=np.uint32, count=len(trace)
+    )
 
 
 # ----------------------------------------------------------------------
@@ -267,50 +320,21 @@ def _evaluate_pas(scheme: Scheme, trace: SharingTrace) -> np.ndarray:
 # ----------------------------------------------------------------------
 
 
-def _evaluate_sequential(scheme: Scheme, trace: SharingTrace) -> np.ndarray:
-    """Per-event evaluation with a real function object.
+def _predict_sequential(
+    scheme: Scheme, trace: SharingTrace, keys: np.ndarray
+) -> np.ndarray:
+    """Per-event kernel evaluation with a real function object.
 
-    Mirrors the reference evaluator's update timing exactly, but produces
-    the raw prediction array so scoring/masking stay shared with the fast
-    paths (equivalence is covered by the same property tests).
+    Same update timing as the reference evaluator by construction (the two
+    share :class:`PredictorKernel`), but keyed by the vectorized key stream
+    and producing the raw prediction array so scoring/masking stay shared
+    with the fast paths.
     """
-    length = len(trace)
     function = scheme.make_function(trace.num_nodes)
-    keys = _compute_keys(scheme, trace).tolist()
-    truth = trace.truth.tolist()
-    inval = trace.inval.tolist()
-    has_inval = trace.has_inval.tolist()
-    blocks = trace.block.tolist()
-    mode = scheme.update
-
-    table: dict = {}
-    pending_key_by_block: dict = {}
-    predictions = np.zeros(length, dtype=np.uint32)
-
-    def entry_for(key: int):
-        entry = table.get(key)
-        if entry is None:
-            entry = function.new_entry()
-            table[key] = entry
-        return entry
-
-    for position in range(length):
-        key = keys[position]
-        if mode is UpdateMode.DIRECT:
-            if has_inval[position]:
-                function.update(entry_for(key), inval[position])
-        elif mode is UpdateMode.FORWARDED:
-            block = blocks[position]
-            if has_inval[position]:
-                function.update(
-                    entry_for(pending_key_by_block[block]), inval[position]
-                )
-            pending_key_by_block[block] = key
-        entry = entry_for(key)
-        predictions[position] = function.predict(entry)
-        if mode is UpdateMode.ORDERED:
-            function.update(entry, truth[position])
-    return predictions
+    kernel = PredictorKernel(scheme.update, function)
+    return np.fromiter(
+        kernel.run_trace(trace, keys.tolist()), dtype=np.uint32, count=len(trace)
+    )
 
 
 # ----------------------------------------------------------------------

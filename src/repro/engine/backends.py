@@ -7,13 +7,15 @@ and swap execution strategies by name.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import List, Optional, Sequence
 
 from repro.core.evaluator import evaluate_scheme, predict_scheme
+from repro.core.plan import SweepPlan, evaluate_plan
 from repro.core.schemes import Scheme
 from repro.core.vectorized import evaluate_scheme_fast
-from repro.engine.base import EvaluationEngine
+from repro.engine.base import EvaluationEngine, ResultCallback
 from repro.metrics.confusion import ConfusionCounts
+from repro.telemetry import get_telemetry
 from repro.trace.events import SharingTrace
 
 
@@ -39,7 +41,14 @@ class ReferenceEngine(EvaluationEngine):
 
 
 class VectorizedEngine(EvaluationEngine):
-    """The fast numpy evaluator -- the default single-process backend."""
+    """The fast numpy evaluator -- the default single-process backend.
+
+    Batches run through the sweep planner (:mod:`repro.core.plan`): schemes
+    are grouped by index spec and function family so key streams and bitmap
+    feedback passes are computed once per group rather than once per
+    scheme.  Planning is pure scheduling -- results are bit-identical to
+    per-scheme evaluation and ``on_result`` still fires once per scheme.
+    """
 
     name = "vectorized"
 
@@ -47,3 +56,19 @@ class VectorizedEngine(EvaluationEngine):
         self, scheme: Scheme, trace: SharingTrace, exclude_writer: bool
     ) -> ConfusionCounts:
         return evaluate_scheme_fast(scheme, trace, exclude_writer=exclude_writer)
+
+    def _evaluate_batch(
+        self,
+        schemes: Sequence[Scheme],
+        traces: Sequence[SharingTrace],
+        *,
+        exclude_writer: bool,
+        on_result: Optional[ResultCallback],
+    ) -> List[List[ConfusionCounts]]:
+        plan = SweepPlan(schemes)
+        telemetry = get_telemetry()
+        if telemetry.enabled:
+            plan.record_telemetry(telemetry)
+        return evaluate_plan(
+            plan, list(traces), exclude_writer=exclude_writer, on_result=on_result
+        )

@@ -20,9 +20,9 @@ The contract has three granularities, each the natural unit for one layer:
 
 Options on all three methods are **keyword-only**: ``exclude_writer`` used
 to be accepted positionally at some call sites and not others, which made
-it easy to pass a stray boolean into the wrong slot.  Old positional calls
-keep working for one release through a :class:`DeprecationWarning` shim
-(:func:`_legacy_exclude_writer`); new code must spell the keyword.
+it easy to pass a stray boolean into the wrong slot.  The one-release
+:class:`DeprecationWarning` shim for positional calls has completed its
+cycle and is gone; a positional ``exclude_writer`` is now a ``TypeError``.
 
 ``evaluate_batch`` additionally accepts ``on_result``, a callback invoked
 with ``(scheme_index, per_trace_counts)`` as each scheme's suite completes.
@@ -52,7 +52,6 @@ measured overhead is below noise.
 from __future__ import annotations
 
 import time
-import warnings
 from abc import ABC, abstractmethod
 from typing import Callable, List, Optional, Sequence
 
@@ -76,29 +75,6 @@ ResultCallback = Callable[[int, List[ConfusionCounts]], None]
 TrafficCallback = Callable[[int, List[TrafficReport]], None]
 
 
-def _legacy_exclude_writer(method: str, legacy: tuple, exclude_writer: bool) -> bool:
-    """Resolve a positional ``exclude_writer`` passed to a keyword-only slot.
-
-    Accepting it (with a :class:`DeprecationWarning`) keeps pre-redesign
-    call sites running for one release; anything beyond one stray
-    positional is a genuine signature error.
-    """
-    if not legacy:
-        return exclude_writer
-    if len(legacy) > 1:
-        raise TypeError(
-            f"{method}() takes at most one legacy positional option "
-            f"(exclude_writer); got {len(legacy)} extras"
-        )
-    warnings.warn(
-        f"passing exclude_writer positionally to {method}() is deprecated; "
-        "use the exclude_writer= keyword",
-        DeprecationWarning,
-        stacklevel=3,
-    )
-    return bool(legacy[0])
-
-
 class EvaluationEngine(ABC):
     """Strategy interface for evaluating schemes over traces."""
 
@@ -115,11 +91,10 @@ class EvaluationEngine(ABC):
         self,
         scheme: Scheme,
         trace: SharingTrace,
-        *legacy,
+        *,
         exclude_writer: bool = True,
     ) -> ConfusionCounts:
         """Score one scheme on one trace."""
-        exclude_writer = _legacy_exclude_writer("evaluate", legacy, exclude_writer)
         telemetry = get_telemetry()
         if not telemetry.enabled:
             return self._evaluate_one(scheme, trace, exclude_writer)
@@ -136,13 +111,10 @@ class EvaluationEngine(ABC):
         self,
         scheme: Scheme,
         traces: Sequence[SharingTrace],
-        *legacy,
+        *,
         exclude_writer: bool = True,
     ) -> List[ConfusionCounts]:
         """Score one scheme on each trace, with fresh predictor state per trace."""
-        exclude_writer = _legacy_exclude_writer(
-            "evaluate_suite", legacy, exclude_writer
-        )
         return [
             self.evaluate(scheme, trace, exclude_writer=exclude_writer)
             for trace in traces
@@ -152,7 +124,7 @@ class EvaluationEngine(ABC):
         self,
         schemes: Sequence[Scheme],
         traces: Sequence[SharingTrace],
-        *legacy,
+        *,
         exclude_writer: bool = True,
         on_result: Optional[ResultCallback] = None,
     ) -> List[List[ConfusionCounts]]:
@@ -164,9 +136,6 @@ class EvaluationEngine(ABC):
         ``on_result`` is given it fires once per scheme as its suite
         completes (possibly out of input order).
         """
-        exclude_writer = _legacy_exclude_writer(
-            "evaluate_batch", legacy, exclude_writer
-        )
         telemetry = get_telemetry()
         if not telemetry.enabled:
             return self._evaluate_batch(

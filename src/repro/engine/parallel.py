@@ -12,16 +12,25 @@ backend dispatches scheme chunks to a
   traces are pickled into each worker's initializer exactly as before --
   both transports are bit-identical and both are frozen against the golden
   fixtures.
-* **Adaptive work-stealing chunks** -- rather than pre-sharding the batch
-  into fixed chunks, the parent keeps a small number of chunks in flight
-  and cuts the next chunk when a worker finishes one ("stealing" from the
-  shared remainder).  Chunk size starts small and is continuously resized
-  from the observed schemes/sec so each chunk lands near
-  :data:`TARGET_CHUNK_SECONDS`: cheap bitmap schemes travel in big chunks
-  (amortizing dispatch), expensive deep-history or PAs schemes travel in
-  small ones (so a straggler chunk cannot serialize the tail of a sweep).
-  An explicit ``chunk_size`` pins the size (used by tests for determinism)
-  while keeping the demand-driven queue.
+* **Plan-group work stealing** -- the batch is first permuted into
+  :class:`~repro.core.plan.SweepPlan` order and chunks are cut inside plan
+  batch boundaries, so every chunk a worker steals shares one
+  (IndexSpec, function family): the worker evaluates it through
+  :func:`~repro.core.plan.evaluate_plan` with a worker-lifetime key cache,
+  keeping the planner's shared key streams and bitmap passes effective
+  across the process boundary.  Dispatch stays demand-driven: the parent
+  keeps a small number of chunks in flight and cuts the next chunk when a
+  worker finishes one ("stealing" from the shared remainder).  Chunk size
+  starts small and is continuously resized from the observed schemes/sec
+  so each chunk lands near :data:`TARGET_CHUNK_SECONDS`: cheap bitmap
+  schemes travel in big chunks (amortizing dispatch), expensive
+  deep-history or PAs schemes travel in small ones (so a straggler chunk
+  cannot serialize the tail of a sweep), and oversized plan groups split
+  across chunks without double-evaluating a scheme.  An explicit
+  ``chunk_size`` pins the size (used by tests for determinism) while
+  keeping the demand-driven queue and the segment clamps.  Results and
+  ``on_result`` callbacks are mapped back to the caller's scheme order, so
+  journaling (and ``--resume``) stay per scheme and bit-identical.
 * **Graceful degradation** -- if worker processes cannot be spawned (or die
   mid-batch: resource limits, sandboxed environments, pickling surprises),
   the batch is rerun on the in-process vectorized backend after a logged
@@ -47,17 +56,19 @@ import logging
 import math
 import os
 import time
+from bisect import bisect_right
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.core.plan import KeyCache, SweepPlan, evaluate_plan
 from repro.core.schemes import Scheme
-from repro.core.vectorized import evaluate_scheme_fast, predict_scheme_fast
+from repro.core.vectorized import predict_scheme_fast
 from repro.engine.backends import VectorizedEngine
 from repro.engine.base import EvaluationEngine, ResultCallback, TrafficCallback
 from repro.forwarding.simulator import ForwardingConfig, replay_traffic
 from repro.metrics.confusion import ConfusionCounts
 from repro.metrics.traffic import TrafficReport
-from repro.telemetry import Telemetry, get_telemetry
+from repro.telemetry import Telemetry, get_telemetry, set_telemetry
 from repro.trace.events import SharingTrace
 from repro.trace.shm import attach_trace, publish_traces, shm_available, shm_enabled
 
@@ -90,6 +101,11 @@ INFLIGHT_PER_WORKER = 2
 # Worker-process state, installed once per worker by _init_worker.
 _WORKER_TRACES: List[SharingTrace] = []
 _WORKER_SEGMENTS: Dict[str, object] = {}
+#: worker-lifetime key-stream cache: chunks are cut inside plan-batch
+#: boundaries, so consecutive chunks frequently share an IndexSpec and the
+#: keys survive across chunk submissions (fingerprint-keyed, so both
+#: transports hit identically).
+_WORKER_KEY_CACHE = KeyCache()
 
 
 def _init_worker(payload: dict) -> None:
@@ -101,6 +117,7 @@ def _init_worker(payload: dict) -> None:
     """
     global _WORKER_TRACES
     _WORKER_SEGMENTS.clear()
+    _WORKER_KEY_CACHE.clear()
     if payload["mode"] == "shm":
         traces = []
         for descriptor in payload["descriptors"]:
@@ -125,26 +142,40 @@ def _evaluate_chunk(
     folding cumulative state twice is impossible.
     """
     started = time.perf_counter()
-    results = []
-    events = 0
-    for scheme in schemes:
-        per_trace = []
-        for trace in _WORKER_TRACES:
-            counts = evaluate_scheme_fast(scheme, trace, exclude_writer=exclude_writer)
-            events += len(trace)
-            per_trace.append(
-                (
-                    counts.true_positive,
-                    counts.false_positive,
-                    counts.false_negative,
-                    counts.true_negative,
-                )
+    # Chunks are cut inside plan-batch boundaries, so this mini plan is
+    # normally a single (IndexSpec, family) batch sharing one key stream
+    # and its bitmap passes; the worker-global KeyCache extends the sharing
+    # across consecutive chunks of the same group.  Worker-side plan.*
+    # counters (key-cache hits, trace passes) are captured in a fresh sink
+    # and shipped home with the chunk snapshot.
+    telemetry = Telemetry() if with_telemetry else None
+    previous = set_telemetry(telemetry) if with_telemetry else None
+    try:
+        per_scheme = evaluate_plan(
+            SweepPlan(schemes),
+            _WORKER_TRACES,
+            exclude_writer=exclude_writer,
+            key_cache=_WORKER_KEY_CACHE,
+        )
+    finally:
+        if with_telemetry:
+            set_telemetry(previous)
+    results = [
+        [
+            (
+                counts.true_positive,
+                counts.false_positive,
+                counts.false_negative,
+                counts.true_negative,
             )
-        results.append(per_trace)
+            for counts in per_trace
+        ]
+        for per_trace in per_scheme
+    ]
+    events = len(schemes) * sum(len(trace) for trace in _WORKER_TRACES)
     elapsed = time.perf_counter() - started
     if not with_telemetry:
         return results, elapsed, events, None
-    telemetry = Telemetry()
     prefix = f"engine.parallel.worker.{os.getpid()}"
     telemetry.count(f"{prefix}.chunks")
     telemetry.count(f"{prefix}.schemes", len(schemes))
@@ -170,7 +201,8 @@ def _traffic_chunk(
     for scheme in schemes:
         per_trace = []
         for trace in _WORKER_TRACES:
-            predictions = predict_scheme_fast(scheme, trace)
+            keys = _WORKER_KEY_CACHE.key_stream(trace, scheme.index)
+            predictions = predict_scheme_fast(scheme, trace, keys=keys)
             report = replay_traffic(
                 trace,
                 predictions,
@@ -208,18 +240,34 @@ class _ChunkScheduler:
     about :data:`TARGET_CHUNK_SECONDS`.  With ``fixed_size`` the size is
     pinned (deterministic chunking for tests / comparison baselines) but
     dispatch stays demand-driven.
+
+    ``boundaries`` (sorted cumulative segment ends, e.g.
+    :meth:`SweepPlan.batch_boundaries` over the plan-ordered batch) makes
+    the cutting *segment-aware*: a chunk never straddles a boundary, so
+    every chunk a worker steals shares one (IndexSpec, family) and the
+    worker's shared passes run at full width.  Oversized segments still
+    split into multiple chunks -- size-aware stealing, not one-segment-one-
+    worker -- and crossing would merely cost locality, never correctness.
     """
 
     #: EWMA smoothing for the observed schemes/sec (higher = more reactive)
     ALPHA = 0.5
 
-    def __init__(self, total: int, fixed_size: Optional[int], jobs: int):
+    def __init__(
+        self,
+        total: int,
+        fixed_size: Optional[int],
+        jobs: int,
+        boundaries: Optional[Sequence[int]] = None,
+    ):
         self.total = total
         self.jobs = max(1, jobs)
         self.fixed_size = max(1, fixed_size) if fixed_size is not None else None
+        self.boundaries = sorted(boundaries) if boundaries else None
         self.next_index = 0
         self.chunks_cut = 0
         self.resizes = 0
+        self.segment_clamps = 0
         self.last_size = 0
         self.schemes_per_sec: Optional[float] = None
         self.events_per_sec: Optional[float] = None
@@ -249,6 +297,14 @@ class _ChunkScheduler:
             raise IndexError("no schemes left to schedule")
         size = self.fixed_size if self.fixed_size is not None else self._adaptive_size()
         size = min(size, self.remaining)
+        if self.boundaries is not None:
+            # first boundary strictly past the chunk start ends its segment
+            cursor = bisect_right(self.boundaries, self.next_index)
+            if cursor < len(self.boundaries):
+                segment_end = self.boundaries[cursor]
+                if size > segment_end - self.next_index:
+                    size = segment_end - self.next_index
+                    self.segment_clamps += 1
         if self.last_size and size != self.last_size:
             self.resizes += 1
         self.last_size = size
@@ -273,6 +329,7 @@ class _ChunkScheduler:
     def record_telemetry(self, telemetry) -> None:
         telemetry.count("engine.parallel.steal.chunks", self.chunks_cut)
         telemetry.count("engine.parallel.steal.resizes", self.resizes)
+        telemetry.count("engine.parallel.steal.segment_clamps", self.segment_clamps)
         telemetry.gauge("engine.parallel.steal.final_chunk_size", self.last_size)
         telemetry.gauge(
             "engine.parallel.steal.target_seconds",
@@ -426,16 +483,31 @@ class ParallelEngine(EvaluationEngine):
         """Demand-driven pooled execution of ``task`` over scheme chunks.
 
         The shared control plane of every pooled batch shape: transport
-        setup, adaptive chunk scheduling, completion-order result decoding,
-        and telemetry folding.  ``task`` is a module-level worker function
-        called as ``task(chunk_schemes, *task_args, with_telemetry)`` and
-        must return the ``(per_scheme_payloads, elapsed, events, snapshot)``
-        quadruple; ``decode`` rehydrates one scheme's payload into the
-        caller's result objects.
+        setup, plan-ordered segment-aware chunk scheduling, completion-order
+        result decoding, and telemetry folding.  Schemes are permuted into
+        :class:`SweepPlan` order before chunking so every chunk shares one
+        (IndexSpec, family); results and ``on_result`` indices are mapped
+        back through the permutation, so callers (and the sweep journal,
+        which checkpoints per scheme) see only the original order.  ``task``
+        is a module-level worker function called as
+        ``task(chunk_schemes, *task_args, with_telemetry)`` and must return
+        the ``(per_scheme_payloads, elapsed, events, snapshot)`` quadruple;
+        ``decode`` rehydrates one scheme's payload into the caller's result
+        objects.
         """
         telemetry = get_telemetry()
         schemes = list(schemes)
-        scheduler = _ChunkScheduler(len(schemes), self.chunk_size, self.jobs)
+        plan = SweepPlan(schemes)
+        if telemetry.enabled:
+            plan.record_telemetry(telemetry)
+        plan_order = plan.order()
+        ordered_schemes = [schemes[position] for position in plan_order]
+        scheduler = _ChunkScheduler(
+            len(schemes),
+            self.chunk_size,
+            self.jobs,
+            boundaries=plan.batch_boundaries(),
+        )
         workers = min(self.jobs, len(schemes))
         max_inflight = workers * INFLIGHT_PER_WORKER
         results: List[Optional[list]] = [None] * len(schemes)
@@ -452,7 +524,7 @@ class ParallelEngine(EvaluationEngine):
                         start, size = scheduler.next_chunk()
                         future = pool.submit(
                             task,
-                            schemes[start : start + size],
+                            ordered_schemes[start : start + size],
                             *task_args,
                             telemetry.enabled,
                         )
@@ -468,9 +540,10 @@ class ParallelEngine(EvaluationEngine):
                             telemetry.merge(Telemetry.from_json(snapshot))
                         for offset, per_trace in enumerate(chunk_results):
                             decoded = decode(per_trace)
-                            results[start + offset] = decoded
+                            position = plan_order[start + offset]
+                            results[position] = decoded
                             if on_result is not None:
-                                on_result(start + offset, decoded)
+                                on_result(position, decoded)
         finally:
             if published is not None:
                 published.close()

@@ -19,15 +19,13 @@ The pre-package public surface is re-exported here unchanged, so
 ``from repro.harness.experiments import table8, suite_average, EXPERIMENTS``
 keeps working for the CLI, the benchmarks, and external callers.  The
 monolith's *private* helpers (``_scheme_row``, ``_sweep_rows``, ``_top10``,
-``_combo_spec``, ...) are still importable from this package for one more
-release, but through a :class:`DeprecationWarning` shim (module
-``__getattr__``) that points at their canonical submodule homes.
+``_combo_spec``, ...) had a one-release :class:`DeprecationWarning` import
+shim here; that cycle is complete, so they now live only in their canonical
+submodules and importing them from this package is an ``AttributeError``.
 """
 
 from __future__ import annotations
 
-import importlib
-import warnings
 from typing import Callable, Dict, Optional
 
 from repro.engine import EvaluationEngine, set_default_engine
@@ -105,38 +103,6 @@ __all__ = [
 #: legacy name -> runner view of the paper registry (kept as a plain dict
 #: because the CLI and tests iterate and ``in``-test it)
 EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = PAPER_REGISTRY.runners()
-
-#: pre-package monolith helpers -> their canonical homes; importable from
-#: here for one release via the deprecating module __getattr__ below
-_DEPRECATED_MONOLITH_NAMES: Dict[str, str] = {
-    "_scheme_row": "repro.harness.experiments.base",
-    "_sweep_rows": "repro.harness.experiments.sweeps",
-    "_top10": "repro.harness.experiments.sweeps",
-    "_combo_spec": "repro.harness.experiments.figures",
-    "_figure_sweep": "repro.harness.experiments.figures",
-    "_ALL_MODES": "repro.harness.experiments.figures",
-}
-
-
-def __getattr__(name: str):
-    """Deprecation shim for the pre-package ``harness/experiments.py`` paths.
-
-    The monolith exposed these helpers directly on the module; scripts that
-    still import them from the package keep working for one release, with a
-    :class:`DeprecationWarning` naming the new home.
-    """
-    home = _DEPRECATED_MONOLITH_NAMES.get(name)
-    if home is None:
-        raise AttributeError(
-            f"module {__name__!r} has no attribute {name!r}"
-        )
-    warnings.warn(
-        f"importing {name} from repro.harness.experiments is deprecated "
-        f"(pre-package monolith path); import it from {home}",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return getattr(importlib.import_module(home), name)
 
 
 def all_experiments() -> Dict[str, Callable[..., ExperimentResult]]:

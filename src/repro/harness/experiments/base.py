@@ -235,9 +235,3 @@ def scheme_row(
         "pooled_tp": stats["pooled_tp"],
         "pooled_fp": stats["pooled_fp"],
     }
-
-
-# Backwards-compatible alias: the pre-package experiments module exposed
-# the row builder as a private helper.
-def _scheme_row(scheme: Scheme, traces, num_nodes: int = 16) -> Dict:
-    return scheme_row(scheme, suite_average(scheme, traces), num_nodes)

@@ -17,15 +17,15 @@ paper's own, runnable via ``repro-bench <name>``:
 
 from __future__ import annotations
 
-from typing import Dict, List
-
 from repro.core.schemes import parse_scheme
 from repro.core.vectorized import evaluate_scheme_fast
+from repro.engine import get_default_engine
+from repro.forwarding.simulator import DEFAULT_FORWARDING_CONFIG
 from repro.harness.experiments import suite_average
 from repro.harness.results import ExperimentResult, cached_result
 from repro.harness.runner import TraceSet, generate_trace
 from repro.metrics.screening import ScreeningStats
-from repro.metrics.traffic import TrafficModel, breakeven_pvp, traffic_report
+from repro.metrics.traffic import breakeven_pvp, merge_reports
 from repro.trace.patterns import SharingPattern, census
 from repro.trace.stats import compute_trace_stats
 
@@ -90,7 +90,8 @@ def ext_traffic(trace_set: TraceSet, use_cache: bool = True) -> ExperimentResult
     """Traffic economics: does each scheme save or waste interconnect bytes?"""
 
     def compute() -> ExperimentResult:
-        model = TrafficModel()
+        config = DEFAULT_FORWARDING_CONFIG
+        model = config.model
         result = ExperimentResult(
             name="ext-traffic",
             title="Extension: forwarding traffic economics (suite-pooled)",
@@ -103,13 +104,12 @@ def ext_traffic(trace_set: TraceSet, use_cache: bool = True) -> ExperimentResult
                 "traffic_ratio",
             ],
         )
-        for text in _TRAFFIC_SCHEMES:
-            scheme = parse_scheme(text)
-            pooled = None
-            for trace in trace_set.traces():
-                counts = evaluate_scheme_fast(scheme, trace)
-                pooled = counts if pooled is None else pooled + counts
-            report = traffic_report(pooled, model)
+        schemes = [parse_scheme(text) for text in _TRAFFIC_SCHEMES]
+        per_scheme = get_default_engine().evaluate_traffic(
+            schemes, trace_set.traces(), config=config
+        )
+        for scheme, reports in zip(schemes, per_scheme):
+            report = merge_reports(reports)
             result.rows.append(
                 {
                     "scheme": scheme.full_name,
@@ -121,10 +121,13 @@ def ext_traffic(trace_set: TraceSet, use_cache: bool = True) -> ExperimentResult
                 }
             )
         result.notes.append(
-            f"Message model: request={model.request_cost}, data={model.data_cost} "
-            f"units; forwarding is traffic-neutral at PVP {breakeven_pvp(model):.2f}. "
-            "Every scheme trades extra bytes for hidden latency -- the "
-            "bandwidth-latency trade-off of the paper's Section 6."
+            f"Simulator-backed: each scheme replayed through the "
+            f"{config.topology} directory protocol (request={model.request_cost}, "
+            f"data={model.data_cost}, hop={model.hop_cost} units); forwarding "
+            f"is traffic-neutral at PVP {breakeven_pvp(model):.2f} in the "
+            "zero-hop limit.  Every scheme trades extra bytes for hidden "
+            "latency -- the bandwidth-latency trade-off of the paper's "
+            "Section 6."
         )
         return result
 

@@ -16,6 +16,9 @@ engine reports them (via the ``on_result`` batch callback), and a later
 run started with ``repro-bench --resume`` replays the journal instead of
 re-evaluating the finished schemes -- the replayed counts are the recorded
 integers, so a resumed sweep is bit-identical to an uninterrupted one.
+Engines may report schemes in any order (the planner batches by index
+group and the parallel backend journals per completed chunk); the journal
+is keyed by scheme name, so resume is order-independent by construction.
 :class:`CheckpointPolicy` (installed by the CLI, queried by the sweep
 experiments) decides whether journals are written, read, or skipped.
 """

@@ -25,12 +25,16 @@ a header-only message costs :attr:`TrafficModel.request_cost`, and every
 network hop adds :attr:`TrafficModel.hop_cost`.
 
 :func:`traffic_report` keeps the original counts-only economics (paper
-footnote 8) as a degenerate zero-hop report, so quad-level analyses like
-``ext-traffic`` need no simulator run.
+footnote 8) as a degenerate zero-hop report.  It is **deprecated**: every
+in-tree consumer (``ext-traffic`` included) now gets reports from the
+topology-aware simulator via
+:meth:`~repro.engine.base.EvaluationEngine.evaluate_traffic`, and the
+helper will be removed once its warning release completes.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Mapping, Sequence, Tuple
 
@@ -317,6 +321,14 @@ def traffic_report(
 ) -> TrafficReport:
     """The counts-only traffic economics of a scheme (paper footnote 8).
 
+    .. deprecated::
+        The abstract zero-hop report predates the protocol simulator and
+        double-counts nothing only because it models nothing spatial; use
+        :meth:`EvaluationEngine.evaluate_traffic` (plus
+        :func:`merge_reports` for suite pooling), which replays the actual
+        trace through a topology.  This helper survives one release for
+        scripts doing quad-only arithmetic.
+
     This is the pre-simulator model kept as a degenerate report: an
     abstract zero-hop network where every true reader demand-fetches with a
     request + data-response pair (no separate intervention leg -- the
@@ -324,6 +336,13 @@ def traffic_report(
     true positive replaces that pair with one pushed data message, and
     every false positive adds one wasted data message.
     """
+    warnings.warn(
+        "traffic_report() is deprecated: it models an abstract zero-hop "
+        "network; use EvaluationEngine.evaluate_traffic (and merge_reports) "
+        "for simulator-backed reports",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     ap = counts.actual_positive
     tp = counts.true_positive
     fp = counts.false_positive

@@ -86,6 +86,33 @@ class TestChunkScheduler:
         _, size = scheduler.next_chunk()
         assert size <= MAX_CHUNK
 
+    def test_oversized_group_splits_without_double_evaluation(self):
+        """A plan group larger than any chunk is cut into pieces that tile
+        it exactly: every index is handed out once, chunks never straddle a
+        batch boundary, and nothing is skipped or re-issued."""
+        scheduler = _ChunkScheduler(
+            total=10, fixed_size=4, jobs=2, boundaries=[6, 10]
+        )
+        cuts = []
+        while scheduler.has_pending():
+            cuts.append(scheduler.next_chunk())
+        # the 6-wide group splits 4+2; the 4-wide group fits one chunk
+        assert cuts == [(0, 4), (4, 2), (6, 4)]
+        covered = [
+            index for start, size in cuts for index in range(start, start + size)
+        ]
+        assert covered == list(range(10))  # each scheme exactly once
+        assert scheduler.segment_clamps == 1
+
+    def test_boundaries_not_ending_at_total_are_safe(self):
+        # a defensive guard: chunking past the last boundary must not blow
+        # up even if the boundary list under-covers the total
+        scheduler = _ChunkScheduler(total=5, fixed_size=2, jobs=1, boundaries=[3])
+        cuts = []
+        while scheduler.has_pending():
+            cuts.append(scheduler.next_chunk())
+        assert cuts == [(0, 2), (2, 1), (3, 2)]
+
     def test_observe_ignores_degenerate_samples(self):
         scheduler = _ChunkScheduler(total=10, fixed_size=None, jobs=1)
         scheduler.observe(num_schemes=0, elapsed=0.0, events=0)
@@ -146,6 +173,9 @@ class TestPooledTransports:
         assert sink.gauges["engine.parallel.transport_shm"] == 0.0
 
     def test_steal_telemetry_recorded(self, small_traces):
+        # every scheme in SCHEMES has a distinct IndexSpec, so each plan
+        # batch is a singleton and the pinned chunk_size=2 is clamped down
+        # to the segment boundary: one chunk per scheme.
         schemes = [parse_scheme(text) for text in SCHEMES]
         sink = Telemetry()
         previous = set_telemetry(sink)
@@ -155,12 +185,49 @@ class TestPooledTransports:
             )
         finally:
             set_telemetry(previous)
-        assert sink.counters["engine.parallel.steal.chunks"] == len(schemes) // 2
-        assert sink.gauges["engine.parallel.steal.final_chunk_size"] == 2
+        assert sink.counters["engine.parallel.steal.chunks"] == len(schemes)
+        # the last chunk is already cut to 1 by the remaining-count clamp,
+        # so the segment clamp fires on all but the final chunk
+        assert sink.counters["engine.parallel.steal.segment_clamps"] == len(schemes) - 1
+        assert sink.gauges["engine.parallel.steal.final_chunk_size"] == 1
         assert sink.gauges["engine.parallel.steal.schemes_per_sec"] > 0
         assert sink.gauges["engine.parallel.steal.events_per_sec"] > 0
         # fixed chunking reports no adaptive target
         assert sink.gauges["engine.parallel.steal.target_seconds"] == 0.0
+        # the plan's shape is recorded alongside the steal stats
+        assert sink.counters["plan.index_groups"] == len(schemes)
+        assert sink.counters["plan.schemes"] == len(schemes)
+
+    def test_steal_chunks_shared_specs_keep_pinned_size(self, small_traces):
+        # schemes sharing one IndexSpec form a single plan batch, so the
+        # pinned chunk size is honoured and key streams are computed once
+        # per (worker, trace, group) -- visible as worker key-cache hits.
+        schemes = [
+            parse_scheme(text)
+            for text in [
+                "last(add6)1",
+                "union(add6)2",
+                "union(add6)4",
+                "inter(add6)2",
+                "inter(add6)3",
+                "overlap(add6)1",
+            ]
+        ]
+        sink = Telemetry()
+        previous = set_telemetry(sink)
+        try:
+            ParallelEngine(jobs=2, chunk_size=2).evaluate_batch(
+                schemes, small_traces
+            )
+        finally:
+            set_telemetry(previous)
+        assert sink.counters["engine.parallel.steal.chunks"] == len(schemes) // 2
+        assert sink.counters["engine.parallel.steal.segment_clamps"] == 0
+        assert sink.gauges["engine.parallel.steal.final_chunk_size"] == 2
+        assert sink.counters["plan.index_groups"] == 1
+        # every chunk shares the one key stream within itself; hits appear
+        # whenever a chunk holds more than one mode-batch or scheme pass
+        assert sink.counters["plan.key_cache.misses"] >= 1
 
     def test_on_result_fires_once_per_scheme(self, small_traces):
         schemes = [parse_scheme(text) for text in SCHEMES]

@@ -1,9 +1,17 @@
-"""Deprecation shims: legacy spellings keep working, loudly, for one release."""
+"""Deprecation lifecycle: completed cycles are hard errors, live ones warn.
+
+The positional ``exclude_writer`` shim in ``engine/base.py`` and the
+monolith import shim in ``harness/experiments/__init__.py`` each had their
+one warning release; this file pins the removal (``TypeError`` /
+``AttributeError``).  The ``mem8`` index-field spelling is still inside its
+cycle and must keep parsing, loudly.
+"""
 
 import warnings
 
 import pytest
 
+from repro.core.indexing import IndexSpec
 from repro.core.schemes import parse_scheme
 from repro.engine.backends import VectorizedEngine
 from tests.conftest import make_random_trace
@@ -14,32 +22,31 @@ def trace():
     return make_random_trace(num_nodes=8, num_events=120, num_blocks=10, seed="dep")
 
 
-class TestMonolithImportShims:
+class TestMonolithShimRemoved:
     @pytest.mark.parametrize(
-        "name,home",
+        "name",
         [
-            ("_scheme_row", "repro.harness.experiments.base"),
-            ("_sweep_rows", "repro.harness.experiments.sweeps"),
-            ("_top10", "repro.harness.experiments.sweeps"),
-            ("_combo_spec", "repro.harness.experiments.figures"),
-            ("_figure_sweep", "repro.harness.experiments.figures"),
-            ("_ALL_MODES", "repro.harness.experiments.figures"),
+            "_scheme_row",
+            "_sweep_rows",
+            "_top10",
+            "_combo_spec",
+            "_figure_sweep",
+            "_ALL_MODES",
         ],
     )
-    def test_legacy_name_resolves_with_warning(self, name, home):
-        import importlib
-
+    def test_legacy_private_name_is_gone(self, name):
         import repro.harness.experiments as experiments
 
-        with pytest.warns(DeprecationWarning, match=home):
-            legacy = getattr(experiments, name)
-        assert legacy is getattr(importlib.import_module(home), name)
+        with pytest.raises(AttributeError, match=name):
+            getattr(experiments, name)
 
-    def test_unknown_attribute_still_raises(self):
-        import repro.harness.experiments as experiments
+    def test_scheme_row_alias_removed_from_base_too(self):
+        # the monolith's _scheme_row alias was a real function in base; the
+        # canonical scheme_row(stats) spelling is the only survivor
+        import repro.harness.experiments.base as base
 
-        with pytest.raises(AttributeError):
-            experiments.does_not_exist
+        assert not hasattr(base, "_scheme_row")
+        assert callable(base.scheme_row)
 
     def test_public_surface_warns_nothing(self):
         with warnings.catch_warnings():
@@ -52,37 +59,43 @@ class TestMonolithImportShims:
             )
 
 
-class TestPositionalExcludeWriterShims:
-    def test_evaluate_positional_warns_and_matches_keyword(self, trace):
-        engine = VectorizedEngine()
-        scheme = parse_scheme("last(pid)1")
-        with pytest.warns(DeprecationWarning, match="exclude_writer"):
-            legacy = engine.evaluate(scheme, trace, False)
-        assert legacy == engine.evaluate(scheme, trace, exclude_writer=False)
-
-    def test_evaluate_suite_positional_warns(self, trace):
-        engine = VectorizedEngine()
-        scheme = parse_scheme("last()1")
-        with pytest.warns(DeprecationWarning, match="exclude_writer"):
-            legacy = engine.evaluate_suite(scheme, [trace], True)
-        assert legacy == engine.evaluate_suite(scheme, [trace], exclude_writer=True)
-
-    def test_evaluate_batch_positional_warns(self, trace):
-        engine = VectorizedEngine()
-        schemes = [parse_scheme("last()1"), parse_scheme("union(add4)2")]
-        with pytest.warns(DeprecationWarning, match="exclude_writer"):
-            legacy = engine.evaluate_batch(schemes, [trace], False)
-        assert legacy == engine.evaluate_batch(
-            schemes, [trace], exclude_writer=False
-        )
-
-    def test_extra_positionals_are_a_type_error(self, trace):
+class TestPositionalExcludeWriterRemoved:
+    def test_evaluate_positional_is_a_type_error(self, trace):
         engine = VectorizedEngine()
         with pytest.raises(TypeError):
-            engine.evaluate(parse_scheme("last()1"), trace, True, "junk")
+            engine.evaluate(parse_scheme("last(pid)1"), trace, False)
+
+    def test_evaluate_suite_positional_is_a_type_error(self, trace):
+        engine = VectorizedEngine()
+        with pytest.raises(TypeError):
+            engine.evaluate_suite(parse_scheme("last()1"), [trace], True)
+
+    def test_evaluate_batch_positional_is_a_type_error(self, trace):
+        engine = VectorizedEngine()
+        schemes = [parse_scheme("last()1"), parse_scheme("union(add4)2")]
+        with pytest.raises(TypeError):
+            engine.evaluate_batch(schemes, [trace], False)
 
     def test_keyword_calls_warn_nothing(self, trace):
         engine = VectorizedEngine()
         with warnings.catch_warnings():
             warnings.simplefilter("error", DeprecationWarning)
             engine.evaluate(parse_scheme("last()1"), trace, exclude_writer=False)
+
+
+class TestMem8SpellingStillParses:
+    def test_mem_field_warns_and_matches_add(self):
+        with pytest.warns(DeprecationWarning, match="add8"):
+            legacy = IndexSpec.parse("pid+mem8")
+        assert legacy == IndexSpec.parse("pid+add8")
+
+    def test_mem_scheme_text_round_trips_to_add(self):
+        with pytest.warns(DeprecationWarning):
+            scheme = parse_scheme("union(mem6)2")
+        assert scheme.index == IndexSpec(addr_bits=6)
+        assert "add6" in scheme.full_name
+
+    def test_add_spelling_warns_nothing(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            IndexSpec.parse("pid+add8")

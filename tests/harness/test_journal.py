@@ -272,18 +272,21 @@ class TestBatchSchemeStatsWithJournal:
 
 KILL_SCRIPT = textwrap.dedent(
     """
+    import multiprocessing
     import os
     import sys
     from pathlib import Path
 
     from repro.core.schemes import parse_scheme
     from repro.engine.backends import VectorizedEngine
+    from repro.engine.parallel import ParallelEngine
     from repro.harness.experiments.base import batch_scheme_stats
     from repro.harness.runner import SweepJournal
     from tests.harness.test_journal import SCHEMES, journal_traces
 
     journal_path = Path(sys.argv[1])
     kill_after = int(sys.argv[2])
+    backend = sys.argv[3]
     traces = journal_traces()
     schemes = [parse_scheme(text) for text in SCHEMES]
 
@@ -291,6 +294,10 @@ KILL_SCRIPT = textwrap.dedent(
         def record(self, scheme_name, counts):
             super().record(scheme_name, counts)
             if len(self) >= kill_after:
+                # reap pool workers first so the orphaned grandchildren of a
+                # simulated `kill -9` do not outlive the test run
+                for child in multiprocessing.active_children():
+                    child.kill()
                 os._exit(137)  # simulate a hard kill mid-sweep
 
     journal = KillingJournal(
@@ -299,17 +306,30 @@ KILL_SCRIPT = textwrap.dedent(
         fingerprint="cafe0123",
         trace_names=[trace.name for trace in traces],
     )
-    batch_scheme_stats(schemes, traces, engine=VectorizedEngine(), journal=journal)
+    if backend == "parallel":
+        # chunk over the sweep plan with two workers; the kill lands while
+        # chunks are still in flight
+        engine = ParallelEngine(jobs=2, chunk_size=2)
+    else:
+        engine = VectorizedEngine()
+    batch_scheme_stats(schemes, traces, engine=engine, journal=journal)
     os._exit(0)  # only reached if the kill never fired
     """
 )
 
 
 class TestKillAndResume:
-    def test_killed_sweep_resumes_bit_identical(self, tmp_path):
+    @pytest.mark.parametrize("backend", ["vectorized", "parallel"])
+    def test_killed_sweep_resumes_bit_identical(self, tmp_path, backend):
         """A sweep killed mid-run finishes under --resume semantics with
         exactly the counts an uninterrupted run produces, evaluating only
-        the schemes the journal does not already hold."""
+        the schemes the journal does not already hold.
+
+        The parallel variant exercises the planned work-stealing backend:
+        ``on_result`` (hence journaling) fires per completed chunk in plan
+        order, so the surviving journal holds an arbitrary subset -- resume
+        must key on scheme names, not positions.
+        """
         kill_after = 3
         journal_path = tmp_path / "sweep-kill.jsonl"
         script = tmp_path / "kill_sweep.py"
@@ -321,18 +341,22 @@ class TestKillAndResume:
             [str(repo_root / "src"), str(repo_root)]
         )
         completed = subprocess.run(
-            [sys.executable, str(script), str(journal_path), str(kill_after)],
+            [sys.executable, str(script), str(journal_path), str(kill_after), backend],
             env=env,
             cwd=repo_root,
             capture_output=True,
             text=True,
-            timeout=120,
+            timeout=180,
         )
         assert completed.returncode == 137, completed.stderr
 
-        # the journal survived the kill: header + exactly kill_after records
+        # the journal survived the kill: header + at least kill_after
+        # records (a parallel chunk may journal a final burst of schemes
+        # before the kill lands)
         lines = journal_path.read_text().splitlines()
-        assert len(lines) == 1 + kill_after
+        assert len(lines) >= 1 + kill_after
+        recorded = len(lines) - 1
+        assert recorded < len(SCHEMES)  # the kill really interrupted the sweep
 
         traces = journal_traces()
         schemes = [parse_scheme(text) for text in SCHEMES]
@@ -348,7 +372,7 @@ class TestKillAndResume:
         journal.close()
 
         # only the unfinished tail was evaluated...
-        assert len(engine.batched_schemes) == len(schemes) - kill_after
+        assert len(engine.batched_schemes) == len(schemes) - recorded
         # ...and the final statistics are bit-identical to a clean run
         clean = batch_scheme_stats(schemes, traces, engine=VectorizedEngine())
         assert resumed == clean

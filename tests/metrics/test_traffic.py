@@ -1,4 +1,10 @@
-"""Traffic accounting (footnote 8 economics)."""
+"""Traffic accounting (footnote 8 economics).
+
+``traffic_report`` is deprecated in favour of the simulator-backed
+``EvaluationEngine.evaluate_traffic`` path; these tests pin the legacy
+math for its final release, so the deprecation warning is silenced here
+(and asserted explicitly in ``TestDeprecation``).
+"""
 
 import pytest
 from hypothesis import given
@@ -6,6 +12,17 @@ from hypothesis import strategies as st
 
 from repro.metrics.confusion import ConfusionCounts
 from repro.metrics.traffic import TrafficModel, breakeven_pvp, traffic_report
+
+pytestmark = pytest.mark.filterwarnings(
+    r"ignore:traffic_report\(\) is deprecated:DeprecationWarning"
+)
+
+
+class TestDeprecation:
+    @pytest.mark.filterwarnings("error::DeprecationWarning")
+    def test_legacy_helper_warns(self):
+        with pytest.warns(DeprecationWarning, match="evaluate_traffic"):
+            traffic_report(ConfusionCounts(true_positive=1))
 
 
 class TestModel:
