@@ -1,0 +1,165 @@
+"""Bitmap layout benchmark: the 16-node scalar fast path must stay fast.
+
+The width-parametric :class:`repro.util.bitmaps.BitmapLayout` introduced
+packed multi-word columns for machines wider than 64 nodes.  The paper's
+16-node machine must not pay for that generality: its columns are 1-D
+``uint32`` and every hot op (popcount, writer-bit tests, overlap masking)
+is a plain vectorized expression.  This bench times those ops on a
+million-row column three ways --
+
+* **scalar-16**: the 16-node layout (the golden-fixture path);
+* **packed-256**: the 4-word 256-node layout (the scenario-grid path);
+* **python-ref**: the pure-Python big-int loop the differential tests
+  compare against (``tests/util/test_bitmap_layouts.py``);
+
+-- and enforces two floors before reporting:
+
+* the scalar path stays at least ``MIN_SPEEDUP_VS_PY``x faster than the
+  Python reference (an absolute-throughput guard that is robust to CI
+  host speed, because both sides slow down together);
+* the 16-node layout is *structurally* scalar: 1-D ``uint32``, not
+  routed through the packed code path.
+
+Emits ``BENCH_bitmaps.json`` (the CI artifact)::
+
+    PYTHONPATH=src python benchmarks/bench_bitmaps.py [--out PATH] [--no-strict]
+
+Not a pytest file on purpose: wall-clock ratios belong in an artifact a
+human (or the perf trajectory) reads, not in a test that flakes under CI
+load.  Correctness of every op is separately pinned by the differential
+suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.util.bitmaps import bitmap_layout, bitmap_mask, popcount
+
+NUM_ROWS = 1_000_000
+#: rows for the pure-Python loop (scaled up to a per-row rate afterwards)
+PY_ROWS = 20_000
+MIN_SPEEDUP_VS_PY = 10.0
+REPEATS = 3
+
+
+def best_of(repeats, run):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = run()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def make_column(layout, num_nodes, rows, seed):
+    rng = np.random.default_rng(seed)
+    values = [
+        int.from_bytes(rng.bytes((num_nodes + 7) // 8), "little")
+        & bitmap_mask(num_nodes)
+        for _ in range(rows)
+    ]
+    writers = rng.integers(0, num_nodes, size=rows, dtype=np.int64)
+    return layout.pack(values), values, writers
+
+
+def layout_pass(layout, column, writers):
+    """The evaluator's hot bitmap sequence: popcount, writer test, overlap."""
+    counts = layout.popcount(column)
+    hits = layout.test_bit(column, writers)
+    masked = layout.asarray(column & layout.mask)
+    overlap = layout.any_set(masked & layout.writer_bits(writers))
+    return int(counts.sum()), int(hits.sum()), int(overlap.sum())
+
+
+def python_pass(values, writers, width):
+    mask = bitmap_mask(width)
+    counts = hits = overlap = 0
+    for value, writer in zip(values, writers):
+        counts += popcount(value)
+        hits += (value >> int(writer)) & 1
+        overlap += ((value & mask) & (1 << int(writer))) != 0
+    return counts, hits, int(overlap)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out", default="BENCH_bitmaps.json", help="artifact path (JSON)"
+    )
+    parser.add_argument(
+        "--no-strict",
+        action="store_true",
+        help=f"report without enforcing the {MIN_SPEEDUP_VS_PY}x floor",
+    )
+    args = parser.parse_args(argv)
+
+    scalar = bitmap_layout(16)
+    packed = bitmap_layout(256)
+
+    # structural guard: 16 nodes must never route through the packed path
+    if scalar.packed or scalar.dtype != np.uint32:
+        print("FATAL: 16-node layout is no longer scalar uint32", file=sys.stderr)
+        return 2
+
+    col16, values16, writers16 = make_column(scalar, 16, NUM_ROWS, seed=11)
+    col256, _, writers256 = make_column(packed, 256, NUM_ROWS, seed=13)
+
+    scalar_seconds, scalar_sums = best_of(
+        REPEATS, lambda: layout_pass(scalar, col16, writers16)
+    )
+    packed_seconds, _ = best_of(
+        REPEATS, lambda: layout_pass(packed, col256, writers256)
+    )
+    py_seconds, py_sums = best_of(
+        REPEATS,
+        lambda: python_pass(values16[:PY_ROWS], writers16[:PY_ROWS], 16),
+    )
+
+    # the differential guarantee, re-checked on this exact data
+    ref_sums = python_pass(values16, writers16, 16)
+    if scalar_sums != ref_sums:
+        print("FATAL: scalar layout disagrees with the reference", file=sys.stderr)
+        return 2
+
+    scalar_rate = NUM_ROWS / scalar_seconds
+    py_rate = PY_ROWS / py_seconds
+    speedup_vs_py = scalar_rate / py_rate
+
+    artifact = {
+        "benchmark": "bitmap-layouts",
+        "rows": NUM_ROWS,
+        "scalar16_seconds": round(scalar_seconds, 4),
+        "packed256_seconds": round(packed_seconds, 4),
+        "python_ref_seconds_per_row": round(py_seconds / PY_ROWS, 9),
+        "scalar16_rows_per_sec": round(scalar_rate),
+        "packed256_rows_per_sec": round(NUM_ROWS / packed_seconds),
+        "speedup_vs_python": round(speedup_vs_py, 1),
+        "min_speedup_vs_python": MIN_SPEEDUP_VS_PY,
+        "scalar16_dtype": str(scalar.dtype.__name__),
+        "scalar16_packed": scalar.packed,
+        "packed256_words": packed.n_words,
+        "results_identical": True,
+    }
+    Path(args.out).write_text(json.dumps(artifact, indent=2) + "\n", encoding="utf-8")
+    print(json.dumps(artifact, indent=2))
+
+    if speedup_vs_py < MIN_SPEEDUP_VS_PY and not args.no_strict:
+        print(
+            f"FAIL: scalar path only {speedup_vs_py:.1f}x faster than the "
+            f"Python reference (floor {MIN_SPEEDUP_VS_PY}x)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -37,6 +37,7 @@ from repro.core.schemes import Scheme, parse_scheme
 from repro.core.update import UpdateMode
 from repro.engine import EvaluationEngine, make_engine
 from repro.forwarding.simulator import ForwardingConfig
+from repro.machine import PAPER_MACHINE, MachineSpec
 from repro.metrics.confusion import ConfusionCounts
 from repro.metrics.screening import ScreeningStats
 from repro.metrics.traffic import TrafficModel, TrafficReport
@@ -45,6 +46,8 @@ from repro.trace.events import SharingTrace
 __all__ = [
     "ConfusionCounts",
     "ForwardingConfig",
+    "MachineSpec",
+    "PAPER_MACHINE",
     "Scheme",
     "ScreeningStats",
     "SharingTrace",

@@ -19,7 +19,6 @@ from __future__ import annotations
 
 import math
 import re
-import warnings
 from dataclasses import dataclass
 from typing import Iterator, List
 
@@ -141,7 +140,7 @@ class IndexSpec:
             parts.append(f"add{self.addr_bits}")
         return "+".join(parts)
 
-    _FIELD_RE = re.compile(r"^(pid|dir|pc(\d+)|(?:add|addr|mem)(\d+))$")
+    _FIELD_RE = re.compile(r"^(pid|dir|pc(\d+)|(?:add|addr)(\d+))$")
 
     @classmethod
     def parse(cls, text: str) -> "IndexSpec":
@@ -153,8 +152,8 @@ class IndexSpec:
         >>> IndexSpec.parse("pid+add8") == IndexSpec(use_pid=True, addr_bits=8)
         True
 
-        The ``mem`` spelling the paper borrows from Lai & Falsafi's tables
-        is still parsed for one release, but deprecated -- spell it ``add``.
+        (The ``mem`` spelling borrowed from Lai & Falsafi's tables finished
+        its deprecation cycle and is now rejected -- spell it ``add``.)
         """
         text = text.strip()
         if not text:
@@ -175,13 +174,6 @@ class IndexSpec:
             elif match.group(2) is not None:
                 pc_bits = int(match.group(2))
             else:
-                if field.startswith("mem"):
-                    warnings.warn(
-                        f"the {field!r} index-field spelling is deprecated; "
-                        f"use 'add{match.group(3)}'",
-                        DeprecationWarning,
-                        stacklevel=2,
-                    )
                 addr_bits = int(match.group(3))
         return cls(use_pid=use_pid, pc_bits=pc_bits, use_dir=use_dir, addr_bits=addr_bits)
 

@@ -159,13 +159,35 @@ class SweepPlan:
         Chunks cut strictly inside these boundaries contain schemes of one
         ``(IndexSpec, family)``, so a worker evaluating the chunk shares its
         key stream and bitmap passes at full efficiency.
+
+        Runs of *adjacent singleton batches* are merged into one segment: a
+        one-scheme batch has no pass sharing to protect, so clamping chunks
+        to its boundary (as the parallel scheduler does) would only shrink
+        every chunk of a many-unique-index sweep to a single scheme.  A
+        chunk spanning merged singletons evaluates each scheme standalone,
+        exactly as the un-merged plan would have -- grouping remains pure
+        scheduling, never semantics.
         """
-        boundaries: List[int] = []
+        raw: List[int] = []
         total = 0
         for group in self.groups:
             for batch in group.batches:
                 total += len(batch)
-                boundaries.append(total)
+                raw.append(total)
+        boundaries: List[int] = []
+        previous = 0
+        singleton_run_end: Optional[int] = None
+        for boundary in raw:
+            if boundary - previous == 1:
+                singleton_run_end = boundary
+            else:
+                if singleton_run_end is not None:
+                    boundaries.append(singleton_run_end)
+                    singleton_run_end = None
+                boundaries.append(boundary)
+            previous = boundary
+        if singleton_run_end is not None:
+            boundaries.append(singleton_run_end)
         return boundaries
 
     def record_telemetry(self, telemetry) -> None:
@@ -242,7 +264,7 @@ def _predict_batch(
     """
     telemetry = get_telemetry()
     if len(trace) == 0:
-        return [np.zeros(0, dtype=np.uint32) for _ in batch.members]
+        return [trace.layout.zeros(0) for _ in batch.members]
     keys = key_cache.key_stream(trace, spec)
     predictions: List[Optional[np.ndarray]] = [None] * len(batch.members)
 
@@ -271,7 +293,7 @@ def _predict_batch(
             telemetry.count("plan.trace_passes")
 
     if exclude_writer:
-        writer_bit = (np.uint32(1) << trace.writer.astype(np.uint32)).astype(np.uint32)
+        writer_bit = trace.layout.writer_bits(trace.writer)
         predictions = [array & ~writer_bit for array in predictions]
     return predictions  # type: ignore[return-value]
 

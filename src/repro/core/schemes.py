@@ -9,8 +9,8 @@ Examples from the paper, all of which round-trip through
 * ``inter(pid+pc8)2[direct]`` — Kaxiras & Goodman's instruction-based
   intersection predictor;
 * ``union(dir+pid+add8)1[forward]`` — Lai & Falsafi's last-bitmap predictor
-  at the directories (the paper's legacy ``mem8`` spelling of the address
-  field still parses, with a :class:`DeprecationWarning`);
+  at the directories (the legacy ``mem8`` spelling of the address field is
+  no longer accepted -- spell it ``add8``);
 * ``union(dir+add14)4`` — the paper's top-sensitivity scheme.
 """
 

@@ -58,7 +58,7 @@ from repro.core.schemes import Scheme
 from repro.core.update import UpdateMode
 from repro.metrics.confusion import ConfusionCounts
 from repro.trace.events import SharingTrace
-from repro.util.bitmaps import POPCOUNT16, bitmap_mask
+from repro.util.bitmaps import POPCOUNT16
 
 _BITMAP_FUNCTIONS = ("last", "union", "inter", "overlap")
 
@@ -71,9 +71,11 @@ def predict_scheme_fast(
 ) -> np.ndarray:
     """The per-event prediction bitmaps ``scheme`` emits over ``trace``.
 
-    A ``uint32`` array, one forwarding bitmap per event -- the fast-path
-    counterpart of :func:`repro.core.evaluator.predict_scheme`, and the
-    array :func:`repro.forwarding.replay_traffic` consumes.
+    One forwarding bitmap per event, in the trace's
+    :class:`~repro.util.bitmaps.BitmapLayout` representation (``uint32``
+    for paper-sized machines) -- the fast-path counterpart of
+    :func:`repro.core.evaluator.predict_scheme`, and the array
+    :func:`repro.forwarding.replay_traffic` consumes.
 
     ``keys`` optionally supplies a precomputed :func:`compute_keys` stream
     for ``scheme.index`` (the sweep planner's key cache); omitted, the keys
@@ -81,7 +83,7 @@ def predict_scheme_fast(
     -- the same function produced them.
     """
     if len(trace) == 0:
-        return np.zeros(0, dtype=np.uint32)
+        return trace.layout.zeros(0)
     if keys is None:
         keys = compute_keys(scheme.index, trace)
     if scheme.function in _BITMAP_FUNCTIONS:
@@ -97,8 +99,7 @@ def predict_scheme_fast(
         predictions = _predict_sequential(scheme, trace, keys)
 
     if exclude_writer:
-        writer_bit = (np.uint32(1) << trace.writer.astype(np.uint32)).astype(np.uint32)
-        predictions = predictions & ~writer_bit
+        predictions = predictions & ~trace.layout.writer_bits(trace.writer)
     return predictions
 
 
@@ -188,12 +189,13 @@ class _BitmapPass:
     entire batch of bitmap schemes.
     """
 
-    __slots__ = ("length", "available", "gathered")
+    __slots__ = ("length", "layout", "available", "gathered")
 
     def __init__(
         self, trace: SharingTrace, keys: np.ndarray, mode: UpdateMode, window: int
     ) -> None:
         length = len(trace)
+        layout = trace.layout
         fb_keys, fb_values, fb_times, side = _feedback_stream(mode, trace, keys)
 
         # Composite (key, time) ordering.  time <= length, so (length + 1)
@@ -202,16 +204,17 @@ class _BitmapPass:
         fb_composite = fb_keys * stride + fb_times
         order = np.argsort(fb_composite, kind="stable")
         fb_composite = fb_composite[order]
-        fb_values = fb_values[order].astype(np.uint32)
+        fb_values = fb_values[order].astype(layout.dtype)
 
         use_composite = keys * stride + np.arange(length, dtype=np.int64)
         positions = np.searchsorted(fb_composite, use_composite, side=side)
         group_starts = np.searchsorted(fb_composite, keys * stride, side="left")
 
         self.length = length
+        self.layout = layout
         #: feedback values already delivered to each event's entry
         self.available = positions - group_starts
-        self.gathered = np.zeros((window, length), dtype=np.uint32)
+        self.gathered = layout.gather_zeros(window, length)
         for slot in range(1, window + 1):
             indices = positions - slot
             in_window = indices >= group_starts
@@ -227,15 +230,15 @@ def _reduce_bitmap(
     pass's gather width (the planner gathers once at the batch maximum).
     """
     length = shared.length
+    layout = shared.layout
     available = shared.available
     gathered = shared.gathered
-    full_mask = np.uint32(bitmap_mask(num_nodes))
     if function in ("union", "last"):
-        predictions = np.zeros(length, dtype=np.uint32)
+        predictions = layout.zeros(length)
         for slot in range(window):
             predictions |= gathered[slot]
     elif function == "inter":
-        predictions = np.full(length, full_mask, dtype=np.uint32)
+        predictions = layout.full(length)
         for slot in range(window):
             active = available > slot
             predictions[active] &= gathered[slot, active]
@@ -243,12 +246,12 @@ def _reduce_bitmap(
     else:  # overlap-last
         newest = gathered[0]
         previous = gathered[1]
-        overlaps = (newest & previous) != 0
-        predictions = np.where(
+        overlaps = layout.any_set(newest & previous)
+        predictions = layout.select(
             available >= 2,
-            np.where(overlaps, newest, np.uint32(0)),
+            layout.select(overlaps, newest, layout.zeros(length)),
             newest,  # 0 or 1 bitmaps stored: predict what is there (0 if none)
-        ).astype(np.uint32)
+        )
     return predictions
 
 
@@ -310,8 +313,8 @@ class _PasOps:
 def _predict_pas(scheme: Scheme, trace: SharingTrace, keys: np.ndarray) -> np.ndarray:
     """Sequential PAs evaluation producing the per-event prediction array."""
     kernel = PredictorKernel(scheme.update, _PasOps(trace.num_nodes, scheme.depth))
-    return np.fromiter(
-        kernel.run_trace(trace, keys.tolist()), dtype=np.uint32, count=len(trace)
+    return trace.layout.from_int_iter(
+        kernel.run_trace(trace, keys.tolist()), count=len(trace)
     )
 
 
@@ -332,8 +335,8 @@ def _predict_sequential(
     """
     function = scheme.make_function(trace.num_nodes)
     kernel = PredictorKernel(scheme.update, function)
-    return np.fromiter(
-        kernel.run_trace(trace, keys.tolist()), dtype=np.uint32, count=len(trace)
+    return trace.layout.from_int_iter(
+        kernel.run_trace(trace, keys.tolist()), count=len(trace)
     )
 
 
@@ -350,11 +353,12 @@ def _popcount_array(values: np.ndarray) -> np.ndarray:
 
 
 def _score(predictions: np.ndarray, trace: SharingTrace, counts: ConfusionCounts) -> None:
-    full_mask = np.uint32(bitmap_mask(trace.num_nodes))
+    layout = trace.layout
+    full_mask = layout.mask
     truth = trace.truth
-    true_positive = int(_popcount_array(predictions & truth).sum())
-    false_positive = int(_popcount_array(predictions & ~truth & full_mask).sum())
-    false_negative = int(_popcount_array(~predictions & truth & full_mask).sum())
+    true_positive = int(layout.popcount(predictions & truth).sum())
+    false_positive = int(layout.popcount(predictions & ~truth & full_mask).sum())
+    false_negative = int(layout.popcount(~predictions & truth & full_mask).sum())
     total = len(trace) * trace.num_nodes
     counts.true_positive += true_positive
     counts.false_positive += false_positive

@@ -36,7 +36,9 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Sequence, Union
+from typing import TYPE_CHECKING, Sequence, Union
+
+import numpy as np
 
 from repro.forwarding.topology import Topology, make_topology
 from repro.memory.protocol import EpochProtocol
@@ -46,6 +48,9 @@ from repro.telemetry import get_telemetry
 from repro.trace.events import SharingTrace
 from repro.util.bitmaps import bitmap_mask, iter_set_bits
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.machine import MachineSpec
+
 
 @dataclass(frozen=True)
 class ForwardingConfig:
@@ -53,6 +58,16 @@ class ForwardingConfig:
 
     topology: str = "mesh"
     model: TrafficModel = field(default_factory=TrafficModel)
+
+    @classmethod
+    def for_machine(
+        cls, machine: "MachineSpec", model: TrafficModel = None
+    ) -> "ForwardingConfig":
+        """The simulator configuration for one scenario cell's machine."""
+        return cls(
+            topology=machine.topology,
+            model=model if model is not None else TrafficModel(),
+        )
 
 
 #: the default 16-node configuration (a 4x4 mesh, paper machine size)
@@ -128,9 +143,14 @@ def replay_traffic(
     writers = trace.writer.tolist()
     homes = trace.home.tolist()
     blocks = trace.block.tolist()
-    truths = trace.truth.tolist()
-    invals = trace.inval.tolist()
+    truths = trace.truth_ints()
+    invals = trace.inval_ints()
     has_invals = trace.has_inval.tolist()
+    # Packed prediction columns (>64-node machines) arrive as 2-D word
+    # arrays from the evaluators; flatten them to Python ints up front so
+    # the replay loop is width-agnostic.
+    if isinstance(predictions, np.ndarray) and predictions.ndim > 1:
+        predictions = trace.layout.to_int_list(predictions)
 
     for position in range(len(trace)):
         writer = writers[position]

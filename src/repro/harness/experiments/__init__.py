@@ -106,17 +106,19 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = PAPER_REGISTRY.runners
 
 
 def all_experiments() -> Dict[str, Callable[..., ExperimentResult]]:
-    """Paper experiments plus the extension and traffic experiment families.
+    """Paper experiments plus the extension, traffic, and scenario families.
 
     Imported lazily to avoid a module cycle (extensions build on the
     helpers defined here).
     """
+    from repro.harness.experiments.scenarios import SCENARIO_EXPERIMENTS
     from repro.harness.experiments.traffic import TRAFFIC_EXPERIMENTS
     from repro.harness.extensions import EXTENSION_EXPERIMENTS
 
     combined = dict(EXPERIMENTS)
     combined.update(EXTENSION_EXPERIMENTS)
     combined.update(TRAFFIC_EXPERIMENTS)
+    combined.update(SCENARIO_EXPERIMENTS)
     return combined
 
 

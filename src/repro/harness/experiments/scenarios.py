@@ -1,0 +1,388 @@
+"""MCC-style scenario grids: (workload x nodes x topology x protocol) sweeps.
+
+The paper's evaluation fixes one machine; the interesting open question
+(ROADMAP: "scale the machine, not just the sweep") is how prediction
+quality and forwarding economics move when the machine itself changes.  A
+:class:`ScenarioGrid` names a cross-product of benchmarks,
+:class:`~repro.machine.MachineSpec` axes (node count, interconnect
+topology, protocol variant), repeated seeds, and predictor schemes; running
+it produces one row per (workload, machine, scheme) cell with seed-averaged
+screening statistics and simulator-backed traffic economics.
+
+Two grids are registered:
+
+* ``scenarios-smoke`` -- two benchmarks at 16 and 64 nodes, one topology
+  and protocol, small enough for CI (the tier-1 64-node smoke job runs
+  it on every push);
+* ``scenarios-big`` -- the big-system grid up to 256 nodes crossing
+  topologies and MSI/MESI, the regime the paper could not reach.
+
+Execution discipline matches the design-space sweeps: confusion
+evaluation goes through the pluggable engine layer (all three backends
+produce bit-identical counts), traffic replay through the forwarding
+simulator, and both halves checkpoint per completed cell/scheme into
+:class:`~repro.harness.runner.SweepJournal` / :class:`TrafficJournal`
+files, so a killed ``repro-bench scenarios-big --resume`` replays recorded
+integers instead of recomputing -- resuming can change wall-clock, never
+results.
+
+Per-benchmark workload parameters are scaled *down* on big machines
+(:data:`BIG_MACHINE_PARAMS`): per-thread work shrinks so a 256-node cell
+stays tractable while total sharing still grows with the machine.  ``ocean``
+is excluded from node counts above 16 -- its event count grows as the
+square of the node count (one grid row exchange per neighbor pair per
+iteration), which swamps a grid run without adding predictor signal.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.schemes import Scheme, parse_scheme
+from repro.engine import EvaluationEngine, get_default_engine
+from repro.forwarding.simulator import ForwardingConfig
+from repro.harness.results import ExperimentResult, cached_result
+from repro.harness.runner import (
+    TRACE_SCHEMA,
+    TraceSet,
+    open_sweep_journal,
+    open_traffic_journal,
+)
+from repro.machine import MachineSpec
+from repro.metrics.confusion import ConfusionCounts
+from repro.metrics.screening import ScreeningStats
+from repro.metrics.traffic import TrafficReport, merge_reports
+
+#: per-benchmark constructor overrides for machines larger than the paper's.
+#: Per-thread work shrinks as the node count grows so cell cost stays
+#: roughly linear in machine size; ``gauss`` needs its matrix to at least
+#: cover the thread count.
+BIG_MACHINE_PARAMS: Dict[str, "callable"] = {
+    "water": lambda n: {"molecules_per_thread": 2, "neighbors_per_molecule": 4, "steps": 2},
+    "em3d": lambda n: {"nodes_per_thread": 8, "iterations": 2},
+    "barnes": lambda n: {"bodies_per_thread": 4, "cells": 64, "timesteps": 2},
+    "mp3d": lambda n: {"molecules_per_thread": 4, "steps": 2},
+    "unstruct": lambda n: {"mesh_nodes_per_thread": 6, "iterations": 2},
+    "gauss": lambda n: {"size": n, "repeats": 1},
+}
+
+#: default scheme cross-section for scenario grids: one cheap baseline and
+#: one strong directory-indexed predictor per update philosophy
+SCENARIO_SCHEMES: Tuple[str, ...] = (
+    "last()1[direct]",
+    "union(dir+add8)2[direct]",
+    "inter(pid+pc8)2[forwarded]",
+)
+
+
+def workload_params_for(benchmark: str, num_nodes: int) -> Optional[dict]:
+    """The constructor overrides a benchmark needs at ``num_nodes``."""
+    if num_nodes <= 16:
+        return None
+    scale = BIG_MACHINE_PARAMS.get(benchmark)
+    return scale(num_nodes) if scale is not None else None
+
+
+@dataclass(frozen=True)
+class ScenarioGrid:
+    """One named (workload x nodes x topology x protocol) cross-product."""
+
+    name: str
+    title: str
+    workloads: Tuple[str, ...]
+    node_counts: Tuple[int, ...]
+    topologies: Tuple[str, ...] = ("mesh",)
+    protocols: Tuple[str, ...] = ("msi",)
+    seeds: Tuple[int, ...] = (0,)
+    schemes: Tuple[str, ...] = SCENARIO_SCHEMES
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not (self.workloads and self.node_counts and self.topologies
+                and self.protocols and self.seeds and self.schemes):
+            raise ValueError(f"scenario grid {self.name!r} has an empty axis")
+        for nodes in self.node_counts:
+            for topology in self.topologies:
+                for protocol in self.protocols:
+                    # constructing the spec validates every axis combination
+                    # up front (e.g. hypercubes need power-of-two sizes)
+                    MachineSpec(
+                        num_nodes=nodes, topology=topology, protocol=protocol
+                    ).make_topology()
+
+    def machines(self) -> List[MachineSpec]:
+        """Every machine cell, topology-major within (nodes, protocol)."""
+        return [
+            MachineSpec(num_nodes=nodes, topology=topology, protocol=protocol)
+            for nodes in self.node_counts
+            for protocol in self.protocols
+            for topology in self.topologies
+        ]
+
+    def num_cells(self) -> int:
+        return len(self.workloads) * len(self.machines())
+
+    def fingerprint(self) -> str:
+        """Stable identity of the exact computation this grid names."""
+        payload = json.dumps(
+            {
+                "schema": TRACE_SCHEMA,
+                "workloads": list(self.workloads),
+                "nodes": list(self.node_counts),
+                "topologies": list(self.topologies),
+                "protocols": list(self.protocols),
+                "seeds": list(self.seeds),
+                "schemes": list(self.schemes),
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def _seed_trace_sets(
+    grid: ScenarioGrid, benchmark: str, machine: MachineSpec
+) -> List[TraceSet]:
+    """One single-benchmark trace set per seed for a scenario cell.
+
+    Topology is deliberately absent from the trace identity
+    (:meth:`MachineSpec.trace_label`): the protocol never sees the network
+    shape, so cells differing only in topology share cached traces.
+    """
+    params = workload_params_for(benchmark, machine.num_nodes)
+    return [
+        TraceSet(
+            benchmarks=[benchmark],
+            seed=seed,
+            machine=machine,
+            workload_params={benchmark: params} if params else None,
+        )
+        for seed in grid.seeds
+    ]
+
+
+def _average_screening(per_seed: Sequence[ConfusionCounts]) -> Dict[str, float]:
+    """Repeated-seed statistics: mean and spread of the screening numbers."""
+    sens: List[float] = []
+    pvps: List[float] = []
+    prevs: List[float] = []
+    for counts in per_seed:
+        stats = ScreeningStats.from_counts(counts)
+        if stats.prevalence is not None:
+            prevs.append(stats.prevalence)
+        if stats.sensitivity is not None:
+            sens.append(stats.sensitivity)
+        if stats.pvp is not None:
+            pvps.append(stats.pvp)
+    mean = lambda values: sum(values) / len(values) if values else 0.0
+    spread = lambda values: (max(values) - min(values)) if len(values) > 1 else 0.0
+    return {
+        "prev": mean(prevs),
+        "sens": mean(sens),
+        "pvp": mean(pvps),
+        "sens_spread": spread(sens),
+        "pvp_spread": spread(pvps),
+    }
+
+
+def run_scenario_grid(
+    grid: ScenarioGrid,
+    engine: Optional[EvaluationEngine] = None,
+) -> ExperimentResult:
+    """Run every cell of a scenario grid; returns the result table.
+
+    One row per (workload, machine, scheme): seed-averaged screening
+    statistics plus the seed-pooled traffic economics on the cell's
+    topology.  Both halves are journaled per completed (cell, scheme) key
+    under the installed checkpoint policy, so interrupted runs resume
+    bit-identically (the journal stores the result integers).
+    """
+    engine = engine if engine is not None else get_default_engine()
+    parsed = [parse_scheme(text) for text in grid.schemes]
+    seed_names = [f"seed{seed}" for seed in grid.seeds]
+    journal = open_sweep_journal(grid.name, grid.fingerprint(), seed_names)
+    traffic_journal = open_traffic_journal(
+        f"{grid.name}-traffic", grid.fingerprint(), seed_names
+    )
+    rows: List[dict] = []
+    try:
+        for benchmark in grid.workloads:
+            for machine in grid.machines():
+                rows.extend(
+                    _run_cell(
+                        grid, benchmark, machine, parsed, engine,
+                        journal, traffic_journal,
+                    )
+                )
+    finally:
+        if journal is not None:
+            journal.close()
+        if traffic_journal is not None:
+            traffic_journal.close()
+    return ExperimentResult(
+        name=grid.name,
+        title=grid.title,
+        columns=[
+            "workload", "nodes", "topology", "protocol", "scheme",
+            "prev", "sens", "pvp", "sens_spread",
+            "msg_ratio", "latency_ratio", "saved", "useless",
+        ],
+        rows=rows,
+        notes=[
+            "Screening statistics are arithmetic means over repeated seeds; "
+            "*_spread columns are max-min across seeds.",
+            "Traffic columns pool the per-seed protocol replays on the "
+            "cell's topology (msg_ratio < 1: forwarding sent fewer messages "
+            "than the invalidate baseline).",
+            "Traces are machine-keyed: cells differing only in topology "
+            "share one cached trace per seed.",
+        ],
+    )
+
+
+def _run_cell(
+    grid: ScenarioGrid,
+    benchmark: str,
+    machine: MachineSpec,
+    schemes: Sequence[Scheme],
+    engine: EvaluationEngine,
+    journal,
+    traffic_journal,
+) -> List[dict]:
+    """All scheme rows of one (workload, machine) cell."""
+    trace_sets = _seed_trace_sets(grid, benchmark, machine)
+    traces = [ts.trace(benchmark) for ts in trace_sets]
+    cell = f"{benchmark}|{machine.label()}"
+    rows: List[dict] = []
+
+    # -- confusion half (journal keyed by cell|scheme, payload per seed) --
+    counts_by_scheme: List[Optional[List[ConfusionCounts]]] = [None] * len(schemes)
+    pending: List[int] = []
+    for index, scheme in enumerate(schemes):
+        key = f"{cell}|{scheme.full_name}"
+        recorded = journal.get(key) if journal is not None else None
+        if recorded is not None and len(recorded) == len(traces):
+            counts_by_scheme[index] = recorded
+        else:
+            pending.append(index)
+    if pending:
+        pending_schemes = [schemes[i] for i in pending]
+
+        def checkpoint(pending_index: int, per_seed: List[ConfusionCounts]) -> None:
+            if journal is not None:
+                journal.record(
+                    f"{cell}|{pending_schemes[pending_index].full_name}", per_seed
+                )
+
+        fresh = engine.evaluate_batch(
+            pending_schemes, traces, on_result=checkpoint
+        )
+        for index, per_seed in zip(pending, fresh):
+            counts_by_scheme[index] = per_seed
+
+    # -- traffic half (same key discipline, one report per seed) ---------
+    config = ForwardingConfig.for_machine(machine)
+    reports_by_scheme: List[Optional[List[TrafficReport]]] = [None] * len(schemes)
+    pending = []
+    for index, scheme in enumerate(schemes):
+        key = f"{cell}|{scheme.full_name}"
+        recorded = traffic_journal.get(key) if traffic_journal is not None else None
+        if recorded is not None and len(recorded) == len(traces):
+            reports_by_scheme[index] = recorded
+        else:
+            pending.append(index)
+    if pending:
+        pending_schemes = [schemes[i] for i in pending]
+
+        def traffic_checkpoint(
+            pending_index: int, reports: List[TrafficReport]
+        ) -> None:
+            if traffic_journal is not None:
+                traffic_journal.record(
+                    f"{cell}|{pending_schemes[pending_index].full_name}", reports
+                )
+
+        fresh = engine.evaluate_traffic(
+            pending_schemes, traces, config=config, on_result=traffic_checkpoint
+        )
+        for index, reports in zip(pending, fresh):
+            reports_by_scheme[index] = reports
+
+    for scheme, per_seed, reports in zip(schemes, counts_by_scheme, reports_by_scheme):
+        stats = _average_screening(per_seed)
+        suite = merge_reports(list(reports))
+        baseline = suite.total_baseline_messages
+        forwarding = suite.total_forwarding_messages
+        rows.append({
+            "workload": benchmark,
+            "nodes": machine.num_nodes,
+            "topology": machine.topology,
+            "protocol": machine.protocol,
+            "scheme": scheme.name,
+            "prev": round(stats["prev"], 4),
+            "sens": round(stats["sens"], 4),
+            "pvp": round(stats["pvp"], 4),
+            "sens_spread": round(stats["sens_spread"], 4),
+            "msg_ratio": round(forwarding / baseline, 4) if baseline else 1.0,
+            "latency_ratio": round(suite.traffic_ratio, 4),
+            "saved": suite.messages_saved,
+            "useless": suite.useless_forwards,
+        })
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Registered grids
+# ----------------------------------------------------------------------
+
+SMOKE_GRID = ScenarioGrid(
+    name="scenarios-smoke",
+    title="Scenario smoke grid: 16 and 64 nodes, paper topology",
+    workloads=("water", "em3d"),
+    node_counts=(16, 64),
+    topologies=("mesh",),
+    protocols=("msi",),
+    seeds=(0, 1),
+    schemes=("last()1[direct]", "union(dir+add8)2[direct]"),
+    description="CI-sized cross-machine sweep (also the 64-node smoke job)",
+)
+
+BIG_GRID = ScenarioGrid(
+    name="scenarios-big",
+    title="Big-system grid: 64-256 nodes x topology x protocol",
+    workloads=("water", "em3d", "mp3d", "unstruct"),
+    node_counts=(64, 256),
+    topologies=("mesh", "hypercube"),
+    protocols=("msi", "mesi"),
+    seeds=(0, 1),
+    schemes=SCENARIO_SCHEMES,
+    description="the machine-scaling regime beyond the paper's 16 nodes",
+)
+
+
+def _grid_runner(grid: ScenarioGrid):
+    def runner(trace_set: TraceSet, use_cache: bool = True) -> ExperimentResult:
+        # the grid generates its own machine-keyed trace sets; the passed
+        # trace_set only anchors the result cache directory conventions
+        def compute() -> ExperimentResult:
+            return run_scenario_grid(grid)
+
+        return cached_result(grid.name, grid.fingerprint(), compute, use_cache)
+
+    return runner
+
+
+#: registry fragment merged by repro.harness.experiments.all_experiments
+SCENARIO_EXPERIMENTS = {
+    SMOKE_GRID.name: _grid_runner(SMOKE_GRID),
+    BIG_GRID.name: _grid_runner(BIG_GRID),
+}
+
+#: the registered grids by name (CLI listings, tests)
+SCENARIO_GRIDS: Dict[str, ScenarioGrid] = {
+    SMOKE_GRID.name: SMOKE_GRID,
+    BIG_GRID.name: BIG_GRID,
+}

@@ -33,6 +33,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
+from repro.machine import MachineSpec
 from repro.memory.cache import CacheConfig
 from repro.memory.system import MultiprocessorSystem, SystemConfig
 from repro.metrics.confusion import ConfusionCounts
@@ -73,25 +74,36 @@ def generate_trace(
     cache_bytes: Optional[int] = None,
     quantum: int = 4,
     workload_params: Optional[dict] = None,
+    machine: Optional[MachineSpec] = None,
 ):
     """Run one benchmark through the protocol and return (trace, stats).
 
     ``cache_bytes`` defaults to the workload's suggested (scaled) cache
-    size; see EXPERIMENTS.md for the scaling rationale.
+    size; see EXPERIMENTS.md for the scaling rationale.  When ``machine``
+    is given it defines the whole system (node count, cache geometry,
+    protocol variant) and the resulting trace carries the spec; the bare
+    keyword arguments remain the 16-node paper path.
     """
     workload = make_workload(
-        benchmark, num_nodes=num_nodes, seed=seed, **(workload_params or {})
-    )
-    if cache_bytes is None:
-        cache_bytes = getattr(workload, "suggested_cache_bytes", 32 * 1024)
-    associativity = getattr(workload, "suggested_cache_associativity", 4)
-    config = SystemConfig(
+        benchmark,
         num_nodes=num_nodes,
-        cache=CacheConfig(
-            size_bytes=cache_bytes, associativity=associativity, line_size=64
-        ),
+        seed=seed,
+        machine=machine,
+        **(workload_params or {}),
     )
-    system = MultiprocessorSystem(config, trace_name=benchmark)
+    if machine is not None:
+        system = MultiprocessorSystem(machine=machine, trace_name=benchmark)
+    else:
+        if cache_bytes is None:
+            cache_bytes = getattr(workload, "suggested_cache_bytes", 32 * 1024)
+        associativity = getattr(workload, "suggested_cache_associativity", 4)
+        config = SystemConfig(
+            num_nodes=num_nodes,
+            cache=CacheConfig(
+                size_bytes=cache_bytes, associativity=associativity, line_size=64
+            ),
+        )
+        system = MultiprocessorSystem(config, trace_name=benchmark)
     system.run(workload.accesses(quantum=quantum))
     return system.finalize_trace(), system.stats
 
@@ -106,12 +118,18 @@ class TraceSet:
         seed: int = 0,
         quantum: int = 4,
         cache_dir: Optional[Path] = None,
+        machine: Optional[MachineSpec] = None,
+        workload_params: Optional[Dict[str, dict]] = None,
     ):
         self.benchmarks = list(benchmarks) if benchmarks is not None else list(BENCHMARK_NAMES)
-        self.num_nodes = num_nodes
+        self.machine = machine
+        self.num_nodes = machine.num_nodes if machine is not None else num_nodes
         self.seed = seed
         self.quantum = quantum
         self.cache_dir = cache_dir if cache_dir is not None else default_cache_dir()
+        #: optional per-benchmark constructor overrides (scenario grids use
+        #: these to shrink per-thread work on big machines)
+        self.workload_params = dict(workload_params or {})
         self._traces: Dict[str, SharingTrace] = {}
 
     def _fingerprint(self, benchmark: str) -> str:
@@ -119,6 +137,15 @@ class TraceSet:
             f"schema={TRACE_SCHEMA};bench={benchmark};nodes={self.num_nodes};"
             f"seed={self.seed};quantum={self.quantum}"
         )
+        # Only non-default machines and explicit workload overrides extend
+        # the key: the bare 16-node suite keeps its historical fingerprints,
+        # so every pre-existing cache and golden fixture stays valid.
+        if self.machine is not None:
+            key += f";machine={self.machine.trace_label()}"
+        params = self.workload_params.get(benchmark)
+        if params:
+            encoded = json.dumps(params, separators=(",", ":"), sort_keys=True)
+            key += f";params={encoded}"
         return hashlib.sha256(key.encode("utf-8")).hexdigest()[:16]
 
     def _cache_path(self, benchmark: str) -> Path:
@@ -168,6 +195,8 @@ class TraceSet:
                 num_nodes=self.num_nodes,
                 seed=self.seed,
                 quantum=self.quantum,
+                machine=self.machine,
+                workload_params=self.workload_params.get(benchmark),
             )
         self.cache_dir.mkdir(parents=True, exist_ok=True)
         save_trace(trace, self._cache_path(benchmark))

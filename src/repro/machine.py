@@ -1,0 +1,154 @@
+"""The single machine description every layer consumes.
+
+The paper fixes one machine -- 16 nodes, 64-byte lines, a 4x4 mesh, MSI --
+and the reproduction used to inherit that shape as scattered defaults
+(``num_nodes=16`` keyword arguments, a ``uint32`` bitmap ceiling, topology
+strings passed around loose).  :class:`MachineSpec` gathers the machine
+into one frozen value: node count, cache geometry, interconnect topology,
+and protocol variant.  Workload generators, the protocol simulator, trace
+persistence and shared-memory transport, and the big-system scenario
+registry all take the spec instead of re-deriving pieces of it.
+
+Two identity strings matter downstream:
+
+* :meth:`trace_label` covers exactly the fields that shape a sharing trace
+  (node count, protocol variant, cache geometry).  The trace cache and the
+  shared-memory fingerprint key on it, so two specs differing only in
+  topology -- which never changes what the protocol records -- share one
+  cached trace.
+* :meth:`label` adds the topology and names a full scenario cell (the
+  forwarding simulator's hop costs do depend on the network shape).
+
+``PAPER_MACHINE`` is the paper's 16-node configuration at the repo's
+scaled-down cache (EXPERIMENTS.md); traces generated without an explicit
+spec are equivalent to it, and their fingerprints intentionally omit the
+spec so every pre-existing cache, journal, and golden fixture stays valid.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.util.bitmaps import BitmapLayout, bitmap_layout
+
+#: protocol variants the coherence engine implements
+PROTOCOL_VARIANTS = ("msi", "mesi")
+
+#: interconnect shapes repro.forwarding.topology can build
+TOPOLOGY_NAMES = ("crossbar", "ring", "mesh", "hypercube")
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """One shared-memory machine: size, caches, network, protocol."""
+
+    num_nodes: int = 16
+    line_size: int = 64
+    cache_bytes: int = 32 * 1024
+    cache_associativity: int = 4
+    topology: str = "mesh"
+    protocol: str = "msi"
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise ValueError(f"num_nodes must be positive, got {self.num_nodes}")
+        if self.protocol not in PROTOCOL_VARIANTS:
+            raise ValueError(
+                f"protocol must be one of {PROTOCOL_VARIANTS}, got {self.protocol!r}"
+            )
+        if self.topology not in TOPOLOGY_NAMES:
+            raise ValueError(
+                f"topology must be one of {TOPOLOGY_NAMES}, got {self.topology!r}"
+            )
+
+    # -- identity --------------------------------------------------------
+
+    def trace_label(self) -> str:
+        """Identity of everything that shapes a sharing trace (no topology)."""
+        return (
+            f"n{self.num_nodes}-{self.protocol}-c{self.cache_bytes}"
+            f"x{self.cache_associativity}-l{self.line_size}"
+        )
+
+    def label(self) -> str:
+        """Full scenario-cell identity, topology included."""
+        return f"{self.trace_label()}-{self.topology}"
+
+    # -- derived views ---------------------------------------------------
+
+    @property
+    def use_exclusive_state(self) -> bool:
+        """MESI grants exclusive-clean lines on sole-reader misses."""
+        return self.protocol == "mesi"
+
+    def bitmap_layout(self) -> BitmapLayout:
+        """The sharer-bitmap array layout for this machine width."""
+        return bitmap_layout(self.num_nodes)
+
+    def system_config(self):
+        """This machine as a :class:`repro.memory.system.SystemConfig`."""
+        from repro.memory.cache import CacheConfig
+        from repro.memory.system import SystemConfig
+
+        return SystemConfig(
+            num_nodes=self.num_nodes,
+            cache=CacheConfig(
+                size_bytes=self.cache_bytes,
+                associativity=self.cache_associativity,
+                line_size=self.line_size,
+            ),
+            use_exclusive_state=self.use_exclusive_state,
+        )
+
+    def make_topology(self):
+        """Build this machine's interconnect (``repro.forwarding.topology``)."""
+        from repro.forwarding.topology import make_topology
+
+        return make_topology(self.topology, self.num_nodes)
+
+    def with_topology(self, topology: str) -> "MachineSpec":
+        return replace(self, topology=topology)
+
+    # -- persistence -----------------------------------------------------
+
+    def to_json(self) -> str:
+        """A compact (whitespace-free) JSON encoding for trace archives."""
+        return json.dumps(
+            {
+                "num_nodes": self.num_nodes,
+                "line_size": self.line_size,
+                "cache_bytes": self.cache_bytes,
+                "cache_associativity": self.cache_associativity,
+                "topology": self.topology,
+                "protocol": self.protocol,
+            },
+            separators=(",", ":"),
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "MachineSpec":
+        fields = json.loads(text)
+        if not isinstance(fields, dict):
+            raise ValueError(f"machine spec must be a JSON object, got {text!r}")
+        return cls(
+            num_nodes=int(fields["num_nodes"]),
+            line_size=int(fields.get("line_size", 64)),
+            cache_bytes=int(fields.get("cache_bytes", 32 * 1024)),
+            cache_associativity=int(fields.get("cache_associativity", 4)),
+            topology=str(fields.get("topology", "mesh")),
+            protocol=str(fields.get("protocol", "msi")),
+        )
+
+
+#: the paper's machine at the repo's calibrated cache scale
+PAPER_MACHINE = MachineSpec()
+
+
+def machine_or_default(machine: Optional[MachineSpec], num_nodes: int) -> MachineSpec:
+    """``machine`` if given, else the paper machine resized to ``num_nodes``."""
+    if machine is not None:
+        return machine
+    return replace(PAPER_MACHINE, num_nodes=num_nodes)

@@ -16,7 +16,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, Optional
+from typing import Dict, List, Optional
+
+from repro.util.bitmaps import iter_set_bits, popcount
 
 
 class DirState(Enum):
@@ -50,6 +52,19 @@ class DirectoryEntry:
 
     def has_sharer(self, node: int) -> bool:
         return bool(self.sharers & (1 << node))
+
+    @property
+    def num_sharers(self) -> int:
+        """How many caches hold a copy (directory pressure metric)."""
+        return popcount(self.sharers)
+
+    def sharer_nodes(self) -> List[int]:
+        """Node ids holding a copy, in increasing order."""
+        return list(iter_set_bits(self.sharers))
+
+    def epoch_reader_nodes(self) -> List[int]:
+        """True readers of the current epoch, in increasing order."""
+        return list(iter_set_bits(self.epoch_readers))
 
 
 @dataclass

@@ -39,11 +39,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Set, Tuple
 
+from repro.machine import MachineSpec
 from repro.memory.address import AddressSpace
 from repro.memory.cache import EXCLUSIVE, MODIFIED, SHARED, CacheConfig, SetAssociativeCache
 from repro.memory.directory import Directory, DirectoryEntry, DirState
 from repro.trace.builder import SharingTraceBuilder
-from repro.util.bitmaps import iter_set_bits
+from repro.util.bitmaps import iter_set_bits, popcount
 
 
 @dataclass
@@ -89,6 +90,7 @@ class CoherenceProtocol:
         address_space: AddressSpace,
         trace_name: str = "trace",
         use_exclusive_state: bool = False,
+        machine: "MachineSpec | None" = None,
     ):
         if address_space.num_nodes != num_nodes:
             raise ValueError(
@@ -101,10 +103,11 @@ class CoherenceProtocol:
             )
         self.num_nodes = num_nodes
         self.use_exclusive_state = use_exclusive_state
+        self.machine = machine
         self.address_space = address_space
         self.caches = [SetAssociativeCache(cache_config) for _ in range(num_nodes)]
         self.directory = Directory()
-        self.builder = SharingTraceBuilder(num_nodes, name=trace_name)
+        self.builder = SharingTraceBuilder(num_nodes, name=trace_name, machine=machine)
         self.stats = ProtocolStats(
             store_pcs_by_node=[set() for _ in range(num_nodes)],
             predicted_pcs_by_node=[set() for _ in range(num_nodes)],
@@ -366,8 +369,8 @@ class EpochProtocol:
     """
 
     def __init__(self, num_nodes: int):
-        if num_nodes < 1 or num_nodes > 32:
-            raise ValueError(f"num_nodes must be in [1, 32], got {num_nodes}")
+        if num_nodes < 1:
+            raise ValueError(f"num_nodes must be positive, got {num_nodes}")
         self.num_nodes = num_nodes
         self.blocks: Dict[int, _BlockEpochState] = {}
         self.stats = EpochReplayStats()
@@ -420,11 +423,11 @@ class EpochProtocol:
 
         stats = self.stats
         stats.events += 1
-        stats.copies_invalidated += bin(invalidated).count("1")
-        stats.forwards_pushed += bin(push).count("1")
-        stats.forwards_consumed += bin(consumed).count("1")
-        stats.forwards_expired += bin(expired).count("1")
-        stats.demand_reads += bin(demand).count("1")
+        stats.copies_invalidated += popcount(invalidated)
+        stats.forwards_pushed += popcount(push)
+        stats.forwards_consumed += popcount(consumed)
+        stats.forwards_expired += popcount(expired)
+        stats.demand_reads += popcount(demand)
         return EpochTransition(
             writer=writer,
             block=block,

@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Sequence, Tuple
 
+from repro.machine import MachineSpec
 from repro.memory.address import AddressSpace, HomePolicy
 from repro.memory.cache import CacheConfig
 from repro.memory.protocol import (
@@ -48,15 +49,34 @@ class SystemConfig:
     use_exclusive_state: bool = False
 
     def __post_init__(self) -> None:
-        if self.num_nodes < 1 or self.num_nodes > 32:
-            raise ValueError(f"num_nodes must be in [1, 32], got {self.num_nodes}")
+        if self.num_nodes < 1:
+            raise ValueError(f"num_nodes must be positive, got {self.num_nodes}")
 
 
 class MultiprocessorSystem:
-    """N nodes, N caches, a directory, and an MSI protocol between them."""
+    """N nodes, N caches, a directory, and an MSI protocol between them.
 
-    def __init__(self, config: SystemConfig = SystemConfig(), trace_name: str = "trace"):
+    Pass ``machine`` to build the whole system from one
+    :class:`~repro.machine.MachineSpec`; the spec then rides along on every
+    finalized trace.  ``config`` remains the memory-layer view (and wins if
+    both are given, provided the node counts agree).
+    """
+
+    def __init__(
+        self,
+        config: Optional[SystemConfig] = None,
+        trace_name: str = "trace",
+        machine: Optional[MachineSpec] = None,
+    ):
+        if config is None:
+            config = machine.system_config() if machine is not None else SystemConfig()
+        if machine is not None and machine.num_nodes != config.num_nodes:
+            raise ValueError(
+                f"machine spec is for {machine.num_nodes} nodes, "
+                f"config for {config.num_nodes}"
+            )
         self.config = config
+        self.machine = machine
         self.address_space = AddressSpace(
             num_nodes=config.num_nodes,
             line_size=config.cache.line_size,
@@ -68,6 +88,7 @@ class MultiprocessorSystem:
             address_space=self.address_space,
             trace_name=trace_name,
             use_exclusive_state=config.use_exclusive_state,
+            machine=machine,
         )
 
     @property

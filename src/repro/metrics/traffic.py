@@ -24,17 +24,15 @@ A data-bearing message (response, forward) costs :attr:`TrafficModel.data_cost`,
 a header-only message costs :attr:`TrafficModel.request_cost`, and every
 network hop adds :attr:`TrafficModel.hop_cost`.
 
-:func:`traffic_report` keeps the original counts-only economics (paper
-footnote 8) as a degenerate zero-hop report.  It is **deprecated**: every
-in-tree consumer (``ext-traffic`` included) now gets reports from the
-topology-aware simulator via
-:meth:`~repro.engine.base.EvaluationEngine.evaluate_traffic`, and the
-helper will be removed once its warning release completes.
+Reports come from the topology-aware simulator via
+:meth:`~repro.engine.base.EvaluationEngine.evaluate_traffic`.  (The old
+counts-only zero-hop ``traffic_report`` helper finished its deprecation
+cycle and is gone; its breakeven arithmetic survives as
+:func:`breakeven_pvp`.)
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Mapping, Sequence, Tuple
 
@@ -310,68 +308,6 @@ def merge_reports(
         per_node_latency_hidden=tuple(
             sum(r.per_node_latency_hidden[node] for r in reports) for node in nodes
         ),
-    )
-
-
-def traffic_report(
-    counts: ConfusionCounts,
-    model: TrafficModel = TrafficModel(),
-    scheme: str = "",
-    trace: str = "",
-) -> TrafficReport:
-    """The counts-only traffic economics of a scheme (paper footnote 8).
-
-    .. deprecated::
-        The abstract zero-hop report predates the protocol simulator and
-        double-counts nothing only because it models nothing spatial; use
-        :meth:`EvaluationEngine.evaluate_traffic` (plus
-        :func:`merge_reports` for suite pooling), which replays the actual
-        trace through a topology.  This helper survives one release for
-        scripts doing quad-only arithmetic.
-
-    This is the pre-simulator model kept as a degenerate report: an
-    abstract zero-hop network where every true reader demand-fetches with a
-    request + data-response pair (no separate intervention leg -- the
-    topology-aware simulator in :mod:`repro.forwarding` models that), every
-    true positive replaces that pair with one pushed data message, and
-    every false positive adds one wasted data message.
-    """
-    warnings.warn(
-        "traffic_report() is deprecated: it models an abstract zero-hop "
-        "network; use EvaluationEngine.evaluate_traffic (and merge_reports) "
-        "for simulator-backed reports",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    ap = counts.actual_positive
-    tp = counts.true_positive
-    fp = counts.false_positive
-    fn = counts.false_negative
-    demand_pair = model.request_cost + model.data_cost
-    baseline = _zero_classes()
-    baseline["requests"] = ap
-    baseline["responses"] = ap
-    forwarding = _zero_classes()
-    forwarding["requests"] = fn
-    forwarding["responses"] = fn
-    forwarding["forwards"] = tp
-    forwarding["useless_forwards"] = fp
-    return TrafficReport(
-        scheme=scheme,
-        trace=trace,
-        num_nodes=0,
-        topology="abstract",
-        model=model,
-        true_positive=tp,
-        false_positive=fp,
-        false_negative=fn,
-        true_negative=counts.true_negative,
-        baseline_messages=baseline,
-        forwarding_messages=forwarding,
-        baseline_latency=ap * demand_pair,
-        forwarding_latency=fn * demand_pair + (tp + fp) * model.data_cost,
-        messages_saved=tp,
-        latency_hidden=tp * demand_pair,
     )
 
 

@@ -9,17 +9,30 @@ bitmaps, close indices -- and finalizes into an immutable
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.trace.events import SharingTrace
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.machine import MachineSpec
+
 
 class SharingTraceBuilder:
-    """Accumulates prediction events and their epoch reader sets."""
+    """Accumulates prediction events and their epoch reader sets.
 
-    def __init__(self, num_nodes: int, name: str = "trace"):
+    ``machine`` (optional) is stamped onto the finalized trace so the spec
+    travels with the data it produced.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        name: str = "trace",
+        machine: Optional["MachineSpec"] = None,
+    ):
         self.num_nodes = num_nodes
         self.name = name
+        self.machine = machine
         self._writer: List[int] = []
         self._pc: List[int] = []
         self._home: List[int] = []
@@ -90,6 +103,7 @@ class SharingTraceBuilder:
             has_inval=self._has_inval,
             close=close,
             name=self.name,
+            machine=self.machine,
         )
         trace.check_consistency()
         return trace

@@ -21,11 +21,14 @@ Terminology (see DESIGN.md section 3):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Sequence
+from typing import TYPE_CHECKING, Iterator, List, Optional, Sequence
 
 import numpy as np
 
-from repro.util.bitmaps import bitmap_mask
+from repro.util.bitmaps import bitmap_layout
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.machine import MachineSpec
 
 
 @dataclass(frozen=True)
@@ -47,7 +50,11 @@ class SharingTrace:
 
     The arrays make the vectorized evaluator a set of numpy passes; the
     record view (:meth:`events`, indexing) keeps tests and the reference
-    evaluator readable.
+    evaluator readable.  Bitmap columns are stored per the machine width's
+    :class:`~repro.util.bitmaps.BitmapLayout` (``uint32`` up to 32 nodes,
+    ``uint64`` up to 64, packed 2-D word rows beyond); ``machine``
+    optionally records the :class:`~repro.machine.MachineSpec` the trace
+    was generated under (``None`` means the paper-default machine).
     """
 
     def __init__(
@@ -62,21 +69,24 @@ class SharingTrace:
         has_inval: Sequence[bool],
         close: Sequence[int],
         name: str = "trace",
+        machine: Optional["MachineSpec"] = None,
     ):
         if num_nodes < 1:
             raise ValueError(f"num_nodes must be positive, got {num_nodes}")
-        if num_nodes > 32:
+        if machine is not None and machine.num_nodes != num_nodes:
             raise ValueError(
-                f"bitmaps are stored as uint32; num_nodes must be <= 32, got {num_nodes}"
+                f"machine spec is for {machine.num_nodes} nodes, trace for {num_nodes}"
             )
         self.num_nodes = num_nodes
         self.name = name
+        self.machine = machine
+        self.layout = bitmap_layout(num_nodes)
         self.writer = np.asarray(writer, dtype=np.int64)
         self.pc = np.asarray(pc, dtype=np.int64)
         self.home = np.asarray(home, dtype=np.int64)
         self.block = np.asarray(block, dtype=np.int64)
-        self.truth = np.asarray(truth, dtype=np.uint32)
-        self.inval = np.asarray(inval, dtype=np.uint32)
+        self.truth = self.layout.asarray(truth)
+        self.inval = self.layout.asarray(inval)
         self.has_inval = np.asarray(has_inval, dtype=bool)
         self.close = np.asarray(close, dtype=np.int64)
         self._validate()
@@ -89,15 +99,16 @@ class SharingTrace:
                 raise ValueError(
                     f"field {field_name} has length {len(field)}, expected {length}"
                 )
-        mask = bitmap_mask(self.num_nodes)
         if length:
             if int(self.writer.min()) < 0 or int(self.writer.max()) >= self.num_nodes:
                 raise ValueError("writer ids must lie in [0, num_nodes)")
             if int(self.home.min()) < 0 or int(self.home.max()) >= self.num_nodes:
                 raise ValueError("home ids must lie in [0, num_nodes)")
-            if int(self.truth.max()) > mask or int(self.inval.max()) > mask:
+            if self.layout.has_excess_bits(self.truth) or self.layout.has_excess_bits(
+                self.inval
+            ):
                 raise ValueError("bitmaps contain bits beyond num_nodes")
-            writer_bits = (self.truth >> self.writer.astype(np.uint32)) & 1
+            writer_bits = self.layout.test_bit(self.truth, self.writer)
             if writer_bits.any():
                 raise ValueError("truth bitmaps must not include the writer's own bit")
             if int(self.close.min()) < 0 or int(self.close.max()) > length:
@@ -116,8 +127,8 @@ class SharingTrace:
             pc=int(self.pc[index]),
             home=int(self.home[index]),
             block=int(self.block[index]),
-            truth=int(self.truth[index]),
-            inval=int(self.inval[index]),
+            truth=self.layout.to_int(self.truth[index]),
+            inval=self.layout.to_int(self.inval[index]),
             has_inval=bool(self.has_inval[index]),
             close=int(self.close[index]),
         )
@@ -127,13 +138,25 @@ class SharingTrace:
         for index in range(len(self)):
             yield self[index]
 
+    def truth_ints(self) -> List[int]:
+        """The truth column as Python ints (for the sequential evaluators)."""
+        return self.layout.to_int_list(self.truth)
+
+    def inval_ints(self) -> List[int]:
+        """The invalidation column as Python ints."""
+        return self.layout.to_int_list(self.inval)
+
     # ------------------------------------------------------------------
     # Construction helpers
     # ------------------------------------------------------------------
 
     @classmethod
     def from_events(
-        cls, num_nodes: int, events: Sequence[SharingEvent], name: str = "trace"
+        cls,
+        num_nodes: int,
+        events: Sequence[SharingEvent],
+        name: str = "trace",
+        machine: Optional["MachineSpec"] = None,
     ) -> "SharingTrace":
         """Build a trace from a list of fully-specified records."""
         return cls(
@@ -147,6 +170,7 @@ class SharingTrace:
             has_inval=[event.has_inval for event in events],
             close=[event.close for event in events],
             name=name,
+            machine=machine,
         )
 
     @classmethod
@@ -155,6 +179,7 @@ class SharingTrace:
         num_nodes: int,
         epochs: Sequence[tuple],
         name: str = "trace",
+        machine: Optional["MachineSpec"] = None,
     ) -> "SharingTrace":
         """Build a trace from bare ``(writer, pc, home, block, truth)`` tuples.
 
@@ -189,6 +214,7 @@ class SharingTrace:
             has_inval=has_inval,
             close=close,
             name=name,
+            machine=machine,
         )
 
     def check_consistency(self) -> None:
@@ -215,7 +241,9 @@ class SharingTrace:
                     )
                 if not bool(self.has_inval[index]):
                     raise ValueError(f"event {index}: closes an epoch but has_inval unset")
-                if int(self.inval[index]) != int(self.truth[previous]):
+                if self.layout.to_int(self.inval[index]) != self.layout.to_int(
+                    self.truth[previous]
+                ):
                     raise ValueError(
                         f"event {index}: inval != truth of closed epoch {previous}"
                     )

@@ -15,6 +15,7 @@ from typing import Union
 
 import numpy as np
 
+from repro.machine import MachineSpec
 from repro.telemetry import get_telemetry
 from repro.trace.events import SharingTrace
 from repro.util.persist import CacheCorruptionError, atomic_write_bytes
@@ -55,9 +56,7 @@ def save_trace(trace: SharingTrace, path: Union[str, os.PathLike]) -> None:
     """
     telemetry = get_telemetry()
     with telemetry.timer("trace.io.save_seconds"):
-        buffer = io.BytesIO()
-        np.savez_compressed(
-            buffer,
+        arrays = dict(
             version=np.int64(_FORMAT_VERSION),
             num_nodes=np.int64(trace.num_nodes),
             name=np.array(trace.name),
@@ -70,6 +69,13 @@ def save_trace(trace: SharingTrace, path: Union[str, os.PathLike]) -> None:
             has_inval=trace.has_inval,
             close=trace.close,
         )
+        # The machine spec is an *optional* member: traces written before
+        # MachineSpec existed (and traces generated without one) omit it,
+        # and the loader treats absence as "paper-default machine".
+        if trace.machine is not None:
+            arrays["machine"] = np.array(trace.machine.to_json())
+        buffer = io.BytesIO()
+        np.savez_compressed(buffer, **arrays)
         atomic_write_bytes(path, buffer.getvalue())
     telemetry.count("trace.io.saves")
     telemetry.count("trace.io.events_saved", len(trace))
@@ -108,6 +114,9 @@ def _load_trace_checked(path: Union[str, os.PathLike]) -> SharingTrace:
                 raise TraceFormatError(
                     f"unsupported trace format version {version} in {path}"
                 )
+            machine = None
+            if "machine" in archive:
+                machine = MachineSpec.from_json(str(archive["machine"]))
             trace = SharingTrace(
                 num_nodes=int(archive["num_nodes"]),
                 writer=archive["writer"],
@@ -119,6 +128,7 @@ def _load_trace_checked(path: Union[str, os.PathLike]) -> SharingTrace:
                 has_inval=archive["has_inval"],
                 close=archive["close"],
                 name=str(archive["name"]),
+                machine=machine,
             )
     except TraceFormatError:
         raise
@@ -144,6 +154,8 @@ def dump_text(trace: SharingTrace, path: Union[str, os.PathLike]) -> None:
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(f"# sharing-trace v{_FORMAT_VERSION} nodes={trace.num_nodes} "
                      f"name={trace.name}\n")
+        if trace.machine is not None:
+            handle.write(f"# machine={trace.machine.to_json()}\n")
         handle.write("# writer pc home block truth inval has_inval close\n")
         for event in trace.events():
             handle.write(
@@ -157,6 +169,7 @@ def parse_text(path: Union[str, os.PathLike]) -> SharingTrace:
     """Read a trace written by :func:`dump_text`."""
     num_nodes = None
     name = "trace"
+    machine = None
     rows = []
     with open(path, "r", encoding="utf-8") as handle:
         for line in handle:
@@ -169,6 +182,9 @@ def parse_text(path: Union[str, os.PathLike]) -> SharingTrace:
                         num_nodes = int(token.split("=", 1)[1])
                     elif token.startswith("name="):
                         name = token.split("=", 1)[1]
+                    elif token.startswith("machine="):
+                        # compact JSON is whitespace-free, so one token
+                        machine = MachineSpec.from_json(token.split("=", 1)[1])
                 continue
             fields = line.split()
             if len(fields) != 8:
@@ -198,6 +214,7 @@ def parse_text(path: Union[str, os.PathLike]) -> SharingTrace:
         has_inval=[row[6] for row in rows],
         close=[row[7] for row in rows],
         name=name,
+        machine=machine,
     )
     trace.check_consistency()
     return trace

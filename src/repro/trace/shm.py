@@ -40,6 +40,7 @@ from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
+from repro.machine import MachineSpec
 from repro.telemetry import get_telemetry
 from repro.trace.events import SharingTrace
 
@@ -87,6 +88,10 @@ def trace_fingerprint(trace: SharingTrace) -> str:
     """
     digest = hashlib.sha256()
     digest.update(f"nodes={trace.num_nodes};name={trace.name};".encode("utf-8"))
+    # Traces generated without a spec (the paper-default machine) keep the
+    # historical fingerprint so pre-existing caches and fixtures stay valid.
+    if trace.machine is not None:
+        digest.update(f"machine={trace.machine.trace_label()};".encode("utf-8"))
     for field in TRACE_FIELDS:
         array = np.ascontiguousarray(getattr(trace, field))
         digest.update(field.encode("utf-8"))
@@ -97,11 +102,16 @@ def trace_fingerprint(trace: SharingTrace) -> str:
 
 @dataclass(frozen=True)
 class _FieldLayout:
-    """Where one trace array lives inside its shared segment."""
+    """Where one trace array lives inside its shared segment.
+
+    ``words`` is 0 for 1-D fields; packed bitmap columns on >64-node
+    machines are 2-D ``(length, words)`` arrays.
+    """
 
     offset: int
     length: int
     dtype: str
+    words: int = 0
 
 
 @dataclass(frozen=True)
@@ -119,6 +129,7 @@ class TraceDescriptor:
     num_events: int
     fingerprint: str
     fields: Dict[str, _FieldLayout]
+    machine: str = ""  # MachineSpec JSON, "" when the trace carries none
 
 
 class PublishedTraces:
@@ -193,7 +204,10 @@ def publish_traces(traces: Sequence[SharingTrace]) -> PublishedTraces:
                                   buffer=segment.buf, offset=offset)
                 view[:] = array
                 fields[field] = _FieldLayout(
-                    offset=offset, length=len(array), dtype=str(array.dtype)
+                    offset=offset,
+                    length=len(array),
+                    dtype=str(array.dtype),
+                    words=array.shape[1] if array.ndim == 2 else 0,
                 )
                 offset += array.nbytes
             published.descriptors.append(
@@ -204,6 +218,9 @@ def publish_traces(traces: Sequence[SharingTrace]) -> PublishedTraces:
                     num_events=len(trace),
                     fingerprint=trace_fingerprint(trace),
                     fields=fields,
+                    machine=(
+                        trace.machine.to_json() if trace.machine is not None else ""
+                    ),
                 )
             )
             telemetry.count("shm.publishes")
@@ -235,8 +252,11 @@ class AttachedTrace:
         arrays = {}
         for field in TRACE_FIELDS:
             layout = descriptor.fields[field]
+            shape = (
+                (layout.length, layout.words) if layout.words else (layout.length,)
+            )
             arrays[field] = np.ndarray(
-                (layout.length,),
+                shape,
                 dtype=np.dtype(layout.dtype),
                 buffer=self._segment.buf,
                 offset=layout.offset,
@@ -246,6 +266,11 @@ class AttachedTrace:
         self.trace = SharingTrace(
             num_nodes=descriptor.num_nodes,
             name=descriptor.trace_name,
+            machine=(
+                MachineSpec.from_json(descriptor.machine)
+                if descriptor.machine
+                else None
+            ),
             **arrays,
         )
         actual = trace_fingerprint(self.trace)

@@ -14,13 +14,6 @@ import numpy as np
 
 from repro.metrics.confusion import ConfusionCounts
 from repro.trace.events import SharingTrace
-from repro.util.bitmaps import POPCOUNT16
-
-
-def _popcount_column(values: np.ndarray) -> np.ndarray:
-    low = POPCOUNT16[values & np.uint32(0xFFFF)]
-    high = POPCOUNT16[values >> np.uint32(16)]
-    return low.astype(np.int64) + high.astype(np.int64)
 
 
 @dataclass(frozen=True)
@@ -54,7 +47,7 @@ class TraceStats:
 def compute_trace_stats(trace: SharingTrace) -> TraceStats:
     """Derive all statistics from one trace."""
     length = len(trace)
-    sharing_events = int(_popcount_column(trace.truth).sum()) if length else 0
+    sharing_events = int(trace.layout.popcount(trace.truth).sum()) if length else 0
     pcs_by_node: Dict[int, Set[int]] = {}
     for writer, pc in zip(trace.writer.tolist(), trace.pc.tolist()):
         pcs_by_node.setdefault(writer, set()).add(pc)

@@ -18,10 +18,13 @@ false sharing among bodies; cells share that property.
 
 from __future__ import annotations
 
-from typing import Iterator, List
+from typing import TYPE_CHECKING, Iterator, List, Optional
 
 from repro.workloads.base import Access, Atomic, Barrier, ThreadItem, Workload
 from repro.workloads.layout import MemoryLayout
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.machine import MachineSpec
 
 
 class BarnesWorkload(Workload):
@@ -34,6 +37,7 @@ class BarnesWorkload(Workload):
         self,
         num_nodes: int = 16,
         seed: int = 0,
+        machine: Optional["MachineSpec"] = None,
         bodies_per_thread: int = 48,
         cells: int = 256,
         interaction_bodies: int = 5,
@@ -44,7 +48,8 @@ class BarnesWorkload(Workload):
         tree_depth: int = 2,
         timesteps: int = 5,
     ):
-        super().__init__(num_nodes=num_nodes, seed=seed)
+        super().__init__(num_nodes=num_nodes, seed=seed, machine=machine)
+        num_nodes = self.num_nodes  # the spec may have resized the machine
         if not 0.0 <= transient_read_rate <= 1.0:
             raise ValueError(
                 f"transient_read_rate must be in [0,1], got {transient_read_rate}"

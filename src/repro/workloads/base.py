@@ -15,9 +15,12 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Tuple, Union
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.util.rng import DeterministicRng
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.machine import MachineSpec
 
 
 @dataclass(frozen=True)
@@ -98,10 +101,21 @@ class Workload(ABC):
     #: benchmark name as used by the paper's tables
     name: str = ""
 
-    def __init__(self, num_nodes: int = 16, seed: int = 0):
+    def __init__(
+        self,
+        num_nodes: int = 16,
+        seed: int = 0,
+        machine: Optional["MachineSpec"] = None,
+    ):
+        # A machine spec, when given, *is* the machine: its node count wins
+        # over the bare num_nodes default (subclasses re-read
+        # ``self.num_nodes`` after delegating here).
+        if machine is not None:
+            num_nodes = machine.num_nodes
         if num_nodes < 2:
             raise ValueError(f"workloads need at least 2 nodes, got {num_nodes}")
         self.num_nodes = num_nodes
+        self.machine = machine
         self.seed = seed
         self.pcs = PcAllocator()
         self.rng = DeterministicRng(f"{self.name}:{seed}")

@@ -20,10 +20,13 @@ Model specifics:
 
 from __future__ import annotations
 
-from typing import Iterator, List
+from typing import TYPE_CHECKING, Iterator, List, Optional
 
 from repro.workloads.base import Access, Barrier, ThreadItem, Workload
 from repro.workloads.layout import MemoryLayout
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.machine import MachineSpec
 
 
 class Em3dWorkload(Workload):
@@ -36,6 +39,7 @@ class Em3dWorkload(Workload):
         self,
         num_nodes: int = 16,
         seed: int = 0,
+        machine: Optional["MachineSpec"] = None,
         nodes_per_thread: int = 224,
         degree: int = 5,
         remote_fraction: float = 0.03,
@@ -43,7 +47,8 @@ class Em3dWorkload(Workload):
         scatter_rate: float = 0.02,
         iterations: int = 6,
     ):
-        super().__init__(num_nodes=num_nodes, seed=seed)
+        super().__init__(num_nodes=num_nodes, seed=seed, machine=machine)
+        num_nodes = self.num_nodes  # the spec may have resized the machine
         if not 0.0 <= remote_fraction <= 1.0:
             raise ValueError(f"remote_fraction must be in [0,1], got {remote_fraction}")
         self.nodes_per_thread = nodes_per_thread

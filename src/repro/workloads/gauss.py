@@ -16,10 +16,13 @@ The sharing trace mixes two populations, as in the paper's run:
 
 from __future__ import annotations
 
-from typing import Iterator, List
+from typing import TYPE_CHECKING, Iterator, List, Optional
 
 from repro.workloads.base import Access, Barrier, ThreadItem, Workload
 from repro.workloads.layout import MemoryLayout
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.machine import MachineSpec
 
 
 class GaussWorkload(Workload):
@@ -33,11 +36,13 @@ class GaussWorkload(Workload):
         self,
         num_nodes: int = 16,
         seed: int = 0,
+        machine: Optional["MachineSpec"] = None,
         size: int = 96,
         padding: int = 0,
         repeats: int = 2,
     ):
-        super().__init__(num_nodes=num_nodes, seed=seed)
+        super().__init__(num_nodes=num_nodes, seed=seed, machine=machine)
+        num_nodes = self.num_nodes  # the spec may have resized the machine
         if size < num_nodes:
             raise ValueError(f"matrix size {size} smaller than thread count {num_nodes}")
         if padding < 0:

@@ -15,10 +15,13 @@ traces are exactly reproducible.
 
 from __future__ import annotations
 
-from typing import Iterator, List
+from typing import TYPE_CHECKING, Iterator, List, Optional
 
 from repro.workloads.base import Access, Atomic, Barrier, ThreadItem, Workload
 from repro.workloads.layout import MemoryLayout
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.machine import MachineSpec
 
 
 class Mp3dWorkload(Workload):
@@ -31,6 +34,7 @@ class Mp3dWorkload(Workload):
         self,
         num_nodes: int = 16,
         seed: int = 0,
+        machine: Optional["MachineSpec"] = None,
         molecules_per_thread: int = 96,
         space_cells: int = 1024,
         collision_rate: float = 0.55,
@@ -38,7 +42,8 @@ class Mp3dWorkload(Workload):
         reservoir_lines: int = 8,
         steps: int = 8,
     ):
-        super().__init__(num_nodes=num_nodes, seed=seed)
+        super().__init__(num_nodes=num_nodes, seed=seed, machine=machine)
+        num_nodes = self.num_nodes  # the spec may have resized the machine
         if not 0.0 <= collision_rate <= 1.0:
             raise ValueError(f"collision_rate must be in [0,1], got {collision_rate}")
         if not 0.0 <= move_rate <= 1.0:

@@ -11,10 +11,13 @@ paper's lowest prevalence (Table 6: 2.14%, a degree of sharing of ~0.3).
 
 from __future__ import annotations
 
-from typing import Iterator, List
+from typing import TYPE_CHECKING, Iterator, List, Optional
 
 from repro.workloads.base import Access, Barrier, ThreadItem, Workload
 from repro.workloads.layout import MemoryLayout
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.machine import MachineSpec
 
 
 class OceanWorkload(Workload):
@@ -27,10 +30,12 @@ class OceanWorkload(Workload):
         self,
         num_nodes: int = 16,
         seed: int = 0,
+        machine: Optional["MachineSpec"] = None,
         grid_size: int = 64,
         iterations: int = 6,
     ):
-        super().__init__(num_nodes=num_nodes, seed=seed)
+        super().__init__(num_nodes=num_nodes, seed=seed, machine=machine)
+        num_nodes = self.num_nodes  # the spec may have resized the machine
         if grid_size % num_nodes:
             raise ValueError(
                 f"grid_size {grid_size} must be a multiple of num_nodes {num_nodes}"

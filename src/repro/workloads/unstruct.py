@@ -15,10 +15,13 @@ nodes share lines, adding mild false sharing as in the real code.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Tuple
+from typing import TYPE_CHECKING, Iterator, List, Optional, Tuple
 
 from repro.workloads.base import Access, Atomic, Barrier, ThreadItem, Workload
 from repro.workloads.layout import MemoryLayout
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.machine import MachineSpec
 
 
 class UnstructWorkload(Workload):
@@ -31,6 +34,7 @@ class UnstructWorkload(Workload):
         self,
         num_nodes: int = 16,
         seed: int = 0,
+        machine: Optional["MachineSpec"] = None,
         mesh_nodes_per_thread: int = 96,
         edges_per_node: float = 3.0,
         remote_fraction: float = 0.70,
@@ -39,7 +43,8 @@ class UnstructWorkload(Workload):
         scan_rate: float = 0.30,
         iterations: int = 6,
     ):
-        super().__init__(num_nodes=num_nodes, seed=seed)
+        super().__init__(num_nodes=num_nodes, seed=seed, machine=machine)
+        num_nodes = self.num_nodes  # the spec may have resized the machine
         if not 0.0 <= flux_rate <= 1.0:
             raise ValueError(f"flux_rate must be in [0,1], got {flux_rate}")
         self.mesh_nodes_per_thread = mesh_nodes_per_thread

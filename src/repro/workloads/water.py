@@ -13,10 +13,13 @@ neighbour sets dense.
 
 from __future__ import annotations
 
-from typing import Iterator, List
+from typing import TYPE_CHECKING, Iterator, List, Optional
 
 from repro.workloads.base import Access, Atomic, Barrier, ThreadItem, Workload
 from repro.workloads.layout import MemoryLayout
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.machine import MachineSpec
 
 
 class WaterWorkload(Workload):
@@ -29,6 +32,7 @@ class WaterWorkload(Workload):
         self,
         num_nodes: int = 16,
         seed: int = 0,
+        machine: Optional["MachineSpec"] = None,
         molecules_per_thread: int = 18,
         neighbors_per_molecule: int = 18,
         preferred_peers: int = 5,
@@ -36,7 +40,8 @@ class WaterWorkload(Workload):
         cutoff_rate: float = 0.18,
         steps: int = 6,
     ):
-        super().__init__(num_nodes=num_nodes, seed=seed)
+        super().__init__(num_nodes=num_nodes, seed=seed, machine=machine)
+        num_nodes = self.num_nodes  # the spec may have resized the machine
         if not 0.0 <= cutoff_rate <= 1.0:
             raise ValueError(f"cutoff_rate must be in [0,1], got {cutoff_rate}")
         self.molecules_per_thread = molecules_per_thread

@@ -77,10 +77,10 @@ class TestLabelParsing:
         spec = IndexSpec.parse(label)
         assert IndexSpec.parse(spec.label) == spec
 
-    def test_mem_alias_parses_with_deprecation(self):
-        with pytest.warns(DeprecationWarning, match="'mem8'.*deprecated"):
-            spec = IndexSpec.parse("pid+mem8")
-        assert spec == IndexSpec(use_pid=True, addr_bits=8)
+    def test_mem_alias_removed(self):
+        # the mem spelling finished its deprecation cycle
+        with pytest.raises(ValueError, match="mem8"):
+            IndexSpec.parse("pid+mem8")
 
     def test_addr_alias(self):
         assert IndexSpec.parse("addr4") == IndexSpec(addr_bits=4)

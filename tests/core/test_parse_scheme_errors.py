@@ -109,7 +109,6 @@ class TestNameRoundTrips:
         assert scheme.index == IndexSpec(addr_bits=6)
         assert scheme.name == "union(add6)2"
 
-    def test_mem_spelling_deprecated_but_equivalent(self):
-        with pytest.warns(DeprecationWarning, match="deprecated"):
-            legacy = parse_scheme("last(pid+mem8)1")
-        assert legacy == parse_scheme("last(pid+add8)1")
+    def test_mem_spelling_rejected(self):
+        with pytest.raises(ValueError, match="mem8"):
+            parse_scheme("last(pid+mem8)1")

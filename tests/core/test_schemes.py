@@ -58,10 +58,9 @@ class TestParsing:
         # The paper writes union(dir+pid+add8)1[forward].
         assert parse_scheme("last()1[forward]").update is UpdateMode.FORWARDED
 
-    def test_mem_field_parses_with_deprecation(self):
-        with pytest.warns(DeprecationWarning, match="'mem8'.*deprecated"):
-            scheme = parse_scheme("last(pid+mem8)1")
-        assert scheme.index == IndexSpec(use_pid=True, addr_bits=8)
+    def test_mem_field_removed(self):
+        with pytest.raises(ValueError, match="mem8"):
+            parse_scheme("last(pid+mem8)1")
 
     @pytest.mark.parametrize("bad", ["", "union", "union(pid", "union()0", "union()2[bogus]"])
     def test_malformed_rejected(self, bad):

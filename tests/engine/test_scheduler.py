@@ -174,8 +174,9 @@ class TestPooledTransports:
 
     def test_steal_telemetry_recorded(self, small_traces):
         # every scheme in SCHEMES has a distinct IndexSpec, so each plan
-        # batch is a singleton and the pinned chunk_size=2 is clamped down
-        # to the segment boundary: one chunk per scheme.
+        # batch is a singleton -- and adjacent singleton batches merge into
+        # one schedulable segment, so the pinned chunk_size=2 is honoured
+        # instead of being clamped down to one-scheme chunks.
         schemes = [parse_scheme(text) for text in SCHEMES]
         sink = Telemetry()
         previous = set_telemetry(sink)
@@ -185,11 +186,9 @@ class TestPooledTransports:
             )
         finally:
             set_telemetry(previous)
-        assert sink.counters["engine.parallel.steal.chunks"] == len(schemes)
-        # the last chunk is already cut to 1 by the remaining-count clamp,
-        # so the segment clamp fires on all but the final chunk
-        assert sink.counters["engine.parallel.steal.segment_clamps"] == len(schemes) - 1
-        assert sink.gauges["engine.parallel.steal.final_chunk_size"] == 1
+        assert sink.counters["engine.parallel.steal.chunks"] == len(schemes) // 2
+        assert sink.counters.get("engine.parallel.steal.segment_clamps", 0) == 0
+        assert sink.gauges["engine.parallel.steal.final_chunk_size"] == 2
         assert sink.gauges["engine.parallel.steal.schemes_per_sec"] > 0
         assert sink.gauges["engine.parallel.steal.events_per_sec"] > 0
         # fixed chunking reports no adaptive target

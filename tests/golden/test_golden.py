@@ -93,3 +93,36 @@ def test_fixture_files_cover_taxonomy():
     assert any(
         0 < scheme.index.addr_bits <= 4 for scheme in schemes
     ), "no aggressively truncated addr index in the golden set"
+
+
+class TestWidthRefactorBitIdentity:
+    """The machine-scaling refactor must not move one 16-node bit.
+
+    The trace-set fingerprint literal is pinned here *in addition to* the
+    fixture-vs-computed comparison above: regenerating the fixtures moves
+    both sides of that comparison together, but it cannot move this
+    constant.  If this test fails, a change altered the 16-node trace
+    pipeline (dtype, fingerprint inputs, protocol behaviour) -- fix the
+    change; do not regenerate.
+    """
+
+    PINNED_FINGERPRINT = "5d25e6c56c110bd7"
+
+    def test_default_trace_set_fingerprint_is_pinned(self, trace_set):
+        assert trace_set.fingerprint() == self.PINNED_FINGERPRINT
+
+    def test_default_traces_stay_scalar_uint32(self, traces):
+        import numpy as np
+
+        for trace in traces:
+            assert trace.truth.dtype == np.uint32 and trace.truth.ndim == 1
+            assert trace.inval.dtype == np.uint32 and trace.inval.ndim == 1
+            # default-machine traces carry no spec, so every pre-refactor
+            # cache key and shared-memory fingerprint is unchanged
+            assert trace.machine is None
+
+    def test_traffic_fixture_unchanged(self, trace_set):
+        from tests.golden import load_fixture
+
+        fixture = load_fixture(GOLDEN_SCHEMES[0])
+        assert fixture["trace_fingerprint"] == self.PINNED_FINGERPRINT

@@ -3,8 +3,9 @@
 The positional ``exclude_writer`` shim in ``engine/base.py`` and the
 monolith import shim in ``harness/experiments/__init__.py`` each had their
 one warning release; this file pins the removal (``TypeError`` /
-``AttributeError``).  The ``mem8`` index-field spelling is still inside its
-cycle and must keep parsing, loudly.
+``AttributeError``), as does the ``mem8`` index-field spelling and the
+zero-hop ``traffic_report`` helper, whose warning releases are complete
+(``ValueError`` / ``ImportError``).
 """
 
 import warnings
@@ -83,19 +84,33 @@ class TestPositionalExcludeWriterRemoved:
             engine.evaluate(parse_scheme("last()1"), trace, exclude_writer=False)
 
 
-class TestMem8SpellingStillParses:
-    def test_mem_field_warns_and_matches_add(self):
-        with pytest.warns(DeprecationWarning, match="add8"):
-            legacy = IndexSpec.parse("pid+mem8")
-        assert legacy == IndexSpec.parse("pid+add8")
+class TestMem8SpellingRemoved:
+    def test_mem_field_is_a_value_error(self):
+        with pytest.raises(ValueError, match="mem8"):
+            IndexSpec.parse("pid+mem8")
 
-    def test_mem_scheme_text_round_trips_to_add(self):
-        with pytest.warns(DeprecationWarning):
-            scheme = parse_scheme("union(mem6)2")
-        assert scheme.index == IndexSpec(addr_bits=6)
-        assert "add6" in scheme.full_name
+    def test_mem_scheme_text_is_a_value_error(self):
+        with pytest.raises(ValueError, match="mem6"):
+            parse_scheme("union(mem6)2")
 
     def test_add_spelling_warns_nothing(self):
         with warnings.catch_warnings():
             warnings.simplefilter("error", DeprecationWarning)
             IndexSpec.parse("pid+add8")
+
+
+class TestTrafficReportRemoved:
+    def test_zero_hop_helper_is_gone(self):
+        import repro.metrics.traffic as traffic
+
+        assert not hasattr(traffic, "traffic_report")
+        with pytest.raises(ImportError):
+            from repro.metrics.traffic import traffic_report  # noqa: F401
+
+    def test_simulator_surface_survives(self):
+        from repro.metrics.traffic import (  # noqa: F401
+            TrafficModel,
+            TrafficReport,
+            breakeven_pvp,
+            merge_reports,
+        )

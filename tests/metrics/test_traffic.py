@@ -1,28 +1,20 @@
 """Traffic accounting (footnote 8 economics).
 
-``traffic_report`` is deprecated in favour of the simulator-backed
-``EvaluationEngine.evaluate_traffic`` path; these tests pin the legacy
-math for its final release, so the deprecation warning is silenced here
-(and asserted explicitly in ``TestDeprecation``).
+The zero-hop ``traffic_report`` helper finished its deprecation cycle and
+is gone (pinned in ``tests/harness/test_deprecations.py``); the report
+economics are exercised here through the topology-aware simulator, whose
+confusion quad is bit-identical to the evaluators'.
 """
 
 import pytest
-from hypothesis import given
-from hypothesis import strategies as st
 
-from repro.metrics.confusion import ConfusionCounts
-from repro.metrics.traffic import TrafficModel, breakeven_pvp, traffic_report
-
-pytestmark = pytest.mark.filterwarnings(
-    r"ignore:traffic_report\(\) is deprecated:DeprecationWarning"
-)
+from repro.forwarding.simulator import replay_traffic
+from repro.metrics.traffic import TrafficModel, breakeven_pvp
+from repro.trace.events import SharingTrace
 
 
-class TestDeprecation:
-    @pytest.mark.filterwarnings("error::DeprecationWarning")
-    def test_legacy_helper_warns(self):
-        with pytest.warns(DeprecationWarning, match="evaluate_traffic"):
-            traffic_report(ConfusionCounts(true_positive=1))
+def make_trace(epochs, num_nodes=4):
+    return SharingTrace.from_epochs(num_nodes, epochs, name="t")
 
 
 class TestModel:
@@ -37,36 +29,57 @@ class TestModel:
             TrafficModel(data_cost=0)
 
 
-class TestReport:
-    def test_perfect_predictor_saves_requests(self):
-        counts = ConfusionCounts(true_positive=100, false_positive=0, false_negative=0, true_negative=900)
-        report = traffic_report(counts)
-        assert report.traffic_ratio < 1.0
+class TestSimulatedReport:
+    """Economics invariants, now measured on replayed traffic."""
+
+    # one block, reader 1 every epoch; writer 0, home 0
+    EPOCHS = [(0, 1, 0, 5, 0b0010)] * 4
+
+    def test_perfect_predictor_saves_messages(self):
+        trace = make_trace(self.EPOCHS)
+        report = replay_traffic(trace, [0b0010] * len(trace), topology="crossbar")
         assert report.coverage == 1.0
         assert report.wasted_forwards == 0
+        assert report.messages_saved > 0
+        assert report.traffic_ratio < 1.0
 
     def test_silent_predictor_is_baseline(self):
-        counts = ConfusionCounts(true_positive=0, false_positive=0, false_negative=100, true_negative=900)
-        report = traffic_report(counts)
-        assert report.traffic_ratio == pytest.approx(1.0)
+        trace = make_trace(self.EPOCHS)
+        report = replay_traffic(trace, [0] * len(trace), topology="crossbar")
         assert report.coverage == 0.0
+        assert report.traffic_ratio == pytest.approx(1.0)
+        assert report.forwarding_latency == pytest.approx(report.baseline_latency)
 
     def test_spammy_predictor_costs_traffic(self):
-        counts = ConfusionCounts(true_positive=10, false_positive=500, false_negative=0, true_negative=0)
-        assert traffic_report(counts).traffic_ratio > 1.0
+        trace = make_trace(self.EPOCHS)
+        # forward to everyone: one useful push, two useless per event
+        report = replay_traffic(trace, [0b1111] * len(trace), topology="crossbar")
+        assert report.wasted_forwards == 2 * len(trace)
+        assert report.traffic_ratio > 1.0
 
     def test_forwarding_traffic_is_tp_plus_fp(self):
-        counts = ConfusionCounts(true_positive=7, false_positive=3, false_negative=5, true_negative=85)
-        report = traffic_report(counts)
-        assert report.forwarding_traffic == 10
+        trace = make_trace(self.EPOCHS)
+        report = replay_traffic(trace, [0b0110] * len(trace), topology="crossbar")
+        assert report.forwarding_traffic == report.true_positive + report.false_positive
 
     def test_no_sharing_at_all(self):
-        report = traffic_report(ConfusionCounts(true_negative=100))
+        trace = make_trace([(0, 1, 0, 5, 0)] * 3)
+        report = replay_traffic(trace, [0] * 3, topology="crossbar")
         assert report.traffic_ratio == 1.0
 
     def test_coverage_equals_sensitivity(self):
-        counts = ConfusionCounts(true_positive=30, false_positive=10, false_negative=70, true_negative=0)
-        assert traffic_report(counts).coverage == pytest.approx(0.3)
+        trace = make_trace(self.EPOCHS + [(0, 1, 0, 6, 0b0110)])
+        # cover only block 5's reader -> 4 TP, 2 FN
+        predictions = [0b0010] * 4 + [0]
+        report = replay_traffic(trace, predictions, topology="crossbar")
+        assert report.coverage == pytest.approx(4 / 6)
+
+    def test_false_positives_never_reduce_traffic(self):
+        trace = make_trace(self.EPOCHS)
+        exact = replay_traffic(trace, [0b0010] * 4, topology="crossbar")
+        noisy = replay_traffic(trace, [0b1010] * 4, topology="crossbar")
+        assert noisy.total_forwarding_messages > exact.total_forwarding_messages
+        assert noisy.total_baseline_messages == exact.total_baseline_messages
 
 
 class TestBreakeven:
@@ -77,24 +90,3 @@ class TestBreakeven:
         # if requests were free, no forward could ever save anything
         nearly_free = TrafficModel(request_cost=0.01, data_cost=9)
         assert breakeven_pvp(nearly_free) > 0.99
-
-    def test_breakeven_is_exact(self):
-        """At exactly breakeven PVP, predicted traffic == baseline."""
-        model = TrafficModel(request_cost=1, data_cost=9)
-        # PVP 0.9: 9 useful forwards per wasted one
-        counts = ConfusionCounts(true_positive=9, false_positive=1, false_negative=0, true_negative=0)
-        report = traffic_report(counts, model)
-        assert report.predicted_traffic == pytest.approx(report.baseline_traffic)
-
-
-@given(
-    st.integers(min_value=0, max_value=10**5),
-    st.integers(min_value=0, max_value=10**5),
-    st.integers(min_value=0, max_value=10**5),
-)
-def test_traffic_monotone_in_false_positives(tp, fp, fn):
-    """Adding a false positive never decreases traffic."""
-    base = traffic_report(ConfusionCounts(tp, fp, fn, 0))
-    worse = traffic_report(ConfusionCounts(tp, fp + 1, fn, 0))
-    assert worse.predicted_traffic > base.predicted_traffic
-    assert worse.baseline_traffic == base.baseline_traffic

@@ -53,9 +53,19 @@ class TestValidation:
         with pytest.raises(ValueError):
             SharingTrace.from_epochs(4, [(0, 1, 0, 5, 0b10000)])
 
-    def test_too_many_nodes_rejected(self):
+    def test_wide_machines_accepted(self):
+        # The uint32 ceiling is gone: 64- and 256-node traces build fine.
+        wide = SharingTrace.from_epochs(64, [(0, 1, 0, 5, 1 << 63)])
+        assert wide[0].truth == 1 << 63
+        packed = SharingTrace.from_epochs(256, [(0, 1, 0, 5, 1 << 255)])
+        assert packed[0].truth == 1 << 255
+        assert packed.truth.ndim == 2
+
+    def test_machine_mismatch_rejected(self):
+        from repro.machine import MachineSpec
+
         with pytest.raises(ValueError):
-            SharingTrace.from_epochs(64, [])
+            SharingTrace.from_epochs(4, [], machine=MachineSpec(num_nodes=8))
 
     def test_broken_linkage_detected(self):
         trace = SharingTrace(

@@ -1,0 +1,162 @@
+"""Differential tests for the width-parametric bitmap layouts.
+
+Every array operation :class:`repro.util.bitmaps.BitmapLayout` defines
+(popcount, mask, writer bit, overlap/any-set, union/select, round-trip
+packing) is checked against a pure-Python big-int reference across the
+machine widths the scenario grids exercise -- the scalar ``uint32`` and
+``uint64`` paths and the packed multi-word path.  The 16-node scalar path
+additionally pins the exact historical dtype so the golden fixtures cannot
+move (see also ``tests/golden/test_golden.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.bitmaps import BitmapLayout, bitmap_layout, bitmap_mask, popcount
+
+WIDTHS = [8, 16, 32, 64, 256, 1024]
+
+
+def bitmap_columns(width):
+    """A strategy for short columns of ``width``-bit Python-int bitmaps."""
+    return st.lists(
+        st.integers(min_value=0, max_value=bitmap_mask(width)),
+        min_size=0,
+        max_size=12,
+    )
+
+
+def node_for(width):
+    return st.integers(min_value=0, max_value=width - 1)
+
+
+class TestLayoutSelection:
+    def test_dtype_tiers(self):
+        assert bitmap_layout(16).dtype == np.uint32
+        assert bitmap_layout(32).dtype == np.uint32
+        assert bitmap_layout(33).dtype == np.uint64
+        assert bitmap_layout(64).dtype == np.uint64
+        assert not bitmap_layout(64).packed
+        assert bitmap_layout(65).packed
+        assert bitmap_layout(65).n_words == 2
+        assert bitmap_layout(256).n_words == 4
+        assert bitmap_layout(1024).n_words == 16
+
+    def test_cached(self):
+        assert bitmap_layout(256) is bitmap_layout(256)
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError):
+            BitmapLayout(0)
+
+    def test_sixteen_node_path_is_historical_uint32(self):
+        # the golden fixtures pin this: 16-node columns must stay 1-D uint32
+        layout = bitmap_layout(16)
+        column = layout.pack([0b1010, 0])
+        assert column.dtype == np.uint32
+        assert column.ndim == 1
+
+
+@pytest.mark.parametrize("width", WIDTHS)
+class TestDifferential:
+    """Array ops vs. the pure-Python big-int reference, per width."""
+
+    @given(data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_pack_roundtrip(self, width, data):
+        values = data.draw(bitmap_columns(width))
+        layout = bitmap_layout(width)
+        column = layout.pack(values)
+        assert layout.to_int_list(column) == values
+        for index, value in enumerate(values):
+            assert layout.to_int(column[index]) == value
+
+    @given(data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_popcount_matches_reference(self, width, data):
+        values = data.draw(bitmap_columns(width))
+        layout = bitmap_layout(width)
+        counts = layout.popcount(layout.pack(values))
+        assert counts.tolist() == [popcount(value) for value in values]
+
+    @given(data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_mask_and_excess_bits(self, width, data):
+        values = data.draw(bitmap_columns(width))
+        layout = bitmap_layout(width)
+        column = layout.pack(values)
+        masked = column & layout.mask
+        assert layout.to_int_list(layout.asarray(masked)) == [
+            value & bitmap_mask(width) for value in values
+        ]
+        assert not layout.has_excess_bits(column)
+
+    @given(data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_writer_bits_and_test_bit(self, width, data):
+        values = data.draw(bitmap_columns(width))
+        layout = bitmap_layout(width)
+        writers = np.asarray(
+            [data.draw(node_for(width)) for _ in values], dtype=np.int64
+        )
+        writer_column = layout.writer_bits(writers)
+        assert layout.to_int_list(writer_column) == [
+            1 << int(w) for w in writers
+        ]
+        bits = layout.test_bit(layout.pack(values), writers)
+        assert [int(b) for b in bits] == [
+            (value >> int(w)) & 1 for value, w in zip(values, writers)
+        ]
+
+    @given(data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_overlap_and_any_set(self, width, data):
+        a = data.draw(bitmap_columns(width))
+        b = [data.draw(st.integers(0, bitmap_mask(width))) for _ in a]
+        layout = bitmap_layout(width)
+        col_a, col_b = layout.pack(a), layout.pack(b)
+        overlaps = layout.any_set(col_a & col_b)
+        assert [bool(x) for x in overlaps] == [
+            (x & y) != 0 for x, y in zip(a, b)
+        ]
+
+    @given(data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_union_and_select(self, width, data):
+        a = data.draw(bitmap_columns(width))
+        b = [data.draw(st.integers(0, bitmap_mask(width))) for _ in a]
+        layout = bitmap_layout(width)
+        col_a, col_b = layout.pack(a), layout.pack(b)
+        union = col_a | col_b
+        assert layout.to_int_list(layout.asarray(union)) == [
+            x | y for x, y in zip(a, b)
+        ]
+        condition = np.asarray([bool(x & 1) for x in a], dtype=bool)
+        chosen = layout.select(condition, col_a, col_b)
+        assert layout.to_int_list(chosen) == [
+            x if x & 1 else y for x, y in zip(a, b)
+        ]
+
+    def test_zeros_full_and_gather_shapes(self, width):
+        layout = bitmap_layout(width)
+        zeros = layout.zeros(5)
+        full = layout.full(5)
+        gathered = layout.gather_zeros(3, 5)
+        if layout.packed:
+            assert zeros.shape == (5, layout.n_words)
+            assert gathered.shape == (3, 5, layout.n_words)
+        else:
+            assert zeros.shape == (5,)
+            assert gathered.shape == (3, 5)
+        assert layout.to_int_list(full) == [bitmap_mask(width)] * 5
+        assert layout.popcount(full).tolist() == [width] * 5
+
+    def test_from_int_iter(self, width):
+        layout = bitmap_layout(width)
+        values = [0, 1, bitmap_mask(width), 1 << (width - 1)]
+        column = layout.from_int_iter(iter(values), count=len(values))
+        assert layout.to_int_list(column) == values
