@@ -1,0 +1,795 @@
+"""Compiled per-event predictor loop: the ``native`` kernel backend.
+
+The design-space sweeps of paper Section 5.4 evaluate thousands of schemes
+per trace, and after the planner removed the redundant *shared* work
+(PR 5), the remaining cost ceiling is the per-event Python interpreter loop
+of the PAs and sequential families -- :class:`~repro.core.kernel.PredictorKernel`
+driving entry ops one event at a time.  This module compiles that loop.
+
+Two compiled engines, tried in preference order:
+
+* **numba** -- when ``numba`` is importable, the loop is an ``@njit``
+  transcription over the same flat arrays (no C toolchain needed);
+* **cc** -- otherwise the embedded C source below is built once with the
+  system C compiler into a cached shared library and driven via ``ctypes``.
+
+Either way the compiled loop never sees Python objects: predictor keys and
+block ids are densified to contiguous entry indices with ``np.unique``
+(keys are known up front -- the whole trace is in hand), bitmaps travel as
+bit-packed 64-bit word rows in the trace's
+:class:`~repro.util.bitmaps.BitmapLayout` sense, and confusion counting is
+fused ``popcount`` arithmetic over those words.  Entry state is flat
+arrays: a ring buffer of feedback words per entry for the bitmap-history
+family, per-(entry, node) history registers and 2-bit saturating counters
+for PAs.
+
+Semantics are *defined elsewhere*: the pure-Python
+:class:`~repro.core.kernel.PredictorKernel` remains the normative oracle,
+and this backend refuses to activate until it reproduces the oracle's
+prediction stream bit for bit on the probe battery
+(:func:`repro.core.kernel_backends.kernel_probe_fingerprint`) -- an engine
+that fails the self-check is skipped, falling through to the next engine
+and ultimately to the pure-Python backend.  The full proof is the kernel
+conformance suite (``tests/core/test_kernel_conformance.py``).
+
+Build artifacts land in ``REPRO_KERNEL_CACHE`` (default: a per-user
+directory under the system temp dir), keyed by a hash of the C source, so
+one compile serves every process -- including the parallel engine's
+workers -- and editing the kernel source can never load a stale library.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import logging
+import os
+import subprocess
+import tempfile
+from pathlib import Path
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.schemes import Scheme
+from repro.core.update import UpdateMode
+from repro.trace.events import SharingTrace
+from repro.util.bitmaps import BitmapLayout
+
+logger = logging.getLogger("repro.core.kernel_native")
+
+#: update-mode codes shared by the C and numba engines
+_MODE_CODES = {UpdateMode.DIRECT: 0, UpdateMode.FORWARDED: 1, UpdateMode.ORDERED: 2}
+
+#: prediction-function codes shared by the C and numba engines
+_FUNC_CODES = {"last": 0, "union": 1, "inter": 2, "overlap": 3, "pas": 4}
+
+#: widest bitmap-history ring the native state layout supports (uint8 ring
+#: cursors); deeper schemes fall back to the pure-Python kernel
+MAX_NATIVE_WINDOW = 255
+
+#: deepest PAs history the native layout supports (counters are indexed by
+#: ``node << depth | history``; 2**12 counters/node is already far past the
+#: paper's design space)
+MAX_NATIVE_PAS_DEPTH = 12
+
+C_SOURCE = r"""
+#include <stdint.h>
+#include <string.h>
+
+#define MODE_DIRECT 0
+#define MODE_FORWARDED 1
+#define MODE_ORDERED 2
+
+#define FUNC_LAST 0
+#define FUNC_UNION 1
+#define FUNC_INTER 2
+#define FUNC_OVERLAP 3
+#define FUNC_PAS 4
+
+/* ---- bitmap-history family: ring buffer of feedback word-rows ---- */
+
+static void bitmap_update(uint64_t *hist, uint8_t *ring_len, uint8_t *ring_pos,
+                          int64_t entry, int32_t window, int64_t n_words,
+                          const uint64_t *feedback)
+{
+    uint64_t *slot = hist + ((int64_t)entry * window + ring_pos[entry]) * n_words;
+    memcpy(slot, feedback, (size_t)n_words * sizeof(uint64_t));
+    ring_pos[entry] = (uint8_t)((ring_pos[entry] + 1) % window);
+    if (ring_len[entry] < window)
+        ring_len[entry] += 1;
+}
+
+static void bitmap_predict(const uint64_t *hist, const uint8_t *ring_len,
+                           const uint8_t *ring_pos, int64_t entry,
+                           int32_t function, int32_t window, int64_t n_words,
+                           uint64_t *out)
+{
+    const uint64_t *base = hist + (int64_t)entry * window * n_words;
+    int32_t len = ring_len[entry];
+    int64_t w;
+    int32_t slot;
+
+    if (function == FUNC_OVERLAP) {
+        /* window == 2: predict the newest bitmap only when it overlaps the
+           one before it; with a single bitmap stored, predict it. */
+        int32_t newest, prev;
+        uint64_t overlap = 0;
+        if (len == 0) {
+            memset(out, 0, (size_t)n_words * sizeof(uint64_t));
+            return;
+        }
+        newest = (ring_pos[entry] + window - 1) % window;
+        if (len == 1) {
+            memcpy(out, base + (int64_t)newest * n_words,
+                   (size_t)n_words * sizeof(uint64_t));
+            return;
+        }
+        prev = (ring_pos[entry] + window - 2) % window;
+        for (w = 0; w < n_words; w++)
+            overlap |= base[(int64_t)newest * n_words + w]
+                     & base[(int64_t)prev * n_words + w];
+        if (overlap)
+            memcpy(out, base + (int64_t)newest * n_words,
+                   (size_t)n_words * sizeof(uint64_t));
+        else
+            memset(out, 0, (size_t)n_words * sizeof(uint64_t));
+        return;
+    }
+
+    if (function == FUNC_INTER) {
+        if (len == 0) {
+            memset(out, 0, (size_t)n_words * sizeof(uint64_t));
+            return;
+        }
+        /* filled slots are always 0..len-1 (writes are sequential until the
+           ring wraps, at which point every slot is live) */
+        memcpy(out, base, (size_t)n_words * sizeof(uint64_t));
+        for (slot = 1; slot < len; slot++)
+            for (w = 0; w < n_words; w++)
+                out[w] &= base[(int64_t)slot * n_words + w];
+        return;
+    }
+
+    /* FUNC_LAST / FUNC_UNION: the OR of every stored bitmap (last is
+       union at window 1) */
+    memset(out, 0, (size_t)n_words * sizeof(uint64_t));
+    for (slot = 0; slot < len; slot++)
+        for (w = 0; w < n_words; w++)
+            out[w] |= base[(int64_t)slot * n_words + w];
+}
+
+/* ---- PAs family: per-(entry, node) two-level adaptive state ---- */
+
+static void pas_update(uint32_t *pas_hist, uint8_t *pas_counters, int64_t entry,
+                       int64_t num_nodes, int32_t depth, const uint64_t *feedback)
+{
+    uint32_t *hist = pas_hist + entry * num_nodes;
+    uint8_t *counters = pas_counters + entry * (num_nodes << depth);
+    uint32_t mask = (uint32_t)((1u << depth) - 1u);
+    int64_t node;
+    for (node = 0; node < num_nodes; node++) {
+        uint32_t history = hist[node];
+        int64_t slot = ((int64_t)node << depth) | history;
+        if ((feedback[node >> 6] >> (node & 63)) & 1u) {
+            if (counters[slot] < 3)
+                counters[slot] += 1;
+            hist[node] = ((history << 1) | 1u) & mask;
+        } else {
+            if (counters[slot] > 0)
+                counters[slot] -= 1;
+            hist[node] = (history << 1) & mask;
+        }
+    }
+}
+
+static void pas_predict(const uint32_t *pas_hist, const uint8_t *pas_counters,
+                        int64_t entry, int64_t num_nodes, int32_t depth,
+                        int64_t n_words, uint64_t *out)
+{
+    const uint32_t *hist = pas_hist + entry * num_nodes;
+    const uint8_t *counters = pas_counters + entry * (num_nodes << depth);
+    int64_t node;
+    memset(out, 0, (size_t)n_words * sizeof(uint64_t));
+    for (node = 0; node < num_nodes; node++)
+        if (counters[((int64_t)node << depth) | hist[node]] >= 2)
+            out[node >> 6] |= 1ull << (node & 63);
+}
+
+/* ---- the per-event loop: PredictorKernel.run, compiled ---- */
+
+int repro_kernel_run(int64_t n_events, int64_t n_words, int64_t num_nodes,
+                     int32_t mode, int32_t function, int32_t window,
+                     int32_t depth,
+                     const int32_t *entries, const int32_t *blocks,
+                     const uint8_t *has_inval,
+                     const uint64_t *inval, const uint64_t *truth,
+                     uint64_t *bitmap_hist, uint8_t *ring_len, uint8_t *ring_pos,
+                     uint32_t *pas_hist, uint8_t *pas_counters,
+                     int32_t *pending, uint64_t *pred)
+{
+    int64_t i;
+    int is_pas = (function == FUNC_PAS);
+    for (i = 0; i < n_events; i++) {
+        int64_t entry = entries[i];
+        if (mode == MODE_DIRECT) {
+            if (has_inval[i]) {
+                if (is_pas)
+                    pas_update(pas_hist, pas_counters, entry, num_nodes, depth,
+                               inval + i * n_words);
+                else
+                    bitmap_update(bitmap_hist, ring_len, ring_pos, entry,
+                                  window, n_words, inval + i * n_words);
+            }
+        } else if (mode == MODE_FORWARDED) {
+            int32_t block = blocks[i];
+            if (has_inval[i]) {
+                /* deliver the closed epoch's truth to the entry that
+                   predicted it (the pending key for this block) */
+                int32_t predictor = pending[block];
+                if (predictor < 0)
+                    return 1; /* inconsistent trace: inval with no open epoch */
+                if (is_pas)
+                    pas_update(pas_hist, pas_counters, predictor, num_nodes,
+                               depth, inval + i * n_words);
+                else
+                    bitmap_update(bitmap_hist, ring_len, ring_pos, predictor,
+                                  window, n_words, inval + i * n_words);
+            }
+            pending[block] = (int32_t)entry;
+        }
+        if (is_pas)
+            pas_predict(pas_hist, pas_counters, entry, num_nodes, depth,
+                        n_words, pred + i * n_words);
+        else
+            bitmap_predict(bitmap_hist, ring_len, ring_pos, entry, function,
+                           window, n_words, pred + i * n_words);
+        if (mode == MODE_ORDERED) {
+            if (is_pas)
+                pas_update(pas_hist, pas_counters, entry, num_nodes, depth,
+                           truth + i * n_words);
+            else
+                bitmap_update(bitmap_hist, ring_len, ring_pos, entry, window,
+                              n_words, truth + i * n_words);
+        }
+    }
+    return 0;
+}
+
+/* ---- fused popcount confusion counting over packed word rows ---- */
+
+void repro_kernel_score(int64_t n_events, int64_t n_words,
+                        const uint64_t *pred, const uint64_t *truth,
+                        const uint64_t *mask_words,
+                        const int64_t *writers, int32_t exclude_writer,
+                        int64_t *out)
+{
+    int64_t tp = 0, fp = 0, fn = 0;
+    int64_t i, w;
+    for (i = 0; i < n_events; i++) {
+        const uint64_t *p_row = pred + i * n_words;
+        const uint64_t *t_row = truth + i * n_words;
+        int64_t writer = writers[i];
+        for (w = 0; w < n_words; w++) {
+            uint64_t m = mask_words[w];
+            uint64_t p = p_row[w] & m;
+            uint64_t t = t_row[w];
+            if (exclude_writer && (writer >> 6) == w)
+                p &= ~(1ull << (writer & 63));
+            tp += __builtin_popcountll(p & t);
+            fp += __builtin_popcountll(p & ~t & m);
+            fn += __builtin_popcountll(~p & t & m);
+        }
+    }
+    out[0] = tp;
+    out[1] = fp;
+    out[2] = fn;
+}
+"""
+
+#: compilers tried in order when building the C engine
+_COMPILERS = ("cc", "gcc", "clang")
+
+
+def kernel_cache_dir() -> Path:
+    """Where compiled kernel libraries live (override: ``REPRO_KERNEL_CACHE``)."""
+    override = os.environ.get("REPRO_KERNEL_CACHE")
+    if override:
+        return Path(override)
+    tag = f"repro-kernel-{os.getuid()}" if hasattr(os, "getuid") else "repro-kernel"
+    return Path(tempfile.gettempdir()) / tag
+
+
+def _source_hash() -> str:
+    return hashlib.sha256(C_SOURCE.encode("utf-8")).hexdigest()[:16]
+
+
+def _compile_library() -> Path:
+    """Compile :data:`C_SOURCE` into the cache dir, atomically, once.
+
+    The library file is keyed by the source hash, so a cached build can
+    never be stale, and concurrent builders (e.g. spawned workers racing on
+    a cold cache) converge via ``os.replace``.
+    """
+    cache = kernel_cache_dir()
+    cache.mkdir(parents=True, exist_ok=True)
+    library = cache / f"libreprokernel-{_source_hash()}.so"
+    if library.exists():
+        return library
+    source = cache / f"reprokernel-{_source_hash()}.c"
+    source.write_text(C_SOURCE, encoding="utf-8")
+    last_error: Optional[Exception] = None
+    for compiler in _COMPILERS:
+        scratch = cache / f".build-{os.getpid()}-{compiler}.so"
+        command = [
+            compiler, "-O2", "-shared", "-fPIC", "-std=c99",
+            "-o", str(scratch), str(source),
+        ]
+        try:
+            subprocess.run(
+                command, check=True, capture_output=True, text=True, timeout=120
+            )
+        except (OSError, subprocess.SubprocessError) as error:
+            last_error = error
+            continue
+        os.replace(scratch, library)
+        return library
+    raise RuntimeError(f"no working C compiler among {_COMPILERS}: {last_error}")
+
+
+class _CEngine:
+    """ctypes bindings over the compiled library (one instance per process)."""
+
+    name = "cc"
+
+    def __init__(self) -> None:
+        self._lib = ctypes.CDLL(str(_compile_library()))
+        self._lib.repro_kernel_run.restype = ctypes.c_int
+        self._lib.repro_kernel_score.restype = None
+
+    @staticmethod
+    def _ptr(array: np.ndarray, ctype) -> ctypes.POINTER:
+        return array.ctypes.data_as(ctypes.POINTER(ctype))
+
+    def run(
+        self,
+        mode: int,
+        function: int,
+        window: int,
+        depth: int,
+        num_nodes: int,
+        n_words: int,
+        entries: np.ndarray,
+        blocks: np.ndarray,
+        has_inval: np.ndarray,
+        inval: np.ndarray,
+        truth: np.ndarray,
+        state: "NativeState",
+        pred: np.ndarray,
+    ) -> int:
+        return self._lib.repro_kernel_run(
+            ctypes.c_int64(len(entries)),
+            ctypes.c_int64(n_words),
+            ctypes.c_int64(num_nodes),
+            ctypes.c_int32(mode),
+            ctypes.c_int32(function),
+            ctypes.c_int32(window),
+            ctypes.c_int32(depth),
+            self._ptr(entries, ctypes.c_int32),
+            self._ptr(blocks, ctypes.c_int32),
+            self._ptr(has_inval, ctypes.c_uint8),
+            self._ptr(inval, ctypes.c_uint64),
+            self._ptr(truth, ctypes.c_uint64),
+            self._ptr(state.bitmap_hist, ctypes.c_uint64),
+            self._ptr(state.ring_len, ctypes.c_uint8),
+            self._ptr(state.ring_pos, ctypes.c_uint8),
+            self._ptr(state.pas_hist, ctypes.c_uint32),
+            self._ptr(state.pas_counters, ctypes.c_uint8),
+            self._ptr(state.pending, ctypes.c_int32),
+            self._ptr(pred, ctypes.c_uint64),
+        )
+
+    def score(
+        self,
+        pred: np.ndarray,
+        truth: np.ndarray,
+        mask_words: np.ndarray,
+        writers: np.ndarray,
+        exclude_writer: bool,
+        n_words: int,
+    ) -> Tuple[int, int, int]:
+        out = np.zeros(3, dtype=np.int64)
+        self._lib.repro_kernel_score(
+            ctypes.c_int64(len(writers)),
+            ctypes.c_int64(n_words),
+            self._ptr(pred, ctypes.c_uint64),
+            self._ptr(truth, ctypes.c_uint64),
+            self._ptr(mask_words, ctypes.c_uint64),
+            self._ptr(writers, ctypes.c_int64),
+            ctypes.c_int32(1 if exclude_writer else 0),
+            self._ptr(out, ctypes.c_int64),
+        )
+        return int(out[0]), int(out[1]), int(out[2])
+
+
+def _build_numba_engine():  # pragma: no cover - requires numba in the environment
+    """The ``@njit`` transcription of the C loop, when numba is importable.
+
+    A direct line-for-line port of ``repro_kernel_run`` over the same flat
+    arrays; scoring stays on the shared numpy path (the njit loop is the
+    part that buys the speedup).  Gated -- like the C engine -- behind the
+    probe self-check in :meth:`NativeKernelBackend.available`, so a numba
+    miscompile falls through to the C engine rather than shipping wrong
+    predictions.
+    """
+    import numba
+
+    @numba.njit(cache=False)
+    def run(mode, function, window, depth, num_nodes, n_words,
+            entries, blocks, has_inval, inval, truth,
+            bitmap_hist, ring_len, ring_pos, pas_hist, pas_counters,
+            pending, pred):
+        is_pas = function == 4
+        counters_per_entry = num_nodes << depth
+        history_mask = (1 << depth) - 1
+        for i in range(entries.shape[0]):
+            entry = entries[i]
+            for phase in range(3):
+                # phase 0: pre-prediction update, phase 1: predict,
+                # phase 2: post-prediction (ordered) update
+                target = entry
+                feedback_row = i
+                source_inval = True
+                if phase == 0:
+                    if mode == 0:
+                        if not has_inval[i]:
+                            continue
+                        target = entry
+                        feedback_row = i
+                        source_inval = True
+                    elif mode == 1:
+                        block = blocks[i]
+                        if has_inval[i]:
+                            predictor = pending[block]
+                            if predictor < 0:
+                                return 1
+                            target = predictor
+                            feedback_row = i
+                            source_inval = True
+                            pending[block] = entry
+                        else:
+                            pending[block] = entry
+                            continue
+                    else:
+                        continue
+                elif phase == 2:
+                    if mode != 2:
+                        continue
+                    target = entry
+                    feedback_row = i
+                    source_inval = False
+                if phase == 1:
+                    # predict into pred[i]
+                    for w in range(n_words):
+                        pred[i, w] = 0
+                    if is_pas:
+                        for node in range(num_nodes):
+                            slot = (entry * counters_per_entry
+                                    + (node << depth) + pas_hist[entry * num_nodes + node])
+                            if pas_counters[slot] >= 2:
+                                pred[i, node >> 6] |= np.uint64(1) << np.uint64(node & 63)
+                    else:
+                        length = ring_len[entry]
+                        base = entry * window
+                        if function == 3:  # overlap
+                            if length >= 1:
+                                newest = (ring_pos[entry] + window - 1) % window
+                                if length == 1:
+                                    for w in range(n_words):
+                                        pred[i, w] = bitmap_hist[base + newest, w]
+                                else:
+                                    prev = (ring_pos[entry] + window - 2) % window
+                                    overlap = np.uint64(0)
+                                    for w in range(n_words):
+                                        overlap |= (bitmap_hist[base + newest, w]
+                                                    & bitmap_hist[base + prev, w])
+                                    if overlap != np.uint64(0):
+                                        for w in range(n_words):
+                                            pred[i, w] = bitmap_hist[base + newest, w]
+                        elif function == 2:  # inter
+                            if length >= 1:
+                                for w in range(n_words):
+                                    pred[i, w] = bitmap_hist[base, w]
+                                for slot in range(1, length):
+                                    for w in range(n_words):
+                                        pred[i, w] &= bitmap_hist[base + slot, w]
+                        else:  # last / union
+                            for slot in range(length):
+                                for w in range(n_words):
+                                    pred[i, w] |= bitmap_hist[base + slot, w]
+                    continue
+                # apply the update selected by phase 0 / phase 2
+                if is_pas:
+                    for node in range(num_nodes):
+                        history = pas_hist[target * num_nodes + node]
+                        slot = target * counters_per_entry + (node << depth) + history
+                        if source_inval:
+                            bit = (inval[feedback_row, node >> 6]
+                                   >> np.uint64(node & 63)) & np.uint64(1)
+                        else:
+                            bit = (truth[feedback_row, node >> 6]
+                                   >> np.uint64(node & 63)) & np.uint64(1)
+                        if bit != np.uint64(0):
+                            if pas_counters[slot] < 3:
+                                pas_counters[slot] += 1
+                            pas_hist[target * num_nodes + node] = (
+                                (history << 1) | 1
+                            ) & history_mask
+                        else:
+                            if pas_counters[slot] > 0:
+                                pas_counters[slot] -= 1
+                            pas_hist[target * num_nodes + node] = (history << 1) & history_mask
+                else:
+                    slot = target * window + ring_pos[target]
+                    for w in range(n_words):
+                        if source_inval:
+                            bitmap_hist[slot, w] = inval[feedback_row, w]
+                        else:
+                            bitmap_hist[slot, w] = truth[feedback_row, w]
+                    ring_pos[target] = (ring_pos[target] + 1) % window
+                    if ring_len[target] < window:
+                        ring_len[target] += 1
+        return 0
+
+    class _NumbaEngine:
+        name = "numba"
+
+        def run(self, mode, function, window, depth, num_nodes, n_words,
+                entries, blocks, has_inval, inval, truth, state, pred):
+            return run(
+                mode, function, window, depth, num_nodes, n_words,
+                entries, blocks, has_inval, inval, truth,
+                state.bitmap_hist.reshape(-1, n_words),
+                state.ring_len, state.ring_pos,
+                state.pas_hist, state.pas_counters, state.pending, pred,
+            )
+
+        score = None  # numba engine scores on the shared numpy path
+
+    return _NumbaEngine()
+
+
+class NativeState:
+    """Flat per-run predictor state, allocated numpy-side.
+
+    One instance per (scheme, trace) run -- predictor tables never carry
+    over between traces.  Unused family arrays are zero-length (the C side
+    only dereferences the family it was asked to run).
+    """
+
+    __slots__ = ("bitmap_hist", "ring_len", "ring_pos", "pas_hist",
+                 "pas_counters", "pending")
+
+    def __init__(
+        self, is_pas: bool, n_entries: int, n_blocks: int,
+        window: int, depth: int, num_nodes: int, n_words: int,
+    ) -> None:
+        if is_pas:
+            self.bitmap_hist = np.zeros(0, dtype=np.uint64)
+            self.ring_len = np.zeros(0, dtype=np.uint8)
+            self.ring_pos = np.zeros(0, dtype=np.uint8)
+            self.pas_hist = np.zeros(n_entries * num_nodes, dtype=np.uint32)
+            # counters start weakly-not-shared (twolevel._COUNTER_INIT)
+            self.pas_counters = np.full(
+                n_entries * (num_nodes << depth), 1, dtype=np.uint8
+            )
+        else:
+            self.bitmap_hist = np.zeros(n_entries * window * n_words, dtype=np.uint64)
+            self.ring_len = np.zeros(n_entries, dtype=np.uint8)
+            self.ring_pos = np.zeros(n_entries, dtype=np.uint8)
+            self.pas_hist = np.zeros(0, dtype=np.uint32)
+            self.pas_counters = np.zeros(0, dtype=np.uint8)
+        self.pending = np.full(max(n_blocks, 1), -1, dtype=np.int32)
+
+
+def _to_word_rows(column: np.ndarray, layout: BitmapLayout) -> np.ndarray:
+    """A bitmap column as a C-contiguous ``(events, n_words)`` uint64 array."""
+    if layout.packed:
+        return np.ascontiguousarray(column, dtype=np.uint64)
+    return np.ascontiguousarray(
+        column.astype(np.uint64, copy=False).reshape(-1, 1)
+    )
+
+
+def _from_word_rows(words: np.ndarray, layout: BitmapLayout) -> np.ndarray:
+    """Word rows back into the layout's canonical column representation."""
+    if layout.packed:
+        return words
+    return words.reshape(-1).astype(layout.dtype)
+
+
+class NativeKernelBackend:
+    """The compiled kernel backend (registry name: ``native``).
+
+    Covers the PAs and bitmap-history families at every machine width and
+    all three update modes; arbitrary :class:`~repro.core.functions
+    .PredictionFunction` objects (the confidence-gated extensions) are
+    declined via :meth:`supports`, which the registry resolves as a
+    per-scheme fall-through to the pure-Python backend.
+    """
+
+    name = "native"
+
+    def __init__(self) -> None:
+        self._engine = None
+        self._checked = False
+
+    # -- availability ---------------------------------------------------
+
+    def available(self) -> bool:
+        """Compile (or import) an engine and gate it behind the self-check.
+
+        Engines are tried in preference order (numba, then the C build);
+        the first whose probe fingerprint matches the pure-Python oracle
+        wins.  The result is cached for the process lifetime.
+        """
+        if self._checked:
+            return self._engine is not None
+        self._checked = True
+        from repro.core.kernel_backends import kernel_selfcheck
+
+        for build in (self._try_numba, self._try_cc):
+            engine = build()
+            if engine is None:
+                continue
+            self._engine = engine
+            try:
+                if kernel_selfcheck(self):
+                    logger.debug("native kernel engine %s passed self-check", engine.name)
+                    return True
+                logger.warning(
+                    "native kernel engine %s failed the oracle self-check; skipping",
+                    engine.name,
+                )
+            except Exception as error:  # noqa: BLE001 - any engine failure skips it
+                logger.warning(
+                    "native kernel engine %s raised during self-check (%s: %s); skipping",
+                    engine.name, type(error).__name__, error,
+                )
+            self._engine = None
+        return False
+
+    def _try_numba(self):
+        try:
+            import numba  # noqa: F401
+        except ImportError:
+            return None
+        try:  # pragma: no cover - requires numba in the environment
+            return _build_numba_engine()
+        except Exception as error:  # noqa: BLE001  # pragma: no cover
+            logger.warning(
+                "numba kernel engine failed to build (%s: %s); trying the C engine",
+                type(error).__name__, error,
+            )
+            return None
+
+    def _try_cc(self):
+        try:
+            return _CEngine()
+        except (OSError, RuntimeError) as error:
+            logger.warning(
+                "C kernel engine unavailable (%s: %s)", type(error).__name__, error
+            )
+            return None
+
+    @property
+    def engine_name(self) -> Optional[str]:
+        """Which compiled engine is active ("numba" or "cc"), or ``None``."""
+        return self._engine.name if self._engine is not None else None
+
+    # -- the backend contract -------------------------------------------
+
+    def supports(self, scheme: Scheme) -> bool:
+        function = scheme.function
+        if function == "pas":
+            return scheme.depth <= MAX_NATIVE_PAS_DEPTH
+        if function in ("last", "union", "inter", "overlap"):
+            return self._window(scheme) <= MAX_NATIVE_WINDOW
+        return False
+
+    @staticmethod
+    def _window(scheme: Scheme) -> int:
+        return 2 if scheme.function == "overlap" else scheme.depth
+
+    def _run(
+        self, scheme: Scheme, trace: SharingTrace, keys: np.ndarray
+    ) -> Tuple[np.ndarray, NativeState]:
+        """Drive the compiled loop; returns (prediction word rows, state)."""
+        if self._engine is None and not self.available():
+            raise RuntimeError(
+                "native kernel backend is unavailable on this machine; "
+                "route through repro.core.kernel_backends.kernel_predict, "
+                "which falls back to the pure-Python backend"
+            )
+        layout = trace.layout
+        n_words = layout.n_words
+        is_pas = scheme.function == "pas"
+        _, entries = np.unique(np.asarray(keys, dtype=np.int64), return_inverse=True)
+        entries = np.ascontiguousarray(entries, dtype=np.int32)
+        blocks_unique, blocks = np.unique(trace.block, return_inverse=True)
+        blocks = np.ascontiguousarray(blocks, dtype=np.int32)
+        has_inval = np.ascontiguousarray(trace.has_inval, dtype=np.uint8)
+        inval = _to_word_rows(trace.inval, layout)
+        truth = _to_word_rows(trace.truth, layout)
+        state = NativeState(
+            is_pas=is_pas,
+            n_entries=int(entries.max()) + 1 if len(entries) else 0,
+            n_blocks=len(blocks_unique),
+            window=self._window(scheme),
+            depth=scheme.depth,
+            num_nodes=trace.num_nodes,
+            n_words=n_words,
+        )
+        pred = np.zeros((len(trace), n_words), dtype=np.uint64)
+        status = self._engine.run(
+            _MODE_CODES[scheme.update],
+            _FUNC_CODES[scheme.function],
+            self._window(scheme),
+            scheme.depth,
+            trace.num_nodes,
+            n_words,
+            entries,
+            blocks,
+            has_inval,
+            inval,
+            truth,
+            state,
+            pred,
+        )
+        if status != 0:
+            raise ValueError(
+                "native kernel: has_inval set on an event whose block has no "
+                "open epoch (inconsistent trace)"
+            )
+        return pred, state
+
+    def predict(
+        self, scheme: Scheme, trace: SharingTrace, keys: np.ndarray
+    ) -> np.ndarray:
+        """Raw (unmasked) per-event predictions in the trace's layout."""
+        if len(trace) == 0:
+            return trace.layout.zeros(0)
+        pred, _state = self._run(scheme, trace, keys)
+        return _from_word_rows(pred, trace.layout)
+
+    def evaluate(
+        self,
+        scheme: Scheme,
+        trace: SharingTrace,
+        keys: np.ndarray,
+        exclude_writer: bool,
+    ) -> Tuple[int, int, int, int]:
+        """Fused predict + popcount confusion counting, all compiled.
+
+        Returns the ``(tp, fp, fn, tn)`` quad -- bit-identical to masking
+        :meth:`predict` and scoring it on the shared numpy path, enforced
+        by the conformance suite.
+        """
+        layout = trace.layout
+        if len(trace) == 0:
+            return 0, 0, 0, 0
+        pred, _state = self._run(scheme, trace, keys)
+        if self._engine.score is None:  # pragma: no cover - numba engine only
+            from repro.core.kernel_backends import score_predictions
+
+            return score_predictions(
+                _from_word_rows(pred, layout), scheme, trace, exclude_writer
+            )
+        mask_words = np.ascontiguousarray(layout.mask_words, dtype=np.uint64)
+        truth = _to_word_rows(trace.truth, layout)
+        writers = np.ascontiguousarray(trace.writer, dtype=np.int64)
+        tp, fp, fn = self._engine.score(
+            pred, truth, mask_words, writers, exclude_writer, layout.n_words
+        )
+        total = len(trace) * trace.num_nodes
+        return tp, fp, fn, total - tp - fp - fn

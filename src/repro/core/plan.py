@@ -41,14 +41,15 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.indexing import IndexSpec
+from repro.core.kernel_backends import kernel_evaluate
 from repro.core.schemes import Scheme
 from repro.core.update import UpdateMode
 from repro.core.vectorized import (
     _BITMAP_FUNCTIONS,
     _bitmap_window,
     _BitmapPass,
-    _predict_pas,
-    _predict_sequential,
+    _merge_quad,
+    _predict_kernel,
     _reduce_bitmap,
     _score,
     compute_keys,
@@ -287,9 +288,8 @@ def _predict_batch(
                     trace.num_nodes,
                 )
     else:
-        predict = _predict_pas if batch.family == FAMILY_PAS else _predict_sequential
         for offset, member in enumerate(batch.members):
-            predictions[offset] = predict(member.scheme, trace, keys)
+            predictions[offset] = _predict_kernel(member.scheme, trace, keys)
             telemetry.count("plan.trace_passes")
 
     if exclude_writer:
@@ -318,6 +318,7 @@ def evaluate_plan(
     """
     if key_cache is None:
         key_cache = KeyCache()
+    telemetry = get_telemetry()
     results: List[Optional[List[ConfusionCounts]]] = [None] * plan.num_schemes
     for group in plan.groups:
         for batch in group.batches:
@@ -325,13 +326,29 @@ def evaluate_plan(
                 [] for _ in range(len(batch.members))
             ]
             for trace in traces:
-                arrays = _predict_batch(
-                    batch, group.spec, trace, key_cache, exclude_writer
-                )
-                for offset, predictions in enumerate(arrays):
+                if batch.family == FAMILY_BITMAP:
+                    arrays = _predict_batch(
+                        batch, group.spec, trace, key_cache, exclude_writer
+                    )
+                    for offset, predictions in enumerate(arrays):
+                        counts = ConfusionCounts()
+                        if len(trace):
+                            _score(predictions, trace, counts)
+                        per_member[offset].append(counts)
+                    continue
+                # Per-event families: the registry's fused path predicts and
+                # popcount-scores inside the active kernel backend, sharing
+                # the group's cached key stream.  Still one trace pass per
+                # scheme (counter state can't be shared across schemes).
+                keys = key_cache.key_stream(trace, group.spec) if len(trace) else None
+                for offset, member in enumerate(batch.members):
                     counts = ConfusionCounts()
                     if len(trace):
-                        _score(predictions, trace, counts)
+                        _merge_quad(
+                            counts,
+                            kernel_evaluate(member.scheme, trace, keys, exclude_writer),
+                        )
+                        telemetry.count("plan.trace_passes")
                     per_member[offset].append(counts)
             for member, per_trace in zip(batch.members, per_member):
                 results[member.position] = per_trace

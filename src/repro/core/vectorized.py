@@ -35,12 +35,14 @@ is factored accordingly so :mod:`repro.core.plan` can reuse them:
   :func:`_reduce_bitmap`.
 
 PAs entries carry counter state that depends on the full feedback sequence,
-not a window, so they run the shared :class:`~repro.core.kernel.PredictorKernel`
-sequentially over flat counter state (:class:`_PasOps`); arbitrary
-:class:`~repro.core.functions.PredictionFunction` objects (the
-confidence-gated extensions) take the same kernel with real entry objects.
-Both therefore share the update-timing state machine with the reference
-evaluator by construction.
+not a window, so they (and arbitrary
+:class:`~repro.core.functions.PredictionFunction` objects -- the
+confidence-gated extensions) run the per-event loop through the kernel
+backend registry (:mod:`repro.core.kernel_backends`): the compiled
+``native`` backend when one is available, else the pure-Python
+:class:`~repro.core.kernel.PredictorKernel` -- bit-identically, per the
+registry contract.  Either way the update-timing state machine is shared
+with the reference evaluator by construction.
 
 ``evaluate_scheme_fast`` is property-tested against the reference evaluator
 in ``tests/core/test_vectorized_equivalence.py``.
@@ -53,7 +55,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.core.indexing import IndexSpec
-from repro.core.kernel import PredictorKernel
+from repro.core.kernel_backends import kernel_evaluate, kernel_predict, score_predictions
 from repro.core.schemes import Scheme
 from repro.core.update import UpdateMode
 from repro.metrics.confusion import ConfusionCounts
@@ -90,13 +92,11 @@ def predict_scheme_fast(
         window = _bitmap_window(scheme)
         shared = _BitmapPass(trace, keys, scheme.update, window)
         predictions = _reduce_bitmap(scheme.function, window, shared, trace.num_nodes)
-    elif scheme.function == "pas":
-        predictions = _predict_pas(scheme, trace, keys)
     else:
-        # Generic sequential path: any PredictionFunction (e.g. the
-        # confidence-gated extensions) evaluates correctly, just without
-        # the vectorized speedup.
-        predictions = _predict_sequential(scheme, trace, keys)
+        # Per-event families (PAs counters, confidence-gated extensions):
+        # the kernel backend registry picks the compiled loop when one is
+        # available, the pure-Python PredictorKernel otherwise.
+        predictions = _predict_kernel(scheme, trace, keys)
 
     if exclude_writer:
         predictions = predictions & ~trace.layout.writer_bits(trace.writer)
@@ -114,8 +114,15 @@ def evaluate_scheme_fast(
         counts = ConfusionCounts()
     if len(trace) == 0:
         return counts
-    predictions = predict_scheme_fast(scheme, trace, exclude_writer=exclude_writer)
-    _score(predictions, trace, counts)
+    if scheme.function in _BITMAP_FUNCTIONS:
+        predictions = predict_scheme_fast(scheme, trace, exclude_writer=exclude_writer)
+        _score(predictions, trace, counts)
+    else:
+        # Per-event families go through the registry's fused path, so a
+        # native backend predicts *and* scores without materializing the
+        # prediction column in Python (popcount confusion counting in C).
+        keys = compute_keys(scheme.index, trace)
+        _merge_quad(counts, kernel_evaluate(scheme, trace, keys, exclude_writer))
     return counts
 
 
@@ -256,88 +263,20 @@ def _reduce_bitmap(
 
 
 # ----------------------------------------------------------------------
-# PAs schemes (kernel-driven, but with tight flat-state entry ops)
+# Per-event families (PAs and arbitrary prediction functions)
 # ----------------------------------------------------------------------
 
 
-class _PasOps:
-    """Flat-state PAs entry operations for the shared kernel.
+def _predict_kernel(scheme: Scheme, trace: SharingTrace, keys: np.ndarray) -> np.ndarray:
+    """Per-event evaluation via the active kernel backend.
 
-    An entry is ``[histories list, counters bytearray]`` (one history int
-    per node, one byte per 2-bit saturating counter) rather than a
-    :class:`~repro.core.twolevel.PAsFunction` deque entry: this path is the
-    cost ceiling of the whole design-space sweep, so entry state stays flat
-    and the loops bind to locals.  The update timing itself comes from
-    :class:`~repro.core.kernel.PredictorKernel` -- this class only defines
-    what a PAs entry *is*.
+    Same update timing as the reference evaluator by construction (every
+    backend is held to :class:`~repro.core.kernel.PredictorKernel` by the
+    conformance suite), but keyed by the vectorized key stream and
+    producing the raw prediction array so scoring/masking stay shared with
+    the fast paths.
     """
-
-    __slots__ = ("num_nodes", "depth", "mask", "counters_per_entry", "node_range")
-
-    def __init__(self, num_nodes: int, depth: int) -> None:
-        self.num_nodes = num_nodes
-        self.depth = depth
-        self.mask = (1 << depth) - 1
-        self.counters_per_entry = num_nodes << depth
-        self.node_range = range(num_nodes)
-
-    def new_entry(self) -> list:
-        return [[0] * self.num_nodes, bytearray([1]) * self.counters_per_entry]
-
-    def update(self, entry: list, feedback: int) -> None:
-        histories, counters = entry
-        depth = self.depth
-        mask = self.mask
-        for node in self.node_range:
-            history = histories[node]
-            slot = (node << depth) | history
-            if (feedback >> node) & 1:
-                if counters[slot] < 3:
-                    counters[slot] += 1
-                histories[node] = ((history << 1) | 1) & mask
-            else:
-                if counters[slot] > 0:
-                    counters[slot] -= 1
-                histories[node] = (history << 1) & mask
-
-    def predict(self, entry: list) -> int:
-        histories, counters = entry
-        depth = self.depth
-        prediction = 0
-        for node in self.node_range:
-            if counters[(node << depth) | histories[node]] >= 2:
-                prediction |= 1 << node
-        return prediction
-
-
-def _predict_pas(scheme: Scheme, trace: SharingTrace, keys: np.ndarray) -> np.ndarray:
-    """Sequential PAs evaluation producing the per-event prediction array."""
-    kernel = PredictorKernel(scheme.update, _PasOps(trace.num_nodes, scheme.depth))
-    return trace.layout.from_int_iter(
-        kernel.run_trace(trace, keys.tolist()), count=len(trace)
-    )
-
-
-# ----------------------------------------------------------------------
-# Generic sequential path (arbitrary prediction functions)
-# ----------------------------------------------------------------------
-
-
-def _predict_sequential(
-    scheme: Scheme, trace: SharingTrace, keys: np.ndarray
-) -> np.ndarray:
-    """Per-event kernel evaluation with a real function object.
-
-    Same update timing as the reference evaluator by construction (the two
-    share :class:`PredictorKernel`), but keyed by the vectorized key stream
-    and producing the raw prediction array so scoring/masking stay shared
-    with the fast paths.
-    """
-    function = scheme.make_function(trace.num_nodes)
-    kernel = PredictorKernel(scheme.update, function)
-    return trace.layout.from_int_iter(
-        kernel.run_trace(trace, keys.tolist()), count=len(trace)
-    )
+    return kernel_predict(scheme, trace, keys)
 
 
 # ----------------------------------------------------------------------
@@ -352,18 +291,18 @@ def _popcount_array(values: np.ndarray) -> np.ndarray:
     return low.astype(np.int64) + high.astype(np.int64)
 
 
+def _merge_quad(counts: ConfusionCounts, quad: Tuple[int, int, int, int]) -> None:
+    """Fold a ``(tp, fp, fn, tn)`` quad into a counts accumulator."""
+    counts.true_positive += quad[0]
+    counts.false_positive += quad[1]
+    counts.false_negative += quad[2]
+    counts.true_negative += quad[3]
+
+
 def _score(predictions: np.ndarray, trace: SharingTrace, counts: ConfusionCounts) -> None:
-    layout = trace.layout
-    full_mask = layout.mask
-    truth = trace.truth
-    true_positive = int(layout.popcount(predictions & truth).sum())
-    false_positive = int(layout.popcount(predictions & ~truth & full_mask).sum())
-    false_negative = int(layout.popcount(~predictions & truth & full_mask).sum())
-    total = len(trace) * trace.num_nodes
-    counts.true_positive += true_positive
-    counts.false_positive += false_positive
-    counts.false_negative += false_negative
-    counts.true_negative += total - true_positive - false_positive - false_negative
+    """Score an already-masked prediction column (delegates to the one
+    normative scorer in :mod:`repro.core.kernel_backends`)."""
+    _merge_quad(counts, score_predictions(predictions, trace, exclude_writer=False))
 
 
 def evaluate_scheme_fast_multi(

@@ -28,6 +28,13 @@ class ReferenceEngine(EvaluationEngine):
 
     name = "reference"
 
+    def _kernel_backend_name(self) -> str:
+        # The reference evaluator is the pure-Python oracle by definition:
+        # it never routes through the kernel-backend registry, whatever
+        # REPRO_KERNEL says, so parity tests against it always compare a
+        # fast path to the normative loop.
+        return "python"
+
     def _evaluate_one(
         self, scheme: Scheme, trace: SharingTrace, exclude_writer: bool
     ) -> ConfusionCounts:

@@ -120,6 +120,18 @@ class EvaluationEngine(ABC):
             for trace in traces
         ]
 
+    def _kernel_backend_name(self) -> str:
+        """The kernel backend this engine's per-event loops select.
+
+        The default asks the kernel-backend registry (what the vectorized
+        and parallel engines actually run); the reference engine overrides
+        it -- its per-event loop is always the pure-Python oracle,
+        regardless of ``REPRO_KERNEL``.
+        """
+        from repro.core.kernel_backends import active_kernel_name
+
+        return active_kernel_name()
+
     def evaluate_batch(
         self,
         schemes: Sequence[Scheme],
@@ -145,6 +157,10 @@ class EvaluationEngine(ABC):
         results = self._evaluate_batch(
             schemes, traces, exclude_writer=exclude_writer, on_result=on_result
         )
+        # One selection record per batch; the kernel registry additionally
+        # counts every routed call under the same kernel.backend.* namespace
+        # (including inside parallel workers, whose snapshots merge home).
+        telemetry.count(f"kernel.backend.{self._kernel_backend_name()}")
         record_batch(
             telemetry,
             self.name,

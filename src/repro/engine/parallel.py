@@ -60,6 +60,7 @@ from bisect import bisect_right
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.core.kernel_backends import resolve_kernel_backend, set_kernel_backend
 from repro.core.plan import KeyCache, SweepPlan, evaluate_plan
 from repro.core.schemes import Scheme
 from repro.core.vectorized import predict_scheme_fast
@@ -114,10 +115,20 @@ def _init_worker(payload: dict) -> None:
     ``payload`` is either ``{"mode": "pickle", "traces": [...]}`` (the
     arrays arrived pickled) or ``{"mode": "shm", "descriptors": [...]}``
     (attach zero-copy views, keyed and verified by trace fingerprint).
+    ``payload["kernel"]`` pins the kernel backend the *parent* resolved, so
+    every worker evaluates on the same per-event loop the parent selected
+    and reports it under the worker's ``kernel.backend.*`` counters (merged
+    home with the chunk snapshots).  Should a pinned compiled backend turn
+    out unavailable in the worker, the registry degrades to pure Python --
+    bit-identical by the backend contract, so a heterogeneous pool can
+    never change results.
     """
     global _WORKER_TRACES
     _WORKER_SEGMENTS.clear()
     _WORKER_KEY_CACHE.clear()
+    kernel = payload.get("kernel")
+    if kernel is not None:
+        set_kernel_backend(kernel)
     if payload["mode"] == "shm":
         traces = []
         for descriptor in payload["descriptors"]:
@@ -434,6 +445,9 @@ class ParallelEngine(EvaluationEngine):
         counter, never an error.
         """
         telemetry = get_telemetry()
+        # Resolve the kernel backend in the parent (compiling/self-checking
+        # the native library here, once) and pin the choice in every worker.
+        kernel = resolve_kernel_backend().name
         if self._shm_wanted():
             try:
                 published = publish_traces(traces)
@@ -446,8 +460,12 @@ class ParallelEngine(EvaluationEngine):
                 )
                 telemetry.count("shm.fallbacks")
             else:
-                return published, {"mode": "shm", "descriptors": published.descriptors}
-        return None, {"mode": "pickle", "traces": list(traces)}
+                return published, {
+                    "mode": "shm",
+                    "descriptors": published.descriptors,
+                    "kernel": kernel,
+                }
+        return None, {"mode": "pickle", "traces": list(traces), "kernel": kernel}
 
     def _evaluate_batch_pooled(
         self,

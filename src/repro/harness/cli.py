@@ -15,7 +15,9 @@ Examples::
 
 Backend selection: ``--backend`` / ``--jobs`` win; otherwise the
 ``REPRO_BACKEND`` and ``REPRO_JOBS`` environment variables apply; the
-default is the single-process vectorized engine.
+default is the single-process vectorized engine.  ``--kernel`` picks the
+per-event kernel backend the same way (otherwise ``REPRO_KERNEL`` applies;
+the default ``auto`` uses the compiled kernel when available).
 
 Observability: ``--telemetry {off,pretty,json}`` prints a run report (cache
 hit/miss counters, per-backend timing, events/sec, per-worker shard stats),
@@ -36,6 +38,12 @@ import sys
 import time
 from typing import List, Optional
 
+from repro.core.kernel_backends import (
+    AUTO,
+    active_kernel_name,
+    kernel_backend_names,
+    set_kernel_backend,
+)
 from repro.engine import BACKENDS, make_engine, set_default_engine
 from repro.harness.experiments import (
     EXPERIMENTS,
@@ -121,6 +129,16 @@ def _build_parser(experiments) -> argparse.ArgumentParser:
         help="evaluation backend (default: REPRO_BACKEND or vectorized)",
     )
     parser.add_argument(
+        "--kernel",
+        choices=[AUTO] + sorted(kernel_backend_names()),
+        default=None,
+        help=(
+            "per-event kernel backend (default: REPRO_KERNEL or auto; "
+            "'native' degrades to 'python' bit-identically when no compiler "
+            "is available)"
+        ),
+    )
+    parser.add_argument(
         "--resume",
         action="store_true",
         help=(
@@ -204,6 +222,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error("--resume requires journaling; drop --no-journal")
 
     previous_engine = set_default_engine(engine)
+    previous_kernel = set_kernel_backend(args.kernel) if args.kernel else None
+    kernel_name = active_kernel_name()
     previous_policy = set_checkpoint_policy(
         CheckpointPolicy(enabled=not args.no_journal, resume=args.resume)
     )
@@ -226,7 +246,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 print(render_table(result))
             print(
                 f"\n[{name} completed in {elapsed:.1f}s "
-                f"(backend={engine.name})]\n"
+                f"(backend={engine.name}, kernel={kernel_name})]\n"
             )
         if run_traffic:
             # The sweep runs directly (not via run_experiment) so the
@@ -250,7 +270,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
             print(
                 f"\n[traffic-savings completed in {elapsed:.1f}s "
-                f"(backend={engine.name})]\n"
+                f"(backend={engine.name}, kernel={kernel_name})]\n"
             )
             if args.traffic_out:
                 payload = {
@@ -272,6 +292,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         if profiler is not None:
             profiler.disable()
         set_default_engine(previous_engine)
+        if args.kernel:
+            set_kernel_backend(previous_kernel)
         set_checkpoint_policy(previous_policy)
         if collect_telemetry:
             set_telemetry(previous_telemetry)

@@ -126,3 +126,92 @@ class TestWidthRefactorBitIdentity:
 
         fixture = load_fixture(GOLDEN_SCHEMES[0])
         assert fixture["trace_fingerprint"] == self.PINNED_FINGERPRINT
+
+
+class TestKernelBackendBitIdentity:
+    """The compiled kernel refactor must not move one bit, either.
+
+    Same doctrine as the width pin above: the kernel-probe fingerprint of
+    the pure-Python oracle is pinned as a literal, so a semantic change to
+    the per-event loop cannot hide behind regenerating fixtures -- and
+    every *available* fast backend must reproduce the identical value (the
+    same gate its ``available()`` self-check runs at import time).  If the
+    pin fails, the predictor semantics moved -- fix the change; do not
+    re-pin without a deliberate semantic-change review.
+    """
+
+    PINNED_KERNEL_FINGERPRINT = "cdd19f928c09abad"
+
+    def test_python_oracle_probe_fingerprint_is_pinned(self):
+        from repro.core.kernel_backends import (
+            get_kernel_backend,
+            kernel_probe_fingerprint,
+        )
+
+        assert (
+            kernel_probe_fingerprint(get_kernel_backend("python"))
+            == self.PINNED_KERNEL_FINGERPRINT
+        )
+
+    def test_every_available_backend_matches_the_pin(self):
+        from repro.core.kernel_backends import (
+            get_kernel_backend,
+            kernel_backend_names,
+            kernel_probe_fingerprint,
+        )
+
+        checked = []
+        for name in kernel_backend_names():
+            backend = get_kernel_backend(name)
+            if not backend.available():
+                continue
+            assert (
+                kernel_probe_fingerprint(backend) == self.PINNED_KERNEL_FINGERPRINT
+            ), f"kernel backend {name!r} diverged from the pinned probe battery"
+            checked.append(name)
+        assert "python" in checked
+
+
+def _kernel_grid_params():
+    """(engine factory, kernel name) combinations for the full grid."""
+    engines = [
+        ("reference", ReferenceEngine),
+        ("vectorized", VectorizedEngine),
+        ("parallel", lambda: ParallelEngine(jobs=2, chunk_size=4)),
+    ]
+    return [
+        pytest.param(factory, kernel, id=f"{engine_name}-{kernel}")
+        for engine_name, factory in engines
+        for kernel in ("python", "native")
+    ]
+
+
+@pytest.mark.parametrize("engine_factory,kernel", _kernel_grid_params())
+def test_engine_kernel_grid_reproduces_golden_counts(
+    engine_factory, kernel, trace_set, traces
+):
+    """Three engine backends x two kernel backends, one frozen answer.
+
+    Each cell runs all eight canonical schemes as one batch under an
+    explicit kernel-backend override; every cell must land on the same
+    frozen per-benchmark counts.  (The reference engine ignores the kernel
+    registry by design -- its cells pin exactly that.)  Native cells skip
+    where no compiler is available, mirroring the registry's degradation.
+    """
+    from repro.core.kernel_backends import get_kernel_backend, set_kernel_backend
+
+    if kernel == "native" and not get_kernel_backend("native").available():
+        pytest.skip("native kernel backend unavailable here")
+    schemes = [parse_scheme(text) for text in GOLDEN_SCHEMES]
+    previous = set_kernel_backend(kernel)
+    try:
+        batch = engine_factory().evaluate_batch(schemes, traces)
+    finally:
+        set_kernel_backend(previous)
+    for scheme_text, per_trace in zip(GOLDEN_SCHEMES, batch):
+        expected = expected_counts(load_fixture(scheme_text), trace_set)
+        for benchmark, got, want in zip(trace_set.benchmarks, per_trace, expected):
+            assert got == want, (
+                f"engine/kernel grid diverged from golden counts for "
+                f"{scheme_text} on {benchmark} (kernel={kernel}): {got} != {want}"
+            )

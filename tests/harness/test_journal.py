@@ -320,7 +320,10 @@ KILL_SCRIPT = textwrap.dedent(
 
 class TestKillAndResume:
     @pytest.mark.parametrize("backend", ["vectorized", "parallel"])
-    def test_killed_sweep_resumes_bit_identical(self, tmp_path, backend):
+    @pytest.mark.parametrize("kernel", ["python", "native"])
+    def test_killed_sweep_resumes_bit_identical(
+        self, tmp_path, monkeypatch, backend, kernel
+    ):
         """A sweep killed mid-run finishes under --resume semantics with
         exactly the counts an uninterrupted run produces, evaluating only
         the schemes the journal does not already hold.
@@ -329,6 +332,14 @@ class TestKillAndResume:
         ``on_result`` (hence journaling) fires per completed chunk in plan
         order, so the surviving journal holds an arbitrary subset -- resume
         must key on scheme names, not positions.
+
+        The kernel axis crosses backends deliberately: the killed run
+        executes under ``REPRO_KERNEL=<kernel>`` while the resume runs
+        under the *other* kernel backend, so journal replay is proven
+        bit-identical across kernel backends, not merely within one.  (On a
+        machine without a compiler the native legs degrade to pure Python
+        -- bit-identically, by the registry contract, so the assertion
+        still holds.)
         """
         kill_after = 3
         journal_path = tmp_path / "sweep-kill.jsonl"
@@ -340,6 +351,7 @@ class TestKillAndResume:
         env["PYTHONPATH"] = os.pathsep.join(
             [str(repo_root / "src"), str(repo_root)]
         )
+        env["REPRO_KERNEL"] = kernel
         completed = subprocess.run(
             [sys.executable, str(script), str(journal_path), str(kill_after), backend],
             env=env,
@@ -368,11 +380,17 @@ class TestKillAndResume:
             trace_names=[trace.name for trace in traces],
             resume=True,
         )
+        # resume under the kernel backend the killed run did NOT use
+        monkeypatch.setenv(
+            "REPRO_KERNEL", "native" if kernel == "python" else "python"
+        )
         resumed = batch_scheme_stats(schemes, traces, engine=engine, journal=journal)
         journal.close()
 
         # only the unfinished tail was evaluated...
         assert len(engine.batched_schemes) == len(schemes) - recorded
         # ...and the final statistics are bit-identical to a clean run
+        # (under the default auto kernel -- a third selection, same bits)
+        monkeypatch.delenv("REPRO_KERNEL")
         clean = batch_scheme_stats(schemes, traces, engine=VectorizedEngine())
         assert resumed == clean
