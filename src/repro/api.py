@@ -7,20 +7,31 @@ freely between releases; this facade does not.  Its exact surface is
 snapshot-tested (``tests/api/test_surface.py``), so any change here is a
 deliberate, reviewed API change.
 
-The facade covers the paper's whole workflow::
+**Jobs are the common currency.**  Every computation -- a confusion
+evaluation, a scheme sweep, a forwarding-traffic run, a scenario cell --
+is a fingerprinted job: :func:`submit` returns a :class:`JobHandle` whose
+``status()`` / ``result()`` / ``stream_progress()`` work identically
+whether the job runs in this process or on a ``repro-serve`` instance
+reached through :func:`connect`.  Identical jobs submitted concurrently
+coalesce onto one computation; engines are bit-identical by contract, so a
+deduplicated result is *the* result::
 
-    from repro.api import ScreeningStats, default_trace_set, evaluate, parse_scheme
+    from repro.api import TraceSuiteSpec, connect, submit
+
+    handle = submit("sweep", ["last()1[direct]", "union(dir+add6)2[direct]"])
+    rows = handle.result()                     # in-process
+
+    client = connect(port=7707)                # same job, served
+    remote = client.submit(handle_spec)        # bit-identical rows
+
+The classic one-shot helpers remain as thin synchronous conveniences over
+the job path::
+
+    from repro.api import ScreeningStats, default_trace_set, evaluate
 
     trace = default_trace_set().trace("barnes")
     counts = evaluate("inter(pid+add6)4[direct]", trace)
     print(ScreeningStats.from_counts(counts))
-
-and scales to design-space sweeps::
-
-    from repro.api import default_trace_set, sweep
-
-    traces = default_trace_set().traces()
-    rows = sweep(["last()1[direct]", "union(dir+add6)2[direct]"], traces)
 
 Scheme arguments accept either a parsed :class:`Scheme` or its string form
 (``"inter(pid+add6)4[direct]"``); evaluation routes through the configured
@@ -31,6 +42,7 @@ batch job.
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, List, Optional, Sequence, Union
 
 from repro.core.schemes import Scheme, parse_scheme
@@ -41,30 +53,54 @@ from repro.machine import PAPER_MACHINE, MachineSpec
 from repro.metrics.confusion import ConfusionCounts
 from repro.metrics.screening import ScreeningStats
 from repro.metrics.traffic import TrafficModel, TrafficReport
+from repro.service.client import ServiceClient
+from repro.service.handles import JobHandle, JobStatus, LocalJobHandle
+from repro.service.jobs import JobSpec, TraceSuiteSpec, inline_traces
 from repro.trace.events import SharingTrace
 
 __all__ = [
     "ConfusionCounts",
     "ForwardingConfig",
+    "JobHandle",
+    "JobSpec",
+    "JobStatus",
     "MachineSpec",
     "PAPER_MACHINE",
     "Scheme",
     "ScreeningStats",
+    "ServiceClient",
     "SharingTrace",
+    "TraceSuiteSpec",
     "TrafficModel",
     "TrafficReport",
     "UpdateMode",
+    "connect",
     "default_trace_set",
     "evaluate",
     "evaluate_suite",
     "make_engine",
     "parse_scheme",
     "simulate_forwarding",
+    "submit",
     "sweep",
 ]
 
 #: a scheme, or its textual form per the paper's naming convention
 SchemeLike = Union[Scheme, str]
+
+#: trace input for :func:`submit`: live traces, a re-materializable suite
+#: description, or ``None`` for the paper-scale default suite
+TracesLike = Union[Sequence[SharingTrace], TraceSuiteSpec, None]
+
+
+class _Unset:
+    """Sentinel distinguishing 'not passed' from an explicit default."""
+
+    def __repr__(self) -> str:
+        return "<unset>"
+
+
+_UNSET = _Unset()
 
 
 def _as_scheme(scheme: SchemeLike) -> Scheme:
@@ -86,6 +122,90 @@ def default_trace_set():
     return _default_trace_set()
 
 
+# ----------------------------------------------------------------------
+# The job path: submit / connect
+# ----------------------------------------------------------------------
+
+
+def submit(
+    kind: str,
+    schemes: Sequence[SchemeLike] = (),
+    traces: TracesLike = None,
+    *,
+    exclude_writer: bool = True,
+    config: Optional[ForwardingConfig] = None,
+    grid: Optional[dict] = None,
+    engine: Optional[EvaluationEngine] = None,
+) -> JobHandle:
+    """Submit one job to this process's registry; returns its handle.
+
+    ``kind`` is ``"evaluate"`` (per-scheme/per-trace
+    :class:`ConfusionCounts`), ``"sweep"`` (per-scheme screening-summary
+    dicts), ``"traffic"`` (per-scheme/per-trace :class:`TrafficReport`), or
+    ``"scenario"`` (scenario-grid rows; pass ``grid``, no schemes/traces).
+    ``traces`` may be live :class:`SharingTrace` objects, a
+    :class:`TraceSuiteSpec` naming a re-materializable suite, or ``None``
+    for the paper-scale default suite.  ``config`` prices ``traffic`` jobs
+    (topology + message costs).
+
+    The job is fingerprinted over its canonical spec and exact trace
+    identity: a second submission of the same work while the first is in
+    flight returns a handle onto the *same* computation
+    (``service.dedup.coalesced`` in telemetry), and both handles decode the
+    identical result bits.  The same spec submitted to a ``repro-serve``
+    instance (:func:`connect`) is the same fingerprint -- and, engines
+    being bit-identical by contract, the same result.
+    """
+    from repro.service.registry import get_default_registry
+
+    config = config if config is not None else ForwardingConfig()
+    live_traces: Optional[Sequence[SharingTrace]] = None
+    if kind == "scenario":
+        trace_ref = None
+    elif isinstance(traces, TraceSuiteSpec):
+        trace_ref = traces
+    elif traces is None:
+        trace_ref = TraceSuiteSpec()
+    else:
+        live_traces = list(traces)
+        trace_ref = inline_traces(live_traces)
+    spec = JobSpec.make(
+        kind,
+        schemes=[_as_scheme(scheme) for scheme in schemes],
+        traces=trace_ref,
+        exclude_writer=exclude_writer,
+        topology=config.topology,
+        model=config.model,
+        grid=grid,
+    )
+    record, dedup = get_default_registry().submit(
+        spec, traces=live_traces, engine=engine
+    )
+    return LocalJobHandle(record, dedup)
+
+
+def connect(
+    host: str = "127.0.0.1", port: int = 7707, *, timeout: Optional[float] = 60.0
+) -> ServiceClient:
+    """A client for a running ``repro-serve`` instance.
+
+    The returned :class:`ServiceClient` submits :class:`JobSpec` objects
+    and hands back handles with the same ``status()`` / ``result()`` /
+    ``stream_progress()`` interface as :func:`submit`; served results
+    decode to objects bit-identical to in-process computation (the CI smoke
+    job asserts this end to end).  Raises
+    :class:`repro.service.client.ServiceError` on connection problems.
+    """
+    client = ServiceClient(host=host, port=port, timeout=timeout)
+    client.ping()
+    return client
+
+
+# ----------------------------------------------------------------------
+# Synchronous conveniences (thin wrappers over the job path)
+# ----------------------------------------------------------------------
+
+
 def evaluate(
     scheme: SchemeLike,
     trace: SharingTrace,
@@ -95,6 +215,9 @@ def evaluate(
 ) -> ConfusionCounts:
     """Score one scheme on one trace.
 
+    A synchronous convenience over :func:`submit`: one ``evaluate`` job,
+    result awaited inline.
+
     Args:
         scheme: a :class:`Scheme` or its string form.
         trace: the sharing trace to score against.
@@ -102,9 +225,11 @@ def evaluate(
             sets (the paper's convention).
         engine: evaluation backend; default per environment configuration.
     """
-    return _resolve_engine(engine).evaluate(
-        _as_scheme(scheme), trace, exclude_writer=exclude_writer
+    handle = submit(
+        "evaluate", [scheme], [trace],
+        exclude_writer=exclude_writer, engine=engine,
     )
+    return handle.result()[0][0]
 
 
 def evaluate_suite(
@@ -115,17 +240,20 @@ def evaluate_suite(
     engine: Optional[EvaluationEngine] = None,
 ) -> List[ConfusionCounts]:
     """Score one scheme on each trace, fresh predictor state per trace."""
-    return _resolve_engine(engine).evaluate_suite(
-        _as_scheme(scheme), list(traces), exclude_writer=exclude_writer
+    handle = submit(
+        "evaluate", [scheme], traces,
+        exclude_writer=exclude_writer, engine=engine,
     )
+    return handle.result()[0]
 
 
 def simulate_forwarding(
     scheme: SchemeLike,
     trace: SharingTrace,
     *,
-    topology: str = "mesh",
-    model: Optional[TrafficModel] = None,
+    config: Optional[ForwardingConfig] = None,
+    topology: Union[str, _Unset] = _UNSET,
+    model: Union[TrafficModel, None, _Unset] = _UNSET,
     engine: Optional[EvaluationEngine] = None,
 ) -> TrafficReport:
     """Simulate prediction-driven forwarding on one trace.
@@ -135,27 +263,43 @@ def simulate_forwarding(
     ``scheme``'s predictions -- and returns the
     :class:`TrafficReport` comparing their message ledgers and hop-weighted
     latency.  The report's confusion quad is bit-identical to
-    :func:`evaluate` on the same inputs.
+    :func:`evaluate` on the same inputs.  A synchronous convenience over a
+    single-scheme ``traffic`` job.
 
     Args:
         scheme: a :class:`Scheme` or its string form.
         trace: the sharing trace to replay.
-        topology: interconnect shape pricing each hop (``crossbar``,
-            ``ring``, ``mesh``, or ``hypercube``).
-        model: message cost model; default :class:`TrafficModel`.
+        config: interconnect topology plus message cost model (default:
+            mesh topology, paper cost model).
+        topology: deprecated -- fold into ``config``.
+        model: deprecated -- fold into ``config``.
         engine: evaluation backend; default per environment configuration.
     """
-    config = ForwardingConfig(
-        topology=topology, model=model if model is not None else TrafficModel()
-    )
-    return _resolve_engine(engine).simulate_traffic(
-        _as_scheme(scheme), trace, config=config
-    )
+    if not isinstance(topology, _Unset) or not isinstance(model, _Unset):
+        warnings.warn(
+            "simulate_forwarding(topology=..., model=...) is deprecated; "
+            "pass config=ForwardingConfig(topology=..., model=...) instead "
+            "(one release of overlap)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if config is not None:
+            raise TypeError(
+                "pass either config= or the deprecated topology=/model=, not both"
+            )
+        config = ForwardingConfig(
+            topology="mesh" if isinstance(topology, _Unset) else topology,
+            model=TrafficModel()
+            if isinstance(model, _Unset) or model is None
+            else model,
+        )
+    handle = submit("traffic", [scheme], [trace], config=config, engine=engine)
+    return handle.result()[0][0]
 
 
 def sweep(
     schemes: Sequence[SchemeLike],
-    traces: Sequence[SharingTrace],
+    traces: TracesLike = None,
     *,
     exclude_writer: bool = True,
     engine: Optional[EvaluationEngine] = None,
@@ -164,19 +308,18 @@ def sweep(
 
     Returns one summary dict per scheme (input order) with the paper's
     screening statistics: suite-average ``prev``, ``sens``, ``pvp`` and the
-    suite-pooled ``pooled_tp`` / ``pooled_fp`` counts.  The batch is handed
-    to the engine whole, so it flows through the sweep planner
-    (:mod:`repro.core.plan`): schemes sharing an index spec compute their
-    key stream once per trace, bitmap schemes sharing an update mode share
-    one feedback pass, and the parallel backend steals plan-ordered chunks
-    across workers (with the shared-memory transport publishing each trace
-    once).  Planning never changes numbers -- results are bit-identical to
-    scoring each scheme alone.
+    suite-pooled ``pooled_tp`` / ``pooled_fp`` counts.  A synchronous
+    convenience over one ``sweep`` job: the batch is handed to the engine
+    whole, so it flows through the sweep planner (:mod:`repro.core.plan`)
+    -- schemes sharing an index spec compute their key stream once per
+    trace, bitmap schemes sharing an update mode share one feedback pass,
+    and the parallel backend steals plan-ordered chunks across workers
+    (with the shared-memory transport publishing each trace once).
+    Planning never changes numbers -- results are bit-identical to scoring
+    each scheme alone, and (the job path being fingerprint-deduplicated) to
+    the same sweep served by ``repro-serve``.
     """
-    from repro.harness.experiments.base import screening_summary
-
-    parsed = [_as_scheme(scheme) for scheme in schemes]
-    all_counts = _resolve_engine(engine).evaluate_batch(
-        parsed, list(traces), exclude_writer=exclude_writer
+    handle = submit(
+        "sweep", schemes, traces, exclude_writer=exclude_writer, engine=engine
     )
-    return [screening_summary(counts) for counts in all_counts]
+    return handle.result()

@@ -71,7 +71,13 @@ from repro.metrics.confusion import ConfusionCounts
 from repro.metrics.traffic import TrafficReport
 from repro.telemetry import Telemetry, get_telemetry, set_telemetry
 from repro.trace.events import SharingTrace
-from repro.trace.shm import attach_trace, publish_traces, shm_available, shm_enabled
+from repro.trace.shm import (
+    attach_trace,
+    publish_traces,
+    shm_available,
+    shm_enabled,
+    trace_fingerprint,
+)
 
 logger = logging.getLogger("repro.engine.parallel")
 
@@ -356,6 +362,32 @@ class _ChunkScheduler:
             )
 
 
+class _PoolHost:
+    """A live worker pool bound to one prepared trace transport.
+
+    Owns the :class:`ProcessPoolExecutor` (whose workers were initialized
+    with the transport payload) and the published shared-memory segments
+    backing it.  ``key`` is the tuple of trace content fingerprints the
+    workers hold, so a later batch over the same traces can prove the pool
+    is reusable without trusting object identity.
+    """
+
+    def __init__(self, pool, published, key: Tuple[str, ...], workers: int):
+        self.pool = pool
+        self.published = published
+        self.key = key
+        self.workers = workers
+
+    def close(self, cancel: bool = False) -> None:
+        """Shut the pool down and unlink the shared segments (idempotent)."""
+        if self.pool is not None:
+            self.pool.shutdown(wait=True, cancel_futures=cancel)
+            self.pool = None
+        if self.published is not None:
+            self.published.close()
+            self.published = None
+
+
 class ParallelEngine(EvaluationEngine):
     """Shard scheme batches across worker processes.
 
@@ -368,6 +400,15 @@ class ParallelEngine(EvaluationEngine):
             observed throughput (mainly for tests and A/B baselines).
         use_shm: force the shared-memory trace transport on or off;
             ``None`` follows ``REPRO_SHM`` and platform availability.
+        persistent: keep the worker pool (and its published shared-memory
+            trace set) alive between batch calls.  Consecutive batches over
+            the same traces reuse the warm pool instead of re-spawning
+            workers and re-publishing unchanged segments (counted under
+            ``engine.parallel.pool_reuses`` / ``shm.republish_avoided``);
+            a batch over *different* traces tears the old pool down and
+            builds a fresh one.  The owner must call :meth:`close` (or use
+            the engine as a context manager) when done -- this is what the
+            sweep service runs, one pool shared across every job.
     """
 
     name = "parallel"
@@ -377,11 +418,32 @@ class ParallelEngine(EvaluationEngine):
         jobs: Optional[int] = None,
         chunk_size: Optional[int] = None,
         use_shm: Optional[bool] = None,
+        persistent: bool = False,
     ):
         self.jobs = max(1, int(jobs)) if jobs is not None else default_jobs()
         self.chunk_size = chunk_size
         self.use_shm = use_shm
+        self.persistent = persistent
+        self._host: Optional[_PoolHost] = None
         self._serial = VectorizedEngine()
+
+    def close(self) -> None:
+        """Release the retained pool and shared segments (idempotent)."""
+        if self._host is not None:
+            host, self._host = self._host, None
+            host.close()
+
+    def __enter__(self) -> "ParallelEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # best-effort leak guard for retained pools
+        try:
+            self.close()
+        except Exception:  # pragma: no cover - interpreter shutdown
+            pass
 
     def _evaluate_one(
         self, scheme: Scheme, trace: SharingTrace, exclude_writer: bool
@@ -467,6 +529,51 @@ class ParallelEngine(EvaluationEngine):
                 }
         return None, {"mode": "pickle", "traces": list(traces), "kernel": kernel}
 
+    def _acquire_host(self, traces: Sequence[SharingTrace], workers: int) -> _PoolHost:
+        """A worker pool whose workers hold ``traces`` -- reused when possible.
+
+        In persistent mode a retained host whose trace fingerprints match is
+        returned as-is: the workers keep their installed traces (and warm
+        key caches), and nothing is re-published.  A fingerprint mismatch
+        (or a non-persistent engine) builds a fresh pool; the stale host is
+        torn down first so at most one pool is ever alive per engine.
+        """
+        telemetry = get_telemetry()
+        key = tuple(trace_fingerprint(trace) for trace in traces)
+        if self._host is not None:
+            host = self._host
+            if host.pool is not None and host.key == key and host.workers >= workers:
+                if telemetry.enabled:
+                    telemetry.count("engine.parallel.pool_reuses")
+                    if host.published is not None:
+                        telemetry.count("shm.republish_avoided", len(traces))
+                return host
+            self._host = None
+            host.close()
+        published, payload = self._prepare_transport(traces)
+        pool = ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_worker,
+            initargs=(payload,),
+        )
+        host = _PoolHost(pool, published, key, workers)
+        if self.persistent:
+            self._host = host
+        return host
+
+    def _release_host(self, host: _PoolHost, broken: bool = False) -> None:
+        """Give a host back after a batch.
+
+        Persistent engines retain a healthy host for the next batch; a
+        ``broken`` host (the pooled run raised) is always discarded, so the
+        serial fallback never leaves a wedged pool behind.
+        """
+        if self.persistent and not broken:
+            return
+        if self._host is host:
+            self._host = None
+        host.close(cancel=broken)
+
     def _evaluate_batch_pooled(
         self,
         schemes: Sequence[Scheme],
@@ -526,50 +633,51 @@ class ParallelEngine(EvaluationEngine):
             self.jobs,
             boundaries=plan.batch_boundaries(),
         )
-        workers = min(self.jobs, len(schemes))
-        max_inflight = workers * INFLIGHT_PER_WORKER
+        # A persistent pool is sized for the engine, not the batch: the next
+        # batch may be bigger, and idle workers cost nothing between jobs.
+        workers = self.jobs if self.persistent else min(self.jobs, len(schemes))
+        max_inflight = min(workers, len(schemes)) * INFLIGHT_PER_WORKER
         results: List[Optional[list]] = [None] * len(schemes)
-        published, payload = self._prepare_transport(traces)
+        host = self._acquire_host(traces, workers)
         try:
-            with ProcessPoolExecutor(
-                max_workers=workers,
-                initializer=_init_worker,
-                initargs=(payload,),
-            ) as pool:
-                inflight: Dict[object, Tuple[int, int]] = {}
-                while scheduler.has_pending() or inflight:
-                    while scheduler.has_pending() and len(inflight) < max_inflight:
-                        start, size = scheduler.next_chunk()
-                        future = pool.submit(
-                            task,
-                            ordered_schemes[start : start + size],
-                            *task_args,
-                            telemetry.enabled,
-                        )
-                        inflight[future] = (start, size)
-                        if telemetry.enabled:
-                            telemetry.count("engine.parallel.chunks_dispatched")
-                    done, _ = wait(inflight.keys(), return_when=FIRST_COMPLETED)
-                    for future in done:
-                        start, size = inflight.pop(future)
-                        chunk_results, elapsed, events, snapshot = future.result()
-                        scheduler.observe(size, elapsed, events)
-                        if snapshot is not None:
-                            telemetry.merge(Telemetry.from_json(snapshot))
-                        for offset, per_trace in enumerate(chunk_results):
-                            decoded = decode(per_trace)
-                            position = plan_order[start + offset]
-                            results[position] = decoded
-                            if on_result is not None:
-                                on_result(position, decoded)
-        finally:
-            if published is not None:
-                published.close()
+            pool = host.pool
+            inflight: Dict[object, Tuple[int, int]] = {}
+            while scheduler.has_pending() or inflight:
+                while scheduler.has_pending() and len(inflight) < max_inflight:
+                    start, size = scheduler.next_chunk()
+                    future = pool.submit(
+                        task,
+                        ordered_schemes[start : start + size],
+                        *task_args,
+                        telemetry.enabled,
+                    )
+                    inflight[future] = (start, size)
+                    if telemetry.enabled:
+                        telemetry.count("engine.parallel.chunks_dispatched")
+                done, _ = wait(inflight.keys(), return_when=FIRST_COMPLETED)
+                for future in done:
+                    start, size = inflight.pop(future)
+                    chunk_results, elapsed, events, snapshot = future.result()
+                    scheduler.observe(size, elapsed, events)
+                    if snapshot is not None:
+                        telemetry.merge(Telemetry.from_json(snapshot))
+                    for offset, per_trace in enumerate(chunk_results):
+                        decoded = decode(per_trace)
+                        position = plan_order[start + offset]
+                        results[position] = decoded
+                        if on_result is not None:
+                            on_result(position, decoded)
+        except BaseException:
+            self._release_host(host, broken=True)
+            raise
+        else:
+            shm_active = host.published is not None
+            self._release_host(host)
         if telemetry.enabled:
             scheduler.record_telemetry(telemetry)
             telemetry.gauge("engine.parallel.workers", workers)
             telemetry.gauge(
-                "engine.parallel.transport_shm", 1.0 if published is not None else 0.0
+                "engine.parallel.transport_shm", 1.0 if shm_active else 0.0
             )
         assert all(entry is not None for entry in results)
         return results  # type: ignore[return-value]

@@ -201,22 +201,13 @@ def run_scenario_grid(
     bit-identically (the journal stores the result integers).
     """
     engine = engine if engine is not None else get_default_engine()
-    parsed = [parse_scheme(text) for text in grid.schemes]
     seed_names = [f"seed{seed}" for seed in grid.seeds]
     journal = open_sweep_journal(grid.name, grid.fingerprint(), seed_names)
     traffic_journal = open_traffic_journal(
         f"{grid.name}-traffic", grid.fingerprint(), seed_names
     )
-    rows: List[dict] = []
     try:
-        for benchmark in grid.workloads:
-            for machine in grid.machines():
-                rows.extend(
-                    _run_cell(
-                        grid, benchmark, machine, parsed, engine,
-                        journal, traffic_journal,
-                    )
-                )
+        rows = run_grid_cells(grid, engine, journal, traffic_journal)
     finally:
         if journal is not None:
             journal.close()
@@ -241,6 +232,33 @@ def run_scenario_grid(
             "share one cached trace per seed.",
         ],
     )
+
+
+def run_grid_cells(
+    grid: ScenarioGrid,
+    engine: EvaluationEngine,
+    journal=None,
+    traffic_journal=None,
+) -> List[dict]:
+    """Every row of ``grid``, cell by cell, through the given journals.
+
+    The raw computation behind :func:`run_scenario_grid`, without the
+    result-table packaging or the checkpoint-policy plumbing -- the sweep
+    service runs one-cell grids through this entry point with its own
+    per-job journals, so a served scenario row is the very computation the
+    CLI experiment performs.
+    """
+    parsed = [parse_scheme(text) for text in grid.schemes]
+    rows: List[dict] = []
+    for benchmark in grid.workloads:
+        for machine in grid.machines():
+            rows.extend(
+                _run_cell(
+                    grid, benchmark, machine, parsed, engine,
+                    journal, traffic_journal,
+                )
+            )
+    return rows
 
 
 def _run_cell(

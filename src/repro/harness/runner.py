@@ -547,6 +547,40 @@ class TrafficJournal(SweepJournal):
         return [TrafficReport.from_json(entry) for entry in reports]
 
 
+def open_job_journal(
+    kind: str,
+    directory: Path,
+    *,
+    name: str,
+    fingerprint: str,
+    trace_names: Sequence[str],
+) -> SweepJournal:
+    """A journal for one *service job*, always opened in resume mode.
+
+    The sweep service checkpoints every job it runs -- not just CLI sweeps
+    -- so a killed server replays finished work on restart.  Unlike
+    :func:`open_sweep_journal`, this bypasses the process-wide
+    :class:`CheckpointPolicy`: the service owns its state directory and its
+    jobs are always resumable (that is the restart contract), so policy
+    plumbing would only add a way to break it.  ``kind`` selects the
+    payload format: ``"traffic"`` journals :class:`TrafficJournal` report
+    records, anything else the confusion-count :class:`SweepJournal`.
+
+    The journal file is keyed by ``fingerprint`` (the job fingerprint,
+    which already binds the exact trace set, schemes, and parameters), so
+    two different jobs can never share -- or clobber -- a checkpoint file.
+    """
+    journal_cls = TrafficJournal if kind == "traffic" else SweepJournal
+    path = Path(directory) / f"{name}-{fingerprint}.jsonl"
+    return journal_cls(
+        path,
+        name=name,
+        fingerprint=fingerprint,
+        trace_names=trace_names,
+        resume=True,
+    )
+
+
 def open_traffic_journal(
     name: str, fingerprint: str, trace_names: Sequence[str]
 ) -> Optional[TrafficJournal]:

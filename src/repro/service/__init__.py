@@ -1,0 +1,74 @@
+"""The job-submission layer: one computation currency, two transports.
+
+``repro.service`` turns every sweep, traffic run, and scenario cell into a
+fingerprinted **job**: canonical spec in, JSON payload out, deduplicated
+against identical in-flight work and (server-side) a durable result cache,
+checkpointed through the sweep journals so a killed server resumes
+bit-identically.  ``repro.api.submit`` runs jobs in-process through the
+same :class:`~repro.service.registry.JobRegistry` the socket server
+(:mod:`repro.service.server`, ``repro-serve``) exposes remotely; the
+:class:`~repro.service.handles.JobHandle` a caller holds behaves
+identically either way.
+
+See DESIGN.md's "Service layer" section for the architecture.
+"""
+
+from __future__ import annotations
+
+from repro.service.client import RemoteJobHandle, ServiceClient, ServiceError
+from repro.service.handles import (
+    DEDUP_CACHED,
+    DEDUP_COALESCED,
+    DEDUP_NEW,
+    JobFailedError,
+    JobHandle,
+    JobStatus,
+    LocalJobHandle,
+)
+from repro.service.jobs import (
+    JOB_KINDS,
+    JOB_SCHEMA,
+    InlineTraces,
+    JobSpec,
+    JobSpecError,
+    TraceSuiteSpec,
+    decode_result,
+    inline_traces,
+    scenario_job,
+    suite_spec_for,
+)
+from repro.service.registry import (
+    JobRecord,
+    JobRegistry,
+    get_default_registry,
+    set_default_registry,
+)
+from repro.service.server import SweepServer
+
+__all__ = [
+    "DEDUP_CACHED",
+    "DEDUP_COALESCED",
+    "DEDUP_NEW",
+    "InlineTraces",
+    "JOB_KINDS",
+    "JOB_SCHEMA",
+    "JobFailedError",
+    "JobHandle",
+    "JobRecord",
+    "JobRegistry",
+    "JobSpec",
+    "JobSpecError",
+    "JobStatus",
+    "LocalJobHandle",
+    "RemoteJobHandle",
+    "ServiceClient",
+    "ServiceError",
+    "SweepServer",
+    "TraceSuiteSpec",
+    "decode_result",
+    "get_default_registry",
+    "inline_traces",
+    "scenario_job",
+    "set_default_registry",
+    "suite_spec_for",
+]

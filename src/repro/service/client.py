@@ -1,0 +1,170 @@
+"""Synchronous client for the sweep service socket protocol.
+
+:class:`ServiceClient` speaks the JSON-lines protocol of
+:mod:`repro.service.server` over plain blocking sockets -- no asyncio in
+the caller's process -- and hands back
+:class:`RemoteJobHandle` objects implementing the same
+:class:`~repro.service.handles.JobHandle` interface as in-process
+submission, decoding results through the same
+:func:`~repro.service.jobs.decode_result`, so a served
+:class:`~repro.metrics.traffic.TrafficReport` is bit-identical to one
+computed by calling ``repro.api`` directly.
+
+Each operation uses its own connection (the protocol is stateless between
+requests), which keeps the client trivially thread-safe and lets a handle
+outlive any individual socket.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Iterator, List, Optional
+
+from repro.service.handles import JobFailedError, JobHandle, JobStatus
+from repro.service.jobs import JobSpec, decode_result
+
+
+class ServiceError(RuntimeError):
+    """The server answered ``ok: false`` (or the connection misbehaved)."""
+
+
+class ServiceClient:
+    """Talk to a running ``repro-serve`` instance at ``host:port``."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        timeout: Optional[float] = 60.0,
+    ):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Wire plumbing
+    # ------------------------------------------------------------------
+
+    def _connect(self, timeout: Optional[float]):
+        sock = socket.create_connection((self.host, self.port), timeout=timeout)
+        return sock, sock.makefile("rwb")
+
+    def _roundtrip(self, payload: dict, timeout: Optional[float]) -> dict:
+        sock, stream = self._connect(timeout)
+        try:
+            stream.write(json.dumps(payload, separators=(",", ":")).encode() + b"\n")
+            stream.flush()
+            line = stream.readline()
+        finally:
+            stream.close()
+            sock.close()
+        if not line:
+            raise ServiceError("server closed the connection mid-request")
+        return self._check(json.loads(line))
+
+    @staticmethod
+    def _check(response: dict) -> dict:
+        if not response.get("ok"):
+            raise ServiceError(response.get("error", "unspecified server error"))
+        return response
+
+    def _request(self, payload: dict) -> dict:
+        return self._roundtrip(payload, self.timeout)
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+
+    def ping(self) -> dict:
+        """Liveness + schema check; raises :class:`ServiceError` if down."""
+        return self._request({"op": "ping"})
+
+    def submit(self, spec: JobSpec) -> "RemoteJobHandle":
+        """Submit a spec; identical in-flight specs coalesce server-side."""
+        response = self._request({"op": "submit", "spec": spec.to_json()})
+        return RemoteJobHandle(
+            self,
+            job_id=response["job_id"],
+            kind=response["kind"],
+            dedup=response.get("dedup", "new"),
+        )
+
+    def status(self, job_id: str) -> JobStatus:
+        response = self._request({"op": "status", "job_id": job_id})
+        return JobStatus.from_json(response["status"])
+
+    def result_payload(self, job_id: str, timeout: Optional[float] = None) -> dict:
+        """The raw JSON result payload (blocks server-side until done)."""
+        try:
+            response = self._roundtrip(
+                {"op": "result", "job_id": job_id},
+                timeout if timeout is not None else self.timeout,
+            )
+        except ServiceError as error:
+            raise JobFailedError(str(error)) from error
+        return response
+
+    def stream(self, job_id: str) -> Iterator[dict]:
+        """Yield the job's event dicts; returns when the job finishes."""
+        sock, stream = self._connect(self.timeout)
+        try:
+            stream.write(
+                json.dumps({"op": "stream", "job_id": job_id}).encode() + b"\n"
+            )
+            stream.flush()
+            while True:
+                line = stream.readline()
+                if not line:
+                    raise ServiceError("server closed the stream early")
+                response = self._check(json.loads(line))
+                if response.get("end"):
+                    return
+                yield response["event"]
+        finally:
+            stream.close()
+            sock.close()
+
+    def jobs(self) -> List[JobStatus]:
+        response = self._request({"op": "jobs"})
+        return [JobStatus.from_json(entry) for entry in response["jobs"]]
+
+    def telemetry(self) -> dict:
+        """The server's telemetry snapshot (plain ``Telemetry.to_json``)."""
+        return self._request({"op": "telemetry"})["telemetry"]
+
+    def shutdown(self) -> None:
+        """Ask the server to stop (it drains in-flight work first)."""
+        self._request({"op": "shutdown"})
+
+
+class RemoteJobHandle(JobHandle):
+    """A :class:`JobHandle` whose job lives in a ``repro-serve`` process."""
+
+    def __init__(self, client: ServiceClient, job_id: str, kind: str, dedup: str):
+        self._client = client
+        self.job_id = job_id
+        self.kind = kind
+        self.dedup = dedup
+
+    def status(self) -> JobStatus:
+        status = self._client.status(self.job_id)
+        # the server reports per-record state; the dedup origin of *this*
+        # submission is client-side knowledge
+        return JobStatus(
+            job_id=status.job_id,
+            kind=status.kind,
+            state=status.state,
+            completed=status.completed,
+            total=status.total,
+            error=status.error,
+            dedup=self.dedup,
+        )
+
+    def result(self, timeout: Optional[float] = None):
+        response = self._client.result_payload(self.job_id, timeout)
+        return decode_result(response["kind"], response["result"])
+
+    def stream_progress(self) -> Iterator[dict]:
+        return self._client.stream(self.job_id)

@@ -1,0 +1,138 @@
+"""Job handles: the common currency of the submission API.
+
+``repro.api.submit`` (in-process) and :class:`repro.service.client.ServiceClient`
+(over the socket) both hand back a :class:`JobHandle`; everything a caller
+can do with a job -- poll :meth:`~JobHandle.status`, block on
+:meth:`~JobHandle.result`, follow :meth:`~JobHandle.stream_progress` -- goes
+through this one interface, so code written against a local handle works
+unchanged against a served one.
+
+The wire-facing :class:`JobStatus` snapshot and the progress-event dict
+format are defined here because they *are* the interface: the registry
+produces them, the server relays them verbatim as JSON, and the remote
+handle rehydrates them -- one schema, three transports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional
+
+# Job lifecycle states (also the wire strings).
+PENDING = "pending"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+
+#: states a job never leaves
+TERMINAL_STATES = (DONE, FAILED)
+
+#: how a submission was satisfied: freshly computed, coalesced onto an
+#: identical in-flight job, or served from the durable result cache
+DEDUP_NEW = "new"
+DEDUP_COALESCED = "coalesced"
+DEDUP_CACHED = "cached"
+
+
+class JobFailedError(RuntimeError):
+    """A remote job failed; carries the server-reported error text."""
+
+
+@dataclass(frozen=True)
+class JobStatus:
+    """Point-in-time snapshot of one job, identical locally and on the wire.
+
+    ``completed``/``total`` count finished schemes (grid rows for scenario
+    jobs); ``error`` is the stringified failure for ``state == "failed"``.
+    """
+
+    job_id: str
+    kind: str
+    state: str
+    completed: int = 0
+    total: int = 0
+    error: Optional[str] = None
+    dedup: str = DEDUP_NEW
+
+    @property
+    def finished(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def to_json(self) -> dict:
+        payload = {
+            "job_id": self.job_id,
+            "kind": self.kind,
+            "state": self.state,
+            "completed": self.completed,
+            "total": self.total,
+            "dedup": self.dedup,
+        }
+        if self.error is not None:
+            payload["error"] = self.error
+        return payload
+
+    @classmethod
+    def from_json(cls, data: Dict) -> "JobStatus":
+        return cls(
+            job_id=data["job_id"],
+            kind=data["kind"],
+            state=data["state"],
+            completed=int(data.get("completed", 0)),
+            total=int(data.get("total", 0)),
+            error=data.get("error"),
+            dedup=data.get("dedup", DEDUP_NEW),
+        )
+
+
+class JobHandle:
+    """What :func:`repro.api.submit` returns: a job you can await or watch.
+
+    Concrete handles differ only in transport -- :class:`LocalJobHandle`
+    reads a registry record in this process,
+    :class:`~repro.service.client.RemoteJobHandle` speaks the socket
+    protocol -- and both promise:
+
+    * :meth:`status` never blocks;
+    * :meth:`result` blocks until the job finishes, then returns decoded
+      result objects (or raises the job's failure);
+    * :meth:`stream_progress` yields progress/telemetry event dicts in
+      order and ends when the job reaches a terminal state.
+
+    Results are decoded from the job's canonical JSON payload in both
+    cases, so a local result and a served result are the same bits.
+    """
+
+    job_id: str
+
+    def status(self) -> JobStatus:
+        raise NotImplementedError
+
+    def result(self, timeout: Optional[float] = None):
+        raise NotImplementedError
+
+    def stream_progress(self) -> Iterator[dict]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return f"{type(self).__name__}({self.job_id})"
+
+
+class LocalJobHandle(JobHandle):
+    """Handle onto a job running (or finished) in this process's registry."""
+
+    def __init__(self, record, dedup: str = DEDUP_NEW):
+        self._record = record
+        self.job_id = record.job_id
+        self.dedup = dedup
+
+    def status(self) -> JobStatus:
+        return self._record.status(dedup=self.dedup)
+
+    def result(self, timeout: Optional[float] = None):
+        from repro.service.jobs import decode_result
+
+        payload = self._record.wait(timeout)
+        return decode_result(self._record.spec.kind, payload)
+
+    def stream_progress(self) -> Iterator[dict]:
+        return self._record.iter_events()

@@ -16,18 +16,22 @@ from repro.telemetry.core import (
     TelemetrySchemaError,
     get_telemetry,
     set_telemetry,
+    set_thread_telemetry,
 )
 from repro.telemetry.report import REPORT_SCHEMA, RunReport, render_worker_summary
+from repro.telemetry.stream import StreamingTelemetry
 
 __all__ = [
     "NULL_TELEMETRY",
     "NullTelemetry",
     "REPORT_SCHEMA",
     "RunReport",
+    "StreamingTelemetry",
     "TELEMETRY_SCHEMA",
     "Telemetry",
     "TelemetrySchemaError",
     "get_telemetry",
     "render_worker_summary",
     "set_telemetry",
+    "set_thread_telemetry",
 ]

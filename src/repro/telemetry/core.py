@@ -27,6 +27,7 @@ Naming convention: dotted lowercase paths, coarse-to-fine --
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Dict, Iterable, Optional
 
@@ -141,6 +142,23 @@ class Telemetry:
             total.merge(part)
         return total
 
+    def prefixed(self, prefix: str) -> "Telemetry":
+        """A copy with every name scoped under ``prefix``.
+
+        The scoping primitive for folding one unit of work's telemetry into
+        an enclosing sink without name collisions: the service layer merges
+        each job's snapshot as ``sink.merge(job.prefixed("service.job."))``,
+        keeping per-job counters distinguishable from the server's own.
+        """
+        scoped = Telemetry()
+        for name, amount in self.counters.items():
+            scoped.counters[f"{prefix}{name}"] = amount
+        for name, (seconds, calls) in self.timers.items():
+            scoped.timers[f"{prefix}{name}"] = [seconds, calls]
+        for name, value in self.gauges.items():
+            scoped.gauges[f"{prefix}{name}"] = value
+        return scoped
+
     # ------------------------------------------------------------------
     # Serialization
     # ------------------------------------------------------------------
@@ -228,15 +246,36 @@ NULL_TELEMETRY = NullTelemetry()
 
 _current: Telemetry = NULL_TELEMETRY
 
+_thread_override = threading.local()
+
 
 def get_telemetry() -> Telemetry:
-    """The process-wide telemetry sink (``NULL_TELEMETRY`` unless installed).
+    """The active telemetry sink (``NULL_TELEMETRY`` unless installed).
 
     Instrumented code calls this at operation granularity rather than
     holding a reference, so enabling telemetry mid-process (the CLI does)
-    is picked up everywhere immediately.
+    is picked up everywhere immediately.  A thread-scoped override
+    (:func:`set_thread_telemetry`) wins over the process-wide sink: the
+    service layer scopes each job's activity to its executor thread this
+    way, without perturbing what other threads record concurrently.
     """
+    override = getattr(_thread_override, "sink", None)
+    if override is not None:
+        return override
     return _current
+
+
+def set_thread_telemetry(telemetry: Optional[Telemetry]) -> Optional[Telemetry]:
+    """Install a sink visible only to the calling thread (``None`` clears).
+
+    Returns the thread's previous override so callers can restore it.
+    Unlike :func:`set_telemetry` this never touches what other threads see,
+    which is what makes it safe to scope one unit of work's telemetry while
+    the rest of the process keeps recording into the shared sink.
+    """
+    previous = getattr(_thread_override, "sink", None)
+    _thread_override.sink = telemetry
+    return previous
 
 
 def set_telemetry(telemetry: Optional[Telemetry]) -> Telemetry:

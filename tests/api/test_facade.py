@@ -45,7 +45,11 @@ class TestEvaluate:
             pass
 
         class ExplodingEngine(VectorizedEngine):
-            def _evaluate_one(self, scheme, trace, exclude_writer):
+            # the facade routes through the job path, which always uses
+            # the batch entry point -- failing there proves the explicit
+            # engine was threaded through AND that job failures re-raise
+            # the original exception in the submitter
+            def evaluate_batch(self, schemes, traces, **kwargs):
                 raise MarkerError
 
         with pytest.raises(MarkerError):
@@ -72,6 +76,61 @@ class TestSweep:
     def test_row_shape(self, traces):
         rows = api.sweep(["last()1[direct]"], traces)
         assert set(rows[0]) == {"prev", "sens", "pvp", "pooled_tp", "pooled_fp"}
+
+
+class TestSimulateForwarding:
+    def test_config_is_the_supported_spelling(self, traces):
+        report = api.simulate_forwarding(
+            "last()1", traces[0],
+            config=api.ForwardingConfig(topology="ring"),
+        )
+        assert report.topology == "ring"
+
+    def test_deprecated_topology_model_still_work_with_warning(self, traces):
+        with pytest.warns(DeprecationWarning, match="config=ForwardingConfig"):
+            legacy = api.simulate_forwarding("last()1", traces[0], topology="ring")
+        modern = api.simulate_forwarding(
+            "last()1", traces[0], config=api.ForwardingConfig(topology="ring")
+        )
+        assert legacy == modern  # the shim folds into the same computation
+
+    def test_deprecated_model_kwarg_folds_in(self, traces):
+        model = api.TrafficModel(data_cost=5.0)
+        with pytest.warns(DeprecationWarning):
+            legacy = api.simulate_forwarding("last()1", traces[0], model=model)
+        modern = api.simulate_forwarding(
+            "last()1", traces[0], config=api.ForwardingConfig(model=model)
+        )
+        assert legacy == modern
+
+    def test_mixing_config_and_deprecated_kwargs_is_an_error(self, traces):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(TypeError, match="not both"):
+                api.simulate_forwarding(
+                    "last()1", traces[0],
+                    config=api.ForwardingConfig(), topology="ring",
+                )
+
+
+class TestJobPath:
+    def test_submit_returns_a_live_handle(self, traces):
+        handle = api.submit("sweep", ["last()1"], traces)
+        rows = handle.result(timeout=60)
+        assert handle.status().state == "done"
+        assert set(rows[0]) == {"prev", "sens", "pvp", "pooled_tp", "pooled_fp"}
+
+    def test_handle_streams_progress(self, traces):
+        handle = api.submit("evaluate", ["last()1", "union(add4)2"], traces)
+        events = list(handle.stream_progress())
+        assert [e["event"] for e in events][0] == "state"
+        assert events[-1]["event"] == "done"
+
+    def test_conveniences_match_the_job_path(self, traces):
+        rows_via_submit = api.submit(
+            "sweep", ["last()1"], traces
+        ).result(timeout=60)
+        rows_via_sweep = api.sweep(["last()1"], traces)
+        assert rows_via_submit == rows_via_sweep
 
 
 class TestReExports:

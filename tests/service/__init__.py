@@ -1,0 +1,1 @@
+"""Service-layer tests: job specs, registry semantics, wire protocol."""

@@ -1,0 +1,200 @@
+"""CI smoke harness for the sweep service (``python -m tests.service.smoke``).
+
+An end-to-end drill of every service-layer promise, against a real
+``repro-serve`` subprocess on a real socket:
+
+1. start the server, submit a **sweep** and a **traffic** job over the
+   wire, and assert the decoded results are **bit-identical** to calling
+   ``repro.api`` directly in this process;
+2. submit a delay-paced sweep, **SIGKILL** the server mid-job, restart it
+   on the same state directory, and assert the recovered job completes
+   from its journal with a payload identical to an uninterrupted run;
+3. collect the per-job telemetry JSON the server wrote and copy it to
+   ``--artifact-dir`` for CI upload.
+
+Exits non-zero (with a message) on any violated invariant.  Everything
+runs out of a throwaway directory; the only external dependency is a
+Python with ``repro`` importable (PYTHONPATH=src).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import api  # noqa: E402
+from repro.engine.backends import VectorizedEngine  # noqa: E402
+from repro.service.client import ServiceClient  # noqa: E402
+from repro.service.jobs import JobSpec, TraceSuiteSpec  # noqa: E402
+
+SCHEMES = [
+    "last()1[direct]",
+    "inter(pid+add8)2[direct]",
+    "union(add4)2[direct]",
+    "inter(pc4)2[forwarded]",
+    "union(dir+add4)2[direct]",
+    "last(pid)1[direct]",
+]
+
+
+def suite_spec() -> TraceSuiteSpec:
+    return TraceSuiteSpec(
+        benchmarks=("ocean",), num_nodes=8,
+        params={"ocean": {"grid_size": 32, "iterations": 2}},
+    )
+
+
+def start_server(state: Path, port_file: Path, cache: Path, delay: str):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env["REPRO_CACHE_DIR"] = str(cache)
+    if delay != "0":
+        env["REPRO_SERVICE_TEST_DELAY"] = delay
+    else:
+        env.pop("REPRO_SERVICE_TEST_DELAY", None)
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.service.cli",
+            "--port", "0", "--port-file", str(port_file),
+            "--state-dir", str(state), "--jobs", "1", "--verbose",
+        ],
+        env=env, cwd=REPO_ROOT,
+    )
+
+
+def wait_for_port(port_file: Path, process, timeout: float = 90.0) -> int:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if process.poll() is not None:
+            raise SystemExit(f"FAIL: server died at startup (rc={process.returncode})")
+        text = port_file.read_text().strip() if port_file.exists() else ""
+        if text:
+            return int(text)
+        time.sleep(0.05)
+    raise SystemExit("FAIL: server never wrote its port file")
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        raise SystemExit(f"FAIL: {message}")
+    print(f"ok: {message}")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--artifact-dir", type=Path, default=Path("service-telemetry"),
+        help="where to copy per-job telemetry JSON for CI upload",
+    )
+    args = parser.parse_args()
+
+    workdir = Path(tempfile.mkdtemp(prefix="repro-service-smoke-"))
+    state, cache, port_file = workdir / "state", workdir / "traces", workdir / "port"
+
+    # Pre-generate the trace suite so server timing is delay-dominated.
+    os.environ["REPRO_CACHE_DIR"] = str(cache)
+    traces = suite_spec().build().traces()
+
+    # ---- phase 1: wire results == direct api results --------------------
+    server = start_server(state, port_file, cache, delay="0")
+    try:
+        client = ServiceClient(port=wait_for_port(port_file, server))
+        sweep_spec = JobSpec.make("sweep", SCHEMES, suite_spec())
+        served_rows = client.submit(sweep_spec).result(timeout=600)
+        direct_rows = api.sweep(SCHEMES, traces, engine=VectorizedEngine())
+        check(served_rows == direct_rows,
+              "served sweep rows bit-identical to direct repro.api.sweep")
+
+        traffic_spec = JobSpec.make("traffic", SCHEMES[:2], suite_spec(),
+                                    topology="ring")
+        served_reports = client.submit(traffic_spec).result(timeout=600)
+        direct_reports = [
+            [api.simulate_forwarding(
+                scheme, trace,
+                config=api.ForwardingConfig(topology="ring"),
+                engine=VectorizedEngine(),
+            ) for trace in traces]
+            for scheme in SCHEMES[:2]
+        ]
+        check(served_reports == direct_reports,
+              "served TrafficReports bit-identical to direct simulate_forwarding")
+
+        # dedup observable over the wire
+        again = client.submit(sweep_spec)
+        check(again.dedup == "coalesced" or again.result(timeout=600) == direct_rows,
+              "resubmitted sweep deduplicated (or re-served identically)")
+        client.shutdown()
+        server.wait(timeout=60)
+    finally:
+        if server.poll() is None:
+            server.kill()
+
+    # ---- phase 2: SIGKILL mid-job, restart, journal-resume --------------
+    state2 = workdir / "state-kill"
+    port_file.unlink(missing_ok=True)
+    kill_spec = JobSpec.make("sweep", SCHEMES, suite_spec(), topology="ring")
+    journal = state2 / "journals" / f"sweep-{kill_spec.fingerprint()}.jsonl"
+    server = start_server(state2, port_file, cache, delay="0.4")
+    try:
+        client = ServiceClient(port=wait_for_port(port_file, server))
+        client.submit(kill_spec)
+        deadline = time.monotonic() + 120
+        while time.monotonic() < deadline:
+            if journal.exists() and len(journal.read_text().splitlines()) >= 3:
+                break
+            time.sleep(0.05)
+        else:
+            raise SystemExit("FAIL: journal never showed partial progress")
+        server.send_signal(signal.SIGKILL)
+        server.wait(timeout=60)
+        check(server.returncode == -signal.SIGKILL, "server SIGKILLed mid-job")
+        recorded = len(journal.read_text().splitlines()) - 1
+        check(0 < recorded < len(SCHEMES),
+              f"kill landed mid-job ({recorded}/{len(SCHEMES)} schemes journaled)")
+    finally:
+        if server.poll() is None:
+            server.kill()
+
+    port_file.unlink(missing_ok=True)
+    server = start_server(state2, port_file, cache, delay="0")
+    try:
+        client = ServiceClient(port=wait_for_port(port_file, server))
+        resumed = client.result_payload(kill_spec.fingerprint(), timeout=600)
+        check(resumed["result"]["rows"] == direct_rows,
+              "journal-resumed sweep bit-identical to direct computation")
+        client.shutdown()
+        server.wait(timeout=60)
+    finally:
+        if server.poll() is None:
+            server.kill()
+
+    # ---- phase 3: collect per-job telemetry artifacts -------------------
+    args.artifact_dir.mkdir(parents=True, exist_ok=True)
+    copied = 0
+    for state_dir in (state, state2):
+        for artifact in sorted((state_dir / "telemetry").glob("*.json")):
+            payload = json.loads(artifact.read_text())
+            check(payload["telemetry"]["counters"].get("journal.records", 0) > 0,
+                  f"job {payload['job_id']} telemetry recorded journal activity")
+            shutil.copy(artifact, args.artifact_dir / artifact.name)
+            copied += 1
+    check(copied >= 3, f"collected {copied} per-job telemetry artifacts")
+
+    shutil.rmtree(workdir, ignore_errors=True)
+    print("service smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,171 @@
+"""Job specs: canonicalization, fingerprints, wire round trips, decoding.
+
+The fingerprint IS the dedup/journal/cache key, so these tests pin the
+properties everything else leans on: spelling-insensitive canonical form,
+exact wire round trips, and sensitivity to every parameter that changes
+the computation.
+"""
+
+import json
+
+import pytest
+
+from repro.core.schemes import parse_scheme
+from repro.metrics.traffic import TrafficModel
+from repro.service.jobs import (
+    JOB_SCHEMA,
+    InlineTraces,
+    JobSpec,
+    JobSpecError,
+    TraceSuiteSpec,
+    decode_result,
+    encode_counts,
+    inline_traces,
+    scenario_job,
+)
+from tests.conftest import make_random_trace
+
+
+def small_traces():
+    return [
+        make_random_trace(num_nodes=8, num_events=120, num_blocks=10, seed="jobs-a"),
+        make_random_trace(num_nodes=8, num_events=90, num_blocks=8, seed="jobs-b"),
+    ]
+
+
+class TestCanonicalization:
+    def test_string_and_parsed_schemes_fingerprint_identically(self):
+        traces = inline_traces(small_traces())
+        by_text = JobSpec.make("sweep", ["last()1"], traces)
+        by_scheme = JobSpec.make("sweep", [parse_scheme("last()1")], traces)
+        assert by_text.fingerprint() == by_scheme.fingerprint()
+
+    def test_spelling_variants_collapse(self):
+        # "last()1" and its explicit-update spelling name the same scheme
+        traces = inline_traces(small_traces())
+        terse = JobSpec.make("sweep", ["last()1"], traces)
+        explicit = JobSpec.make("sweep", ["last()1[direct]"], traces)
+        assert terse.fingerprint() == explicit.fingerprint()
+
+    def test_different_schemes_differ(self):
+        traces = inline_traces(small_traces())
+        a = JobSpec.make("sweep", ["last()1"], traces)
+        b = JobSpec.make("sweep", ["inter(pid+add8)2[direct]"], traces)
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_every_parameter_is_load_bearing(self):
+        traces = inline_traces(small_traces())
+        base = JobSpec.make("traffic", ["last()1"], traces)
+        variants = [
+            JobSpec.make("evaluate", ["last()1"], traces),
+            JobSpec.make("traffic", ["last()1"], traces, topology="ring"),
+            JobSpec.make(
+                "traffic", ["last()1"], traces, model=TrafficModel(data_cost=5.0)
+            ),
+            JobSpec.make("traffic", ["last()1"], traces, exclude_writer=False),
+        ]
+        prints = {spec.fingerprint() for spec in variants}
+        assert base.fingerprint() not in prints
+        assert len(prints) == len(variants)
+
+    def test_trace_content_changes_fingerprint(self):
+        traces = small_traces()
+        other = [
+            make_random_trace(num_nodes=8, num_events=120, num_blocks=10, seed="jobs-c"),
+            traces[1],
+        ]
+        a = JobSpec.make("sweep", ["last()1"], inline_traces(traces))
+        b = JobSpec.make("sweep", ["last()1"], inline_traces(other))
+        assert a.fingerprint() != b.fingerprint()
+
+
+class TestValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(JobSpecError, match="unknown job kind"):
+            JobSpec.make("frobnicate", ["last()1"], inline_traces(small_traces()))
+
+    def test_schemes_required(self):
+        with pytest.raises(JobSpecError, match="at least one scheme"):
+            JobSpec.make("sweep", [], inline_traces(small_traces()))
+
+    def test_traces_required(self):
+        with pytest.raises(JobSpecError, match="trace reference"):
+            JobSpec.make("sweep", ["last()1"], None)
+
+    def test_scenario_requires_grid(self):
+        with pytest.raises(JobSpecError, match="grid"):
+            JobSpec.make("scenario")
+
+
+class TestWireRoundTrip:
+    def test_suite_spec_round_trips_with_identical_fingerprint(self):
+        suite = TraceSuiteSpec(
+            benchmarks=("water",), num_nodes=8, seed=3,
+            params={"water": {"molecules_per_thread": 12, "steps": 3}},
+        )
+        spec = JobSpec.make(
+            "traffic", ["last()1", "inter(pid+add8)2[direct]"], suite,
+            topology="hypercube", model=TrafficModel(hop_cost=2.0),
+        )
+        over_wire = JobSpec.from_json(json.loads(json.dumps(spec.to_json())))
+        assert over_wire == spec
+        assert over_wire.fingerprint() == spec.fingerprint()
+
+    def test_inline_spec_round_trips(self):
+        spec = JobSpec.make("evaluate", ["last()1"], inline_traces(small_traces()))
+        over_wire = JobSpec.from_json(spec.to_json())
+        assert isinstance(over_wire.traces, InlineTraces)
+        assert over_wire.fingerprint() == spec.fingerprint()
+
+    def test_scenario_spec_round_trips(self):
+        from repro.harness.experiments.scenarios import SMOKE_GRID
+
+        spec = scenario_job(SMOKE_GRID)
+        over_wire = JobSpec.from_json(json.loads(json.dumps(spec.to_json())))
+        assert over_wire.fingerprint() == spec.fingerprint()
+        assert over_wire.grid["workloads"] == list(SMOKE_GRID.workloads)
+
+    def test_schema_mismatch_rejected(self):
+        payload = JobSpec.make(
+            "sweep", ["last()1"], inline_traces(small_traces())
+        ).to_json()
+        payload["schema"] = JOB_SCHEMA + 1
+        with pytest.raises(JobSpecError, match="schema"):
+            JobSpec.from_json(payload)
+
+    def test_junk_rejected(self):
+        with pytest.raises(JobSpecError):
+            JobSpec.from_json("not an object")
+        with pytest.raises(JobSpecError):
+            JobSpec.from_json({"schema": JOB_SCHEMA, "kind": "sweep",
+                               "schemes": ["last()1"],
+                               "traces": {"mode": "carrier-pigeon"}})
+
+
+class TestResultPayloads:
+    def test_counts_round_trip_exactly(self):
+        from repro.engine.backends import VectorizedEngine
+
+        traces = small_traces()
+        schemes = [parse_scheme(s) for s in ["last()1", "union(add4)2[direct]"]]
+        counts = VectorizedEngine().evaluate_batch(schemes, traces)
+        payload = json.loads(json.dumps(encode_counts(counts)))
+        assert decode_result("evaluate", payload) == counts
+
+    def test_traffic_reports_round_trip_exactly(self):
+        from repro.engine.backends import VectorizedEngine
+
+        trace = small_traces()[0]
+        report = VectorizedEngine().simulate_traffic(parse_scheme("last()1"), trace)
+        payload = json.loads(json.dumps({"reports": [[report.to_json()]]}))
+        [[decoded]] = decode_result("traffic", payload)
+        assert decoded == report
+
+    def test_sweep_rows_pass_through(self):
+        rows = [{"prev": 0.125, "sens": 0.5, "pvp": 0.25,
+                 "pooled_tp": 7, "pooled_fp": 21}]
+        assert decode_result("sweep", {"rows": rows}) == rows
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(JobSpecError):
+            decode_result("frobnicate", {})

@@ -1,0 +1,171 @@
+"""Kill the service mid-job, restart, and prove bit-identical resumption.
+
+The restart contract: every server-mode job checkpoints each completed
+scheme through its journal, so a SIGKILLed server -- no atexit handlers, no
+flush beyond the per-record one the journal already does -- recovers by
+replaying recorded integers and evaluating only what is missing.  The
+resumed payload must equal, bit for bit, the payload of a never-killed run.
+
+The child process here runs a real ``repro-serve`` server; the parent
+submits over the socket, waits for the journal to show partial progress,
+delivers SIGKILL, restarts the server on the same state directory, and
+compares results.  ``REPRO_SERVICE_TEST_DELAY`` paces the job so the kill
+deterministically lands mid-flight.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.engine.backends import VectorizedEngine
+from repro.service.client import ServiceClient
+from repro.service.handles import LocalJobHandle
+from repro.service.jobs import JobSpec, TraceSuiteSpec
+from repro.service.registry import JobRegistry
+
+SCHEMES = [
+    "last()1[direct]",
+    "inter(pid+add8)2[direct]",
+    "union(add4)2[direct]",
+    "inter(pc4)2[forwarded]",
+    "union(dir+add4)2[direct]",
+    "last(pid)1[direct]",
+]
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def suite_spec():
+    return TraceSuiteSpec(
+        benchmarks=("ocean",), num_nodes=8,
+        params={"ocean": {"grid_size": 32, "iterations": 2}},
+    )
+
+
+def start_server(state_dir: Path, port_file: Path, cache_dir: Path, delay: str):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env["REPRO_CACHE_DIR"] = str(cache_dir)
+    env["REPRO_SERVICE_TEST_DELAY"] = delay
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.service.cli",
+            "--port", "0", "--port-file", str(port_file),
+            "--state-dir", str(state_dir), "--jobs", "1",
+        ],
+        env=env,
+        cwd=REPO_ROOT,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+    )
+
+
+def wait_for_port(port_file: Path, process, timeout: float = 60.0) -> int:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if process.poll() is not None:
+            raise AssertionError(
+                f"server died during startup: {process.stderr.read().decode()}"
+            )
+        if port_file.exists() and port_file.read_text().strip():
+            return int(port_file.read_text().strip())
+        time.sleep(0.05)
+    raise AssertionError("server never wrote its port file")
+
+
+class TestKillAndRestart:
+    def test_sigkilled_server_resumes_bit_identical(self, tmp_path):
+        state = tmp_path / "state"
+        cache = tmp_path / "traces"
+        port_file = tmp_path / "port"
+        spec = JobSpec.make("sweep", SCHEMES, suite_spec())
+        journal = state / "journals" / f"sweep-{spec.fingerprint()}.jsonl"
+
+        # Pre-generate the trace so the delay pacing dominates the timeline.
+        os.environ["REPRO_CACHE_DIR"] = str(cache)
+        try:
+            suite_spec().build().traces()
+        finally:
+            os.environ.pop("REPRO_CACHE_DIR", None)
+
+        # --- round 1: submit, let 2+ schemes checkpoint, SIGKILL ---------
+        server = start_server(state, port_file, cache, delay="0.4")
+        try:
+            port = wait_for_port(port_file, server)
+            client = ServiceClient(port=port)
+            handle = client.submit(spec)
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                if journal.exists() and len(journal.read_text().splitlines()) >= 3:
+                    break
+                time.sleep(0.05)
+            else:
+                raise AssertionError("journal never reached 2 records")
+            server.send_signal(signal.SIGKILL)
+            server.wait(timeout=30)
+        finally:
+            if server.poll() is None:  # pragma: no cover - cleanup path
+                server.kill()
+        assert server.returncode == -signal.SIGKILL
+
+        recorded = len(journal.read_text().splitlines()) - 1  # minus header
+        assert 1 <= recorded < len(SCHEMES), (
+            "kill must land mid-job for the test to mean anything"
+        )
+        assert handle.job_id == spec.fingerprint()
+        # no result escaped the killed run
+        assert not (state / "results" / f"{spec.fingerprint()}.json").exists()
+
+        # --- round 2: restart on the same state dir, await recovery ------
+        port_file.unlink()
+        server = start_server(state, port_file, cache, delay="0")
+        try:
+            port = wait_for_port(port_file, server)
+            client = ServiceClient(port=port)
+            # recover() resubmitted the manifest at startup: the job id is
+            # already known to the server without any client resubmission
+            resumed = client.result_payload(spec.fingerprint(), timeout=120)
+            events = list(client.stream(spec.fingerprint()))
+            client.shutdown()
+            server.wait(timeout=30)
+        finally:
+            if server.poll() is None:  # pragma: no cover - cleanup path
+                server.kill()
+
+        assert resumed["kind"] == "sweep"
+        assert [e for e in events if e["event"] == "done"], "job must finish"
+
+        # --- reference: one never-killed run on a fresh state dir --------
+        os.environ["REPRO_CACHE_DIR"] = str(cache)
+        try:
+            with JobRegistry(
+                engine=VectorizedEngine(), state_dir=tmp_path / "clean"
+            ) as registry:
+                record, _ = registry.submit(spec)
+                LocalJobHandle(record).result(timeout=300)
+            clean = json.loads(
+                (tmp_path / "clean" / "results" / f"{spec.fingerprint()}.json")
+                .read_text()
+            )
+        finally:
+            os.environ.pop("REPRO_CACHE_DIR", None)
+
+        # bit-identity at the payload level: the resumed server's stored
+        # JSON equals the uninterrupted run's, byte-meaning for byte-meaning
+        assert resumed["result"] == clean["result"]
+        stored = json.loads(
+            (state / "results" / f"{spec.fingerprint()}.json").read_text()
+        )
+        assert stored["result"] == clean["result"]
+
+        # and the journal replay really carried: the resumed run's journal
+        # still holds the pre-kill records (same file, same header)
+        lines = journal.read_text().splitlines()
+        assert len(lines) == 1 + len(SCHEMES)
+        assert json.loads(lines[0])["fingerprint"] == spec.fingerprint()

@@ -1,0 +1,127 @@
+"""StreamingTelemetry: every mutation becomes an event; merge streams too.
+
+Also covers ``Telemetry.prefixed`` (the scoping primitive the service uses
+to fold per-job snapshots into the server sink) and the thread-scoped
+override ``set_thread_telemetry`` that keeps a job's telemetry off other
+threads' books.
+"""
+
+import threading
+
+from repro.telemetry import (
+    StreamingTelemetry,
+    Telemetry,
+    get_telemetry,
+    set_telemetry,
+    set_thread_telemetry,
+)
+
+
+def collector():
+    events = []
+    return events, lambda kind, name, value: events.append((kind, name, value))
+
+
+class TestStreamingTelemetry:
+    def test_counts_emit_post_update_totals(self):
+        events, emit = collector()
+        telemetry = StreamingTelemetry(emit)
+        telemetry.count("service.jobs", 2)
+        telemetry.count("service.jobs")
+        assert events == [
+            ("counter", "service.jobs", 2),
+            ("counter", "service.jobs", 3),
+        ]
+
+    def test_timers_and_gauges_emit(self):
+        events, emit = collector()
+        telemetry = StreamingTelemetry(emit)
+        telemetry.timer_add("plan.batch_seconds", 1.5)
+        telemetry.timer_add("plan.batch_seconds", 0.5)
+        telemetry.gauge("engine.parallel.workers", 4)
+        assert events == [
+            ("timer", "plan.batch_seconds", 1.5),
+            ("timer", "plan.batch_seconds", 2.0),
+            ("gauge", "engine.parallel.workers", 4.0),
+        ]
+
+    def test_merge_streams_like_local_writes(self):
+        # worker snapshots folded into a streaming parent must emit -- the
+        # base class mutates maps directly, which would be silent
+        worker = Telemetry()
+        worker.count("engine.parallel.chunks", 3)
+        worker.timer_add("engine.parallel.batch_seconds", 0.25)
+        worker.gauge("engine.parallel.workers", 2)
+        events, emit = collector()
+        parent = StreamingTelemetry(emit)
+        parent.count("engine.parallel.chunks", 1)
+        parent.merge(worker)
+        assert ("counter", "engine.parallel.chunks", 4) in events
+        assert ("timer", "engine.parallel.batch_seconds", 0.25) in events
+        assert ("gauge", "engine.parallel.workers", 2.0) in events
+
+    def test_behaves_as_a_telemetry_everywhere_else(self):
+        events, emit = collector()
+        telemetry = StreamingTelemetry(emit)
+        telemetry.count("a")
+        snapshot = telemetry.to_json()
+        assert snapshot["counters"] == {"a": 1}
+        assert Telemetry.from_json(snapshot).counters == {"a": 1}
+
+
+class TestPrefixed:
+    def test_prefixed_scopes_every_name(self):
+        telemetry = Telemetry()
+        telemetry.count("journal.records", 5)
+        telemetry.timer_add("plan.batch_seconds", 1.0, calls=2)
+        telemetry.gauge("engine.parallel.workers", 8)
+        scoped = telemetry.prefixed("service.job.")
+        assert scoped.counters == {"service.job.journal.records": 5}
+        assert scoped.timers == {"service.job.plan.batch_seconds": [1.0, 2]}
+        assert scoped.gauges == {"service.job.engine.parallel.workers": 8.0}
+
+    def test_prefixed_merge_keeps_namespaces_apart(self):
+        sink = Telemetry()
+        sink.count("service.requests", 1)
+        job = Telemetry()
+        job.count("journal.records", 3)
+        sink.merge(job.prefixed("service.job."))
+        assert sink.counters == {
+            "service.requests": 1,
+            "service.job.journal.records": 3,
+        }
+
+
+class TestThreadScopedOverride:
+    def test_override_wins_on_its_thread_only(self):
+        shared = Telemetry()
+        previous = set_telemetry(shared)
+        try:
+            scoped = Telemetry()
+            seen_on_other_thread = []
+
+            def other():
+                get_telemetry().count("other.thread")
+                seen_on_other_thread.append(get_telemetry())
+
+            before = set_thread_telemetry(scoped)
+            try:
+                get_telemetry().count("this.thread")
+                worker = threading.Thread(target=other)
+                worker.start()
+                worker.join()
+            finally:
+                set_thread_telemetry(before)
+            assert scoped.counters == {"this.thread": 1}
+            assert shared.counters == {"other.thread": 1}
+            assert seen_on_other_thread == [shared]
+            assert get_telemetry() is shared  # restored on this thread
+        finally:
+            set_telemetry(previous)
+
+    def test_clearing_override_restores_process_sink(self):
+        scoped = Telemetry()
+        before = set_thread_telemetry(scoped)
+        assert get_telemetry() is scoped
+        set_thread_telemetry(before)
+        assert get_telemetry() is not scoped
