@@ -136,6 +136,7 @@ def submit(
     config: Optional[ForwardingConfig] = None,
     grid: Optional[dict] = None,
     engine: Optional[EvaluationEngine] = None,
+    hosts: Union[str, Sequence[str], None] = None,
 ) -> JobHandle:
     """Submit one job to this process's registry; returns its handle.
 
@@ -155,6 +156,12 @@ def submit(
     identical result bits.  The same spec submitted to a ``repro-serve``
     instance (:func:`connect`) is the same fingerprint -- and, engines
     being bit-identical by contract, the same result.
+
+    ``hosts`` (``host:port`` addresses of running ``repro-worker``
+    processes, sequence or comma-separated string) runs the job on the
+    socket transport across those machines.  It is an execution hint:
+    transports are bit-identical by contract, so ``hosts`` does not enter
+    the fingerprint and the job dedups against local runs of the same work.
     """
     from repro.service.registry import get_default_registry
 
@@ -177,6 +184,7 @@ def submit(
         topology=config.topology,
         model=config.model,
         grid=grid,
+        hosts=hosts,
     )
     record, dedup = get_default_registry().submit(
         spec, traces=live_traces, engine=engine

@@ -15,9 +15,17 @@ backends:
 Backend selection, in precedence order:
 
 1. an explicit engine object passed by the caller;
-2. :func:`make_engine` arguments (the CLI's ``--backend`` / ``--jobs``);
-3. the ``REPRO_BACKEND`` and ``REPRO_JOBS`` environment variables;
-4. default: ``vectorized``, or ``parallel`` when ``REPRO_JOBS`` > 1.
+2. :func:`make_engine` arguments (the CLI's ``--backend`` / ``--jobs`` /
+   ``--hosts``);
+3. the ``REPRO_BACKEND``, ``REPRO_JOBS`` and ``REPRO_HOSTS`` environment
+   variables;
+4. default: ``vectorized``, or ``parallel`` when ``REPRO_JOBS`` > 1 or
+   hosts are configured.
+
+``hosts`` (or ``REPRO_HOSTS``, comma-separated ``host:port`` addresses of
+running ``repro-worker`` processes) puts the parallel backend on the
+socket transport of :mod:`repro.engine.remote`, sharding sweeps across
+machines instead of local processes.
 
 All backends return bit-identical :class:`~repro.metrics.confusion.ConfusionCounts`
 for the same inputs; see ``tests/engine`` for the parity property tests.
@@ -27,7 +35,7 @@ from __future__ import annotations
 
 import logging
 import os
-from typing import Dict, Optional, Type
+from typing import Dict, Optional, Sequence, Type, Union
 
 from repro.engine.backends import ReferenceEngine, VectorizedEngine
 from repro.engine.base import EvaluationEngine, ResultCallback, TrafficCallback, pooled
@@ -70,33 +78,52 @@ def _env_jobs() -> Optional[int]:
         return None
 
 
+def _env_hosts() -> Optional[str]:
+    raw = os.environ.get("REPRO_HOSTS", "").strip()
+    return raw or None
+
+
 def make_engine(
-    backend: Optional[str] = None, jobs: Optional[int] = None
+    backend: Optional[str] = None,
+    jobs: Optional[int] = None,
+    hosts: Optional[Union[str, Sequence[str]]] = None,
 ) -> EvaluationEngine:
     """Build an engine from explicit arguments, falling back to the env.
 
     Args:
         backend: one of :data:`BACKENDS`; ``None`` reads ``REPRO_BACKEND``,
-            then infers ``parallel`` if the resolved job count exceeds 1.
+            then infers ``parallel`` if the resolved job count exceeds 1 or
+            hosts are configured.
         jobs: worker count for the parallel backend; ``None`` reads
             ``REPRO_JOBS``, then uses every core.
+        hosts: ``host:port`` addresses of running ``repro-worker``
+            processes (sequence or comma-separated string); ``None`` reads
+            ``REPRO_HOSTS``.  Non-empty selects the parallel backend's
+            socket transport.
 
     Raises:
-        ValueError: ``backend`` names no known backend.
+        ValueError: ``backend`` names no known backend, or hosts were given
+            for a backend that cannot use them.
     """
     if backend is None:
         backend = os.environ.get("REPRO_BACKEND") or None
     if jobs is None:
         jobs = _env_jobs()
+    if hosts is None:
+        hosts = _env_hosts()
     if backend is None:
-        backend = "parallel" if (jobs or 1) > 1 else "vectorized"
+        backend = "parallel" if (jobs or 1) > 1 or hosts else "vectorized"
     backend = backend.strip().lower()
     if backend not in BACKENDS:
         raise ValueError(
             f"unknown evaluation backend {backend!r}; known: {sorted(BACKENDS)}"
         )
     if backend == "parallel":
-        return ParallelEngine(jobs=jobs)
+        return ParallelEngine(jobs=jobs, hosts=hosts)
+    if hosts:
+        raise ValueError(
+            f"hosts are only supported by the parallel backend, not {backend!r}"
+        )
     return BACKENDS[backend]()
 
 

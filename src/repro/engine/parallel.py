@@ -1,17 +1,19 @@
-"""Multi-process engine backend: adaptive chunk scheduling over workers.
+"""Parallel engine backend: adaptive chunk scheduling over a work transport.
 
 The design-space sweeps evaluate thousands of schemes against the same
 handful of traces, which is embarrassingly parallel across *schemes*.  This
-backend dispatches scheme chunks to a
-``concurrent.futures.ProcessPoolExecutor`` with two data-plane choices:
+backend cuts the batch into plan-ordered chunks and drives them through a
+:class:`~repro.engine.transport.WorkTransport` -- the in-machine
+``multiprocessing`` pool by default, or the socket transport of
+:mod:`repro.engine.remote` when ``hosts=`` names ``repro-worker``
+processes on other machines.  The control plane is transport-agnostic:
 
-* **Zero-copy trace transport** -- when shared memory is available (and
-  ``REPRO_SHM`` is not 0), the traces' numpy arrays are published once via
-  :mod:`repro.trace.shm` and workers attach fingerprint-verified zero-copy
-  views; only flat descriptors cross the process boundary.  Otherwise the
-  traces are pickled into each worker's initializer exactly as before --
-  both transports are bit-identical and both are frozen against the golden
-  fixtures.
+* **Fingerprint-verified trace transport** -- the multiprocessing
+  transport publishes traces once over :mod:`repro.trace.shm` (workers
+  attach zero-copy, fingerprint-verified views; ``REPRO_SHM=0`` forces
+  the pickle path) and the socket transport ships fingerprint-verified
+  bulk bytes (or shm descriptors for same-machine workers).  Every
+  transport is bit-identical and frozen against the golden fixtures.
 * **Plan-group work stealing** -- the batch is first permuted into
   :class:`~repro.core.plan.SweepPlan` order and chunks are cut inside plan
   batch boundaries, so every chunk a worker steals shares one
@@ -31,23 +33,25 @@ backend dispatches scheme chunks to a
   keeping the demand-driven queue and the segment clamps.  Results and
   ``on_result`` callbacks are mapped back to the caller's scheme order, so
   journaling (and ``--resume``) stay per scheme and bit-identical.
-* **Graceful degradation** -- if worker processes cannot be spawned (or die
-  mid-batch: resource limits, sandboxed environments, pickling surprises),
-  the batch is rerun on the in-process vectorized backend after a logged
-  warning.  A genuine evaluation bug still surfaces, from the serial rerun.
+* **Graceful degradation** -- a transport that fails outright (pool
+  workers cannot spawn, every remote worker lost) degrades to the
+  in-process vectorized backend after a logged warning; the socket
+  transport additionally *re-steals* a single dead or hung worker's
+  chunks onto the survivors before it ever comes to that.  A genuine
+  evaluation bug still surfaces, from the serial rerun.
 * **Worker telemetry merged at the parent** -- when telemetry is enabled,
   each chunk records its shard shape and wall-clock into a fresh
-  per-chunk :class:`~repro.telemetry.core.Telemetry` (keyed by worker pid
-  under ``engine.parallel.worker.<pid>.*``) and ships the snapshot home with
-  its results; the parent folds all snapshots into the run telemetry.
-  Because merging is associative and per-chunk objects start empty, fold
-  order does not matter and nothing is double-counted.  The scheduler's own
-  decisions surface under ``engine.parallel.steal.*`` (chunks cut, resizes,
-  the final chunk size, observed schemes/sec and events/sec) and the
-  transport under ``shm.*``.
+  per-chunk :class:`~repro.telemetry.core.Telemetry` (keyed under
+  ``engine.parallel.worker.<pid>.*`` locally,
+  ``engine.remote.worker.<host>.*`` over sockets) and ships the snapshot
+  home with its results; the parent folds all snapshots into the run
+  telemetry.  Because merging is associative and per-chunk objects start
+  empty, fold order does not matter and nothing is double-counted.  The
+  scheduler's own decisions surface under ``engine.parallel.steal.*`` and
+  the transports under ``shm.*`` / ``engine.remote.*``.
 
-Workers return bare count 4-tuples rather than ``ConfusionCounts`` objects
-to keep result pickling flat and cheap.
+Workers return bare count quadruples rather than ``ConfusionCounts``
+objects to keep result payloads flat and cheap on every transport.
 """
 
 from __future__ import annotations
@@ -55,29 +59,25 @@ from __future__ import annotations
 import logging
 import math
 import os
-import time
 from bisect import bisect_right
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.kernel_backends import resolve_kernel_backend, set_kernel_backend
-from repro.core.plan import KeyCache, SweepPlan, evaluate_plan
+from repro.core.plan import SweepPlan
 from repro.core.schemes import Scheme
-from repro.core.vectorized import predict_scheme_fast
 from repro.engine.backends import VectorizedEngine
 from repro.engine.base import EvaluationEngine, ResultCallback, TrafficCallback
-from repro.forwarding.simulator import ForwardingConfig, replay_traffic
+from repro.engine.transport import (
+    INFLIGHT_PER_WORKER,
+    MultiprocessingTransport,
+    WorkTransport,
+    transport_key,
+)
+from repro.forwarding.simulator import ForwardingConfig
 from repro.metrics.confusion import ConfusionCounts
 from repro.metrics.traffic import TrafficReport
-from repro.telemetry import Telemetry, get_telemetry, set_telemetry
+from repro.telemetry import Telemetry, get_telemetry
 from repro.trace.events import SharingTrace
-from repro.trace.shm import (
-    attach_trace,
-    publish_traces,
-    shm_available,
-    shm_enabled,
-    trace_fingerprint,
-)
 
 logger = logging.getLogger("repro.engine.parallel")
 
@@ -100,146 +100,6 @@ INITIAL_CHUNK = 2
 
 #: hard ceiling on any adaptive chunk (keeps checkpoint granularity sane)
 MAX_CHUNK = 512
-
-#: chunks kept in flight per worker; 2 means a worker always has the next
-#: chunk queued while computing the current one
-INFLIGHT_PER_WORKER = 2
-
-# Worker-process state, installed once per worker by _init_worker.
-_WORKER_TRACES: List[SharingTrace] = []
-_WORKER_SEGMENTS: Dict[str, object] = {}
-#: worker-lifetime key-stream cache: chunks are cut inside plan-batch
-#: boundaries, so consecutive chunks frequently share an IndexSpec and the
-#: keys survive across chunk submissions (fingerprint-keyed, so both
-#: transports hit identically).
-_WORKER_KEY_CACHE = KeyCache()
-
-
-def _init_worker(payload: dict) -> None:
-    """Install the batch's traces in this worker.
-
-    ``payload`` is either ``{"mode": "pickle", "traces": [...]}`` (the
-    arrays arrived pickled) or ``{"mode": "shm", "descriptors": [...]}``
-    (attach zero-copy views, keyed and verified by trace fingerprint).
-    ``payload["kernel"]`` pins the kernel backend the *parent* resolved, so
-    every worker evaluates on the same per-event loop the parent selected
-    and reports it under the worker's ``kernel.backend.*`` counters (merged
-    home with the chunk snapshots).  Should a pinned compiled backend turn
-    out unavailable in the worker, the registry degrades to pure Python --
-    bit-identical by the backend contract, so a heterogeneous pool can
-    never change results.
-    """
-    global _WORKER_TRACES
-    _WORKER_SEGMENTS.clear()
-    _WORKER_KEY_CACHE.clear()
-    kernel = payload.get("kernel")
-    if kernel is not None:
-        set_kernel_backend(kernel)
-    if payload["mode"] == "shm":
-        traces = []
-        for descriptor in payload["descriptors"]:
-            attached = attach_trace(descriptor)
-            # pin the mapping for the worker's lifetime, keyed by fingerprint
-            _WORKER_SEGMENTS[descriptor.fingerprint] = attached
-            traces.append(attached.trace)
-        _WORKER_TRACES = traces
-    else:
-        _WORKER_TRACES = payload["traces"]
-
-
-def _evaluate_chunk(
-    schemes: List[Scheme], exclude_writer: bool, with_telemetry: bool = False
-) -> Tuple[List[List[Tuple[int, int, int, int]]], float, int, Optional[dict]]:
-    """Worker task: score a chunk of schemes against the pinned traces.
-
-    Returns the flat count tuples, the chunk's wall-clock and event count
-    (always -- they drive the parent's adaptive chunk sizing even with
-    telemetry off), plus (when requested) a fresh per-chunk telemetry
-    snapshot for the parent to merge -- per-chunk rather than per-worker so
-    folding cumulative state twice is impossible.
-    """
-    started = time.perf_counter()
-    # Chunks are cut inside plan-batch boundaries, so this mini plan is
-    # normally a single (IndexSpec, family) batch sharing one key stream
-    # and its bitmap passes; the worker-global KeyCache extends the sharing
-    # across consecutive chunks of the same group.  Worker-side plan.*
-    # counters (key-cache hits, trace passes) are captured in a fresh sink
-    # and shipped home with the chunk snapshot.
-    telemetry = Telemetry() if with_telemetry else None
-    previous = set_telemetry(telemetry) if with_telemetry else None
-    try:
-        per_scheme = evaluate_plan(
-            SweepPlan(schemes),
-            _WORKER_TRACES,
-            exclude_writer=exclude_writer,
-            key_cache=_WORKER_KEY_CACHE,
-        )
-    finally:
-        if with_telemetry:
-            set_telemetry(previous)
-    results = [
-        [
-            (
-                counts.true_positive,
-                counts.false_positive,
-                counts.false_negative,
-                counts.true_negative,
-            )
-            for counts in per_trace
-        ]
-        for per_trace in per_scheme
-    ]
-    events = len(schemes) * sum(len(trace) for trace in _WORKER_TRACES)
-    elapsed = time.perf_counter() - started
-    if not with_telemetry:
-        return results, elapsed, events, None
-    prefix = f"engine.parallel.worker.{os.getpid()}"
-    telemetry.count(f"{prefix}.chunks")
-    telemetry.count(f"{prefix}.schemes", len(schemes))
-    telemetry.count(f"{prefix}.events", events)
-    telemetry.timer_add(f"{prefix}.seconds", elapsed)
-    if _WORKER_SEGMENTS:
-        telemetry.count(f"{prefix}.shm_attached_traces", len(_WORKER_SEGMENTS))
-    return results, elapsed, events, telemetry.to_json()
-
-
-def _traffic_chunk(
-    schemes: List[Scheme], config: ForwardingConfig, with_telemetry: bool = False
-) -> Tuple[List[List[dict]], float, int, Optional[dict]]:
-    """Worker task: simulate forwarding traffic for a chunk of schemes.
-
-    The traffic twin of :func:`_evaluate_chunk`, returning one
-    ``TrafficReport.to_json()`` dict per (scheme, trace) so result pickling
-    stays flat; the parent rehydrates with ``TrafficReport.from_json``.
-    """
-    started = time.perf_counter()
-    results = []
-    events = 0
-    for scheme in schemes:
-        per_trace = []
-        for trace in _WORKER_TRACES:
-            keys = _WORKER_KEY_CACHE.key_stream(trace, scheme.index)
-            predictions = predict_scheme_fast(scheme, trace, keys=keys)
-            report = replay_traffic(
-                trace,
-                predictions,
-                scheme=scheme.full_name,
-                topology=config.topology,
-                model=config.model,
-            )
-            events += len(trace)
-            per_trace.append(report.to_json())
-        results.append(per_trace)
-    elapsed = time.perf_counter() - started
-    if not with_telemetry:
-        return results, elapsed, events, None
-    telemetry = Telemetry()
-    prefix = f"engine.parallel.worker.{os.getpid()}"
-    telemetry.count(f"{prefix}.chunks")
-    telemetry.count(f"{prefix}.schemes", len(schemes))
-    telemetry.count(f"{prefix}.events", events)
-    telemetry.timer_add(f"{prefix}.seconds", elapsed)
-    return results, elapsed, events, telemetry.to_json()
 
 
 def default_jobs() -> int:
@@ -362,53 +222,37 @@ class _ChunkScheduler:
             )
 
 
-class _PoolHost:
-    """A live worker pool bound to one prepared trace transport.
-
-    Owns the :class:`ProcessPoolExecutor` (whose workers were initialized
-    with the transport payload) and the published shared-memory segments
-    backing it.  ``key`` is the tuple of trace content fingerprints the
-    workers hold, so a later batch over the same traces can prove the pool
-    is reusable without trusting object identity.
-    """
-
-    def __init__(self, pool, published, key: Tuple[str, ...], workers: int):
-        self.pool = pool
-        self.published = published
-        self.key = key
-        self.workers = workers
-
-    def close(self, cancel: bool = False) -> None:
-        """Shut the pool down and unlink the shared segments (idempotent)."""
-        if self.pool is not None:
-            self.pool.shutdown(wait=True, cancel_futures=cancel)
-            self.pool = None
-        if self.published is not None:
-            self.published.close()
-            self.published = None
-
-
 class ParallelEngine(EvaluationEngine):
-    """Shard scheme batches across worker processes.
+    """Shard scheme batches across worker processes (local or remote).
 
     Single-scheme calls run in-process on the vectorized backend (there is
     nothing to shard); only batch evaluation fans out.
 
     Args:
-        jobs: worker processes (default: every core).
+        jobs: worker processes (default: every core).  Ignored when
+            ``hosts`` selects the socket transport -- the worker count is
+            then however many hosts answer.
         chunk_size: pin the scheme-chunk size instead of adapting it from
             observed throughput (mainly for tests and A/B baselines).
         use_shm: force the shared-memory trace transport on or off;
-            ``None`` follows ``REPRO_SHM`` and platform availability.
-        persistent: keep the worker pool (and its published shared-memory
-            trace set) alive between batch calls.  Consecutive batches over
-            the same traces reuse the warm pool instead of re-spawning
-            workers and re-publishing unchanged segments (counted under
-            ``engine.parallel.pool_reuses`` / ``shm.republish_avoided``);
-            a batch over *different* traces tears the old pool down and
-            builds a fresh one.  The owner must call :meth:`close` (or use
-            the engine as a context manager) when done -- this is what the
-            sweep service runs, one pool shared across every job.
+            ``None`` follows ``REPRO_SHM`` and platform availability (and,
+            for the socket transport, ``REPRO_REMOTE_SHM``).
+        persistent: keep the transport (worker pool or socket
+            connections, plus any published shared-memory trace set) alive
+            between batch calls.  Consecutive batches over the same traces
+            reuse the warm transport instead of re-spawning workers and
+            re-publishing unchanged segments (counted under
+            ``engine.parallel.pool_reuses`` / ``shm.republish_avoided`` /
+            ``engine.remote.transport_reuses``); a batch over *different*
+            traces tears the old transport down and builds a fresh one.
+            The owner must call :meth:`close` (or use the engine as a
+            context manager) when done -- this is what the sweep service
+            runs, one transport shared across every job.
+        hosts: ``host:port`` addresses of running ``repro-worker``
+            processes (sequence or comma-separated string).  Non-empty
+            selects the socket transport of :mod:`repro.engine.remote`.
+        chunk_timeout: seconds before an unanswered socket chunk declares
+            its worker hung (default ``REPRO_REMOTE_TIMEOUT`` or 300).
     """
 
     name = "parallel"
@@ -419,19 +263,25 @@ class ParallelEngine(EvaluationEngine):
         chunk_size: Optional[int] = None,
         use_shm: Optional[bool] = None,
         persistent: bool = False,
+        hosts: Optional[Sequence[str]] = None,
+        chunk_timeout: Optional[float] = None,
     ):
+        from repro.engine.remote import parse_hosts
+
         self.jobs = max(1, int(jobs)) if jobs is not None else default_jobs()
         self.chunk_size = chunk_size
         self.use_shm = use_shm
         self.persistent = persistent
-        self._host: Optional[_PoolHost] = None
+        self.hosts = parse_hosts(hosts)
+        self.chunk_timeout = chunk_timeout
+        self._transport: Optional[WorkTransport] = None
         self._serial = VectorizedEngine()
 
     def close(self) -> None:
-        """Release the retained pool and shared segments (idempotent)."""
-        if self._host is not None:
-            host, self._host = self._host, None
-            host.close()
+        """Release the retained transport and shared segments (idempotent)."""
+        if self._transport is not None:
+            transport, self._transport = self._transport, None
+            transport.close()
 
     def __enter__(self) -> "ParallelEngine":
         return self
@@ -452,11 +302,6 @@ class ParallelEngine(EvaluationEngine):
         # was asked, even though the work runs in-process.
         return self._serial._evaluate_one(scheme, trace, exclude_writer)
 
-    def _shm_wanted(self) -> bool:
-        if self.use_shm is not None:
-            return self.use_shm and shm_available()
-        return shm_enabled() and shm_available()
-
     def _chunks(self, schemes: Sequence[Scheme]) -> List[List[Scheme]]:
         """The fixed even-shard chunking (the pre-adaptive baseline).
 
@@ -470,6 +315,12 @@ class ParallelEngine(EvaluationEngine):
         size = max(1, size)
         return [list(schemes[i : i + size]) for i in range(0, len(schemes), size)]
 
+    def _serial_batch(self, schemes: Sequence[Scheme]) -> bool:
+        """Whether a batch should skip the transport entirely."""
+        if len(schemes) < MIN_BATCH_FOR_POOL:
+            return True
+        return self.jobs <= 1 and not self.hosts
+
     def _evaluate_batch(
         self,
         schemes: Sequence[Scheme],
@@ -478,16 +329,21 @@ class ParallelEngine(EvaluationEngine):
         exclude_writer: bool,
         on_result: Optional[ResultCallback],
     ) -> List[List[ConfusionCounts]]:
-        if self.jobs <= 1 or len(schemes) < MIN_BATCH_FOR_POOL:
+        if self._serial_batch(schemes):
             return self._serial._evaluate_batch(
                 schemes, traces, exclude_writer=exclude_writer, on_result=on_result
             )
         telemetry = get_telemetry()
         try:
-            return self._evaluate_batch_pooled(
-                schemes, traces, exclude_writer, on_result
+            return self._run_pooled(
+                schemes,
+                traces,
+                "evaluate",
+                {"exclude_writer": exclude_writer},
+                _decode_counts,
+                on_result,
             )
-        except Exception as error:  # noqa: BLE001 - any pool failure degrades
+        except Exception as error:  # noqa: BLE001 - any transport failure degrades
             logger.warning(
                 "parallel backend failed (%s: %s); falling back to serial "
                 "vectorized evaluation",
@@ -499,126 +355,88 @@ class ParallelEngine(EvaluationEngine):
                 schemes, traces, exclude_writer=exclude_writer, on_result=on_result
             )
 
-    def _prepare_transport(self, traces: Sequence[SharingTrace]):
-        """Choose the trace transport: SHM descriptors or pickled traces.
+    def _build_transport(
+        self, traces: Sequence[SharingTrace], key: Tuple[str, ...], workers: int
+    ) -> WorkTransport:
+        if self.hosts:
+            from repro.engine.remote import SocketTransport
 
-        Returns ``(published_or_None, initializer_payload)``.  Publication
-        failures (quota, missing /dev/shm) degrade to pickling with a
-        counter, never an error.
-        """
-        telemetry = get_telemetry()
-        # Resolve the kernel backend in the parent (compiling/self-checking
-        # the native library here, once) and pin the choice in every worker.
-        kernel = resolve_kernel_backend().name
-        if self._shm_wanted():
-            try:
-                published = publish_traces(traces)
-            except (OSError, RuntimeError, ValueError) as error:
-                logger.warning(
-                    "shared-memory trace transport unavailable (%s: %s); "
-                    "falling back to pickled traces",
-                    type(error).__name__,
-                    error,
-                )
-                telemetry.count("shm.fallbacks")
-            else:
-                return published, {
-                    "mode": "shm",
-                    "descriptors": published.descriptors,
-                    "kernel": kernel,
-                }
-        return None, {"mode": "pickle", "traces": list(traces), "kernel": kernel}
-
-    def _acquire_host(self, traces: Sequence[SharingTrace], workers: int) -> _PoolHost:
-        """A worker pool whose workers hold ``traces`` -- reused when possible.
-
-        In persistent mode a retained host whose trace fingerprints match is
-        returned as-is: the workers keep their installed traces (and warm
-        key caches), and nothing is re-published.  A fingerprint mismatch
-        (or a non-persistent engine) builds a fresh pool; the stale host is
-        torn down first so at most one pool is ever alive per engine.
-        """
-        telemetry = get_telemetry()
-        key = tuple(trace_fingerprint(trace) for trace in traces)
-        if self._host is not None:
-            host = self._host
-            if host.pool is not None and host.key == key and host.workers >= workers:
-                if telemetry.enabled:
-                    telemetry.count("engine.parallel.pool_reuses")
-                    if host.published is not None:
-                        telemetry.count("shm.republish_avoided", len(traces))
-                return host
-            self._host = None
-            host.close()
-        published, payload = self._prepare_transport(traces)
-        pool = ProcessPoolExecutor(
-            max_workers=workers,
-            initializer=_init_worker,
-            initargs=(payload,),
+            return SocketTransport(
+                traces,
+                key,
+                self.hosts,
+                chunk_timeout=self.chunk_timeout,
+                use_shm=self.use_shm,
+            )
+        # ProcessPoolExecutor is looked up through this module so tests can
+        # monkeypatch repro.engine.parallel.ProcessPoolExecutor to simulate
+        # pools that cannot spawn or die mid-batch.
+        return MultiprocessingTransport(
+            traces, key, workers, use_shm=self.use_shm, executor=ProcessPoolExecutor
         )
-        host = _PoolHost(pool, published, key, workers)
+
+    def _acquire_transport(
+        self, traces: Sequence[SharingTrace], workers: int
+    ) -> WorkTransport:
+        """A transport whose workers hold ``traces`` -- reused when possible.
+
+        In persistent mode a retained transport whose trace fingerprints
+        match is returned as-is: the workers keep their installed traces
+        (and warm key caches), and nothing is re-published or re-shipped.
+        A fingerprint mismatch (or a non-persistent engine) builds a fresh
+        transport; the stale one is torn down first so at most one is ever
+        alive per engine.
+        """
+        telemetry = get_telemetry()
+        key = transport_key(traces)
+        if self._transport is not None:
+            transport = self._transport
+            if transport.reusable_for(key, workers):
+                if telemetry.enabled:
+                    transport.on_reuse(telemetry, len(traces))
+                return transport
+            self._transport = None
+            transport.close()
+        transport = self._build_transport(traces, key, workers)
         if self.persistent:
-            self._host = host
-        return host
+            self._transport = transport
+        return transport
 
-    def _release_host(self, host: _PoolHost, broken: bool = False) -> None:
-        """Give a host back after a batch.
+    def _release_transport(self, transport: WorkTransport, broken: bool = False) -> None:
+        """Give a transport back after a batch.
 
-        Persistent engines retain a healthy host for the next batch; a
-        ``broken`` host (the pooled run raised) is always discarded, so the
-        serial fallback never leaves a wedged pool behind.
+        Persistent engines retain a healthy transport for the next batch;
+        a ``broken`` transport (the pooled run raised) is always
+        discarded, so the serial fallback never leaves a wedged pool or a
+        half-dead worker set behind.
         """
         if self.persistent and not broken:
             return
-        if self._host is host:
-            self._host = None
-        host.close(cancel=broken)
-
-    def _evaluate_batch_pooled(
-        self,
-        schemes: Sequence[Scheme],
-        traces: Sequence[SharingTrace],
-        exclude_writer: bool,
-        on_result: Optional[ResultCallback],
-    ) -> List[List[ConfusionCounts]]:
-        def decode(per_trace: List[Tuple[int, int, int, int]]) -> List[ConfusionCounts]:
-            return [
-                ConfusionCounts(
-                    true_positive=tp,
-                    false_positive=fp,
-                    false_negative=fn,
-                    true_negative=tn,
-                )
-                for tp, fp, fn, tn in per_trace
-            ]
-
-        return self._run_pooled(
-            schemes, traces, _evaluate_chunk, (exclude_writer,), decode, on_result
-        )
+        if self._transport is transport:
+            self._transport = None
+        transport.close(cancel=broken)
 
     def _run_pooled(
         self,
         schemes: Sequence[Scheme],
         traces: Sequence[SharingTrace],
-        task: Callable,
-        task_args: tuple,
-        decode: Callable[[list], list],
-        on_result: Optional[Callable[[int, list], None]],
+        kind: str,
+        args: dict,
+        decode,
+        on_result,
     ) -> List[list]:
-        """Demand-driven pooled execution of ``task`` over scheme chunks.
+        """Demand-driven execution of one chunk kind over a transport.
 
         The shared control plane of every pooled batch shape: transport
-        setup, plan-ordered segment-aware chunk scheduling, completion-order
-        result decoding, and telemetry folding.  Schemes are permuted into
-        :class:`SweepPlan` order before chunking so every chunk shares one
-        (IndexSpec, family); results and ``on_result`` indices are mapped
-        back through the permutation, so callers (and the sweep journal,
-        which checkpoints per scheme) see only the original order.  ``task``
-        is a module-level worker function called as
-        ``task(chunk_schemes, *task_args, with_telemetry)`` and must return
-        the ``(per_scheme_payloads, elapsed, events, snapshot)`` quadruple;
-        ``decode`` rehydrates one scheme's payload into the caller's result
-        objects.
+        acquisition, plan-ordered segment-aware chunk scheduling,
+        completion-order result decoding, and telemetry folding.  Schemes
+        are permuted into :class:`SweepPlan` order before chunking so every
+        chunk shares one (IndexSpec, family); results and ``on_result``
+        indices are mapped back through the permutation, so callers (and
+        the sweep journal, which checkpoints per scheme) see only the
+        original order.  ``kind``/``args`` name a worker task per
+        :func:`repro.engine.transport.run_chunk`; ``decode`` rehydrates one
+        scheme's flat payload into the caller's result objects.
         """
         telemetry = get_telemetry()
         schemes = list(schemes)
@@ -627,58 +445,58 @@ class ParallelEngine(EvaluationEngine):
             plan.record_telemetry(telemetry)
         plan_order = plan.order()
         ordered_schemes = [schemes[position] for position in plan_order]
-        scheduler = _ChunkScheduler(
-            len(schemes),
-            self.chunk_size,
-            self.jobs,
-            boundaries=plan.batch_boundaries(),
-        )
-        # A persistent pool is sized for the engine, not the batch: the next
-        # batch may be bigger, and idle workers cost nothing between jobs.
+        # A persistent transport is sized for the engine, not the batch: the
+        # next batch may be bigger, and idle workers cost nothing between jobs.
         workers = self.jobs if self.persistent else min(self.jobs, len(schemes))
-        max_inflight = min(workers, len(schemes)) * INFLIGHT_PER_WORKER
         results: List[Optional[list]] = [None] * len(schemes)
-        host = self._acquire_host(traces, workers)
+        transport = self._acquire_transport(traces, workers)
         try:
-            pool = host.pool
-            inflight: Dict[object, Tuple[int, int]] = {}
-            while scheduler.has_pending() or inflight:
-                while scheduler.has_pending() and len(inflight) < max_inflight:
+            scheduler = _ChunkScheduler(
+                len(schemes),
+                self.chunk_size,
+                max(1, transport.workers),
+                boundaries=plan.batch_boundaries(),
+            )
+            pending: Dict[int, Tuple[int, int]] = {}
+            next_chunk_id = 0
+            while scheduler.has_pending() or pending:
+                capacity = min(
+                    transport.capacity(), len(schemes) * INFLIGHT_PER_WORKER
+                )
+                while scheduler.has_pending() and len(pending) < capacity:
                     start, size = scheduler.next_chunk()
-                    future = pool.submit(
-                        task,
+                    chunk_id = next_chunk_id
+                    next_chunk_id += 1
+                    transport.submit(
+                        chunk_id,
+                        kind,
                         ordered_schemes[start : start + size],
-                        *task_args,
+                        args,
                         telemetry.enabled,
                     )
-                    inflight[future] = (start, size)
+                    pending[chunk_id] = (start, size)
                     if telemetry.enabled:
                         telemetry.count("engine.parallel.chunks_dispatched")
-                done, _ = wait(inflight.keys(), return_when=FIRST_COMPLETED)
-                for future in done:
-                    start, size = inflight.pop(future)
-                    chunk_results, elapsed, events, snapshot = future.result()
-                    scheduler.observe(size, elapsed, events)
-                    if snapshot is not None:
-                        telemetry.merge(Telemetry.from_json(snapshot))
-                    for offset, per_trace in enumerate(chunk_results):
+                for chunk in transport.next_completed():
+                    start, size = pending.pop(chunk.chunk_id)
+                    scheduler.observe(size, chunk.elapsed, chunk.events)
+                    if chunk.snapshot is not None:
+                        telemetry.merge(Telemetry.from_json(chunk.snapshot))
+                    for offset, per_trace in enumerate(chunk.payloads):
                         decoded = decode(per_trace)
                         position = plan_order[start + offset]
                         results[position] = decoded
                         if on_result is not None:
                             on_result(position, decoded)
+            if telemetry.enabled:
+                scheduler.record_telemetry(telemetry)
+                telemetry.gauge("engine.parallel.workers", transport.workers)
+                transport.record_telemetry(telemetry)
         except BaseException:
-            self._release_host(host, broken=True)
+            self._release_transport(transport, broken=True)
             raise
         else:
-            shm_active = host.published is not None
-            self._release_host(host)
-        if telemetry.enabled:
-            scheduler.record_telemetry(telemetry)
-            telemetry.gauge("engine.parallel.workers", workers)
-            telemetry.gauge(
-                "engine.parallel.transport_shm", 1.0 if shm_active else 0.0
-            )
+            self._release_transport(transport)
         assert all(entry is not None for entry in results)
         return results  # type: ignore[return-value]
 
@@ -690,7 +508,7 @@ class ParallelEngine(EvaluationEngine):
         config: ForwardingConfig,
         on_result: Optional[TrafficCallback],
     ) -> List[List[TrafficReport]]:
-        if self.jobs <= 1 or len(schemes) < MIN_BATCH_FOR_POOL:
+        if self._serial_batch(schemes):
             return super()._evaluate_traffic_batch(
                 schemes, traces, config=config, on_result=on_result
             )
@@ -699,12 +517,19 @@ class ParallelEngine(EvaluationEngine):
             return self._run_pooled(
                 schemes,
                 traces,
-                _traffic_chunk,
-                (config,),
-                lambda per_trace: [TrafficReport.from_json(d) for d in per_trace],
+                "traffic",
+                {
+                    "topology": config.topology,
+                    "model": [
+                        config.model.request_cost,
+                        config.model.data_cost,
+                        config.model.hop_cost,
+                    ],
+                },
+                _decode_traffic,
                 on_result,
             )
-        except Exception as error:  # noqa: BLE001 - any pool failure degrades
+        except Exception as error:  # noqa: BLE001 - any transport failure degrades
             logger.warning(
                 "parallel traffic backend failed (%s: %s); falling back to "
                 "serial in-process simulation",
@@ -715,3 +540,19 @@ class ParallelEngine(EvaluationEngine):
             return super()._evaluate_traffic_batch(
                 schemes, traces, config=config, on_result=on_result
             )
+
+
+def _decode_counts(per_trace: Sequence[Sequence[int]]) -> List[ConfusionCounts]:
+    return [
+        ConfusionCounts(
+            true_positive=tp,
+            false_positive=fp,
+            false_negative=fn,
+            true_negative=tn,
+        )
+        for tp, fp, fn, tn in per_trace
+    ]
+
+
+def _decode_traffic(per_trace: Sequence[dict]) -> List[TrafficReport]:
+    return [TrafficReport.from_json(entry) for entry in per_trace]

@@ -129,6 +129,16 @@ def _build_parser(experiments) -> argparse.ArgumentParser:
         help="evaluation backend (default: REPRO_BACKEND or vectorized)",
     )
     parser.add_argument(
+        "--hosts",
+        default=None,
+        metavar="HOST:PORT[,...]",
+        help=(
+            "comma-separated addresses of running repro-worker processes "
+            "(default: REPRO_HOSTS); shards sweeps across them over the "
+            "socket transport, bit-identically to local execution"
+        ),
+    )
+    parser.add_argument(
         "--kernel",
         choices=[AUTO] + sorted(kernel_backend_names()),
         default=None,
@@ -203,7 +213,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
 
     try:
-        engine = make_engine(backend=args.backend, jobs=args.jobs)
+        engine = make_engine(backend=args.backend, jobs=args.jobs, hosts=args.hosts)
     except ValueError as error:
         parser.error(str(error))
 

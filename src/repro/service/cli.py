@@ -72,6 +72,18 @@ def _build_parser() -> argparse.ArgumentParser:
         "parallel when --jobs > 1)",
     )
     parser.add_argument(
+        "--hosts", default=None,
+        help="comma-separated host:port addresses of running repro-worker "
+        "processes; jobs without their own hosts= run on this fleet over "
+        "the socket transport",
+    )
+    parser.add_argument(
+        "--max-result-cache-mb", type=float, default=None,
+        help="size cap on the durable result cache in MiB; least-recently-"
+        "used results are evicted past it (default: "
+        "REPRO_RESULT_CACHE_BYTES, or unbounded)",
+    )
+    parser.add_argument(
         "--no-recover", action="store_true",
         help="skip resubmitting unfinished jobs from the state directory",
     )
@@ -81,11 +93,11 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _make_service_engine(backend: Optional[str], jobs: int):
-    """The server's engine: persistent pool when it would fork workers."""
-    if backend in (None, "parallel") and jobs > 1:
-        return ParallelEngine(jobs=jobs, persistent=True)
-    return make_engine(backend=backend, jobs=jobs)
+def _make_service_engine(backend: Optional[str], jobs: int, hosts: Optional[str] = None):
+    """The server's engine: persistent pool/transport when it would fork workers."""
+    if backend in (None, "parallel") and (jobs > 1 or hosts):
+        return ParallelEngine(jobs=jobs, hosts=hosts, persistent=True)
+    return make_engine(backend=backend, jobs=jobs, hosts=hosts)
 
 
 async def _serve(server: SweepServer, port_file: Optional[Path]) -> None:
@@ -110,8 +122,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     # the server always collects telemetry: it is the `telemetry` op's
     # payload and the per-job artifact the CI smoke job uploads
     set_telemetry(Telemetry())
-    engine = _make_service_engine(args.backend, args.jobs)
-    registry = JobRegistry(engine=engine, state_dir=args.state_dir)
+    engine = _make_service_engine(args.backend, args.jobs, args.hosts)
+    max_bytes = (
+        int(args.max_result_cache_mb * 1024 * 1024)
+        if args.max_result_cache_mb is not None
+        else None
+    )
+    registry = JobRegistry(
+        engine=engine, state_dir=args.state_dir, max_result_bytes=max_bytes
+    )
     try:
         if not args.no_recover:
             recovered = registry.recover()

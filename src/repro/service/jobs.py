@@ -173,6 +173,12 @@ class JobSpec:
     topology: str = "mesh"
     model: Tuple[float, float, float] = (1.0, 9.0, 1.0)
     grid: Optional[dict] = field(default=None)
+    #: ``host:port`` addresses of repro-worker processes to shard the job
+    #: across (the parallel engine's socket transport).  An execution hint,
+    #: deliberately EXCLUDED from the fingerprint: where a job runs never
+    #: changes its bits, so a multi-host submission deduplicates against
+    #: (and reuses the cached result of) the same job run locally.
+    hosts: Tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if self.kind not in JOB_KINDS:
@@ -203,8 +209,11 @@ class JobSpec:
         topology: str = "mesh",
         model: Optional[TrafficModel] = None,
         grid: Optional[dict] = None,
+        hosts: Union[str, Sequence[str], None] = None,
     ) -> "JobSpec":
         """Build a canonical spec: schemes parsed, model flattened."""
+        from repro.engine.remote import parse_hosts
+
         canonical = tuple(
             scheme if not isinstance(scheme, str) else parse_scheme(scheme)
             for scheme in schemes
@@ -219,6 +228,7 @@ class JobSpec:
             topology=topology,
             model=(model.request_cost, model.data_cost, model.hop_cost),
             grid=grid,
+            hosts=parse_hosts(hosts),
         )
 
     def traffic_model(self) -> TrafficModel:
@@ -268,6 +278,8 @@ class JobSpec:
             payload["traces"] = self.traces.to_json()
         if self.grid is not None:
             payload["grid"] = self.grid
+        if self.hosts:
+            payload["hosts"] = list(self.hosts)
         return payload
 
     @classmethod
@@ -301,6 +313,7 @@ class JobSpec:
                 topology=data.get("topology", "mesh"),
                 model=TrafficModel(*[float(part) for part in model]),
                 grid=data.get("grid"),
+                hosts=data.get("hosts"),
             )
         except JobSpecError:
             raise

@@ -19,6 +19,14 @@ socket server in front of it.  Either way the rules are the same:
   :func:`repro.harness.runner.open_job_journal`, so a SIGKILLed server
   replays completed schemes bit-identically on restart
   (:meth:`JobRegistry.recover` resubmits manifests without results).
+* **The result cache is size-capped.**  ``max_result_bytes`` (or the
+  ``REPRO_RESULT_CACHE_BYTES`` environment variable; unset means
+  unbounded) bounds ``results/``: after each stored result the
+  least-recently-used entries are evicted until the cache fits, never
+  touching the entry of any job that is still pending or running.  Cache
+  hits refresh recency, so hot fingerprints survive; an evicted result
+  merely recomputes on resubmission (fingerprints guarantee the same
+  bits).
 
 Jobs execute on a single dedicated thread: the parallel engine underneath
 provides the actual concurrency (one long-lived worker pool shared across
@@ -79,6 +87,20 @@ MAX_TELEMETRY_EVENTS = 5000
 #: test hook: seconds to sleep after each completed scheme, so kill/resume
 #: tests can deterministically catch a job mid-flight
 _DELAY_ENV = "REPRO_SERVICE_TEST_DELAY"
+
+#: size cap (bytes) on the durable result cache; unset/empty = unbounded
+_CACHE_BYTES_ENV = "REPRO_RESULT_CACHE_BYTES"
+
+
+def _env_cache_bytes() -> Optional[int]:
+    raw = os.environ.get(_CACHE_BYTES_ENV, "").strip()
+    if not raw:
+        return None
+    try:
+        return max(0, int(raw))
+    except ValueError:
+        logger.warning("ignoring non-integer %s=%r", _CACHE_BYTES_ENV, raw)
+        return None
 
 
 class JobRecord:
@@ -221,9 +243,12 @@ class JobRegistry:
     ``journals/``, per-job telemetry under ``telemetry/``.
     """
 
-    def __init__(self, engine=None, state_dir=None):
+    def __init__(self, engine=None, state_dir=None, max_result_bytes=None):
         self._engine = engine
         self.state_dir = Path(state_dir) if state_dir is not None else None
+        self.max_result_bytes = (
+            max_result_bytes if max_result_bytes is not None else _env_cache_bytes()
+        )
         if self.state_dir is not None:
             for sub in ("jobs", "results", "journals", "telemetry"):
                 (self.state_dir / sub).mkdir(parents=True, exist_ok=True)
@@ -357,6 +382,11 @@ class JobRegistry:
             stored = json.loads(path.read_text(encoding="utf-8"))
             if stored.get("schema") != JOB_SCHEMA:
                 raise ValueError(f"result schema {stored.get('schema')!r}")
+            try:
+                # cache hit: refresh mtime so LRU eviction keeps hot entries
+                os.utime(path, None)
+            except OSError:  # pragma: no cover - recency is best-effort
+                pass
             return stored["result"]
         except (OSError, ValueError, KeyError) as error:
             logger.warning("discarding unreadable result %s: %s", path, error)
@@ -380,6 +410,50 @@ class JobRegistry:
                 {"job_id": record.job_id, "kind": record.spec.kind,
                  "telemetry": record.telemetry.to_json()},
             )
+        self._evict_results()
+
+    def _evict_results(self) -> None:
+        """Trim ``results/`` to ``max_result_bytes``, oldest-mtime first.
+
+        Entries belonging to jobs that are still pending or running (which
+        includes the result stored a moment ago: its record only reaches a
+        terminal state afterwards) are never evicted, so a handle that is
+        about to be woken always finds its bytes on disk.
+        """
+        cap = self.max_result_bytes
+        if self.state_dir is None or cap is None:
+            return
+        with self._lock:
+            protected = {
+                job_id
+                for job_id, rec in self._records.items()
+                if rec.state not in TERMINAL_STATES
+            }
+        entries = []
+        total = 0
+        for path in (self.state_dir / "results").glob("*.json"):
+            try:
+                stat = path.stat()
+            except OSError:  # pragma: no cover - racing deletion
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+            total += stat.st_size
+        entries.sort()
+        telemetry = get_telemetry()
+        for _mtime, size, path in entries:
+            if total <= cap:
+                break
+            if path.stem in protected:
+                continue
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - racing deletion
+                continue
+            total -= size
+            telemetry.count("service.cache.evictions")
+            telemetry.count("service.cache.evicted_bytes", size)
+            # the paired telemetry snapshot is useless without its result
+            (self.state_dir / "telemetry" / path.name).unlink(missing_ok=True)
 
     # ------------------------------------------------------------------
     # Execution (single dedicated thread)
@@ -425,6 +499,19 @@ class JobRegistry:
         base.count("service.jobs.completed")
 
     def _run(self, record: JobRecord, traces, engine) -> dict:
+        spec = record.spec
+        if spec.hosts:
+            # the job pinned a worker fleet: run it on a dedicated
+            # socket-transport engine (the result bits are host-independent,
+            # which is why ``hosts`` stays out of the fingerprint)
+            from repro.engine.parallel import ParallelEngine
+
+            dedicated = ParallelEngine(hosts=spec.hosts)
+            get_telemetry().count("service.jobs.multihost")
+            try:
+                return self._run_resolved(record, traces, dedicated)
+            finally:
+                dedicated.close()
         engine = (
             engine
             if engine is not None
@@ -432,6 +519,9 @@ class JobRegistry:
             if self._engine is not None
             else get_default_engine()
         )
+        return self._run_resolved(record, traces, engine)
+
+    def _run_resolved(self, record: JobRecord, traces, engine) -> dict:
         spec = record.spec
         if spec.kind == "scenario":
             return self._run_scenario(record, engine)

@@ -1,0 +1,79 @@
+"""Subprocess harness for socket-transport tests.
+
+Spawns *real* ``repro-worker`` processes (``python -m repro.engine.remote``)
+on ephemeral ports and hands back ``host:port`` addresses, so the fault and
+equivalence tests exercise the genuine wire protocol, not an in-process
+stand-in.  Worker fault behaviour is driven by the worker-side test hooks
+(``REPRO_WORKER_TEST_DELAY`` / ``_EXIT_AFTER`` / ``_DROP_AFTER``) passed
+through ``env``.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+#: worker-side fault hooks (documented in repro.engine.remote)
+DELAY_ENV = "REPRO_WORKER_TEST_DELAY"
+EXIT_AFTER_ENV = "REPRO_WORKER_TEST_EXIT_AFTER"
+DROP_AFTER_ENV = "REPRO_WORKER_TEST_DROP_AFTER"
+
+
+def spawn_worker(
+    tmp_path,
+    name: str = "worker",
+    env: Optional[Dict[str, str]] = None,
+    timeout: float = 30.0,
+) -> Tuple[subprocess.Popen, str]:
+    """Start one worker on an ephemeral port; returns ``(proc, "host:port")``."""
+    port_file = Path(tmp_path) / f"{name}.port"
+    worker_env = dict(os.environ)
+    worker_env["PYTHONPATH"] = (
+        str(SRC) + os.pathsep + worker_env.get("PYTHONPATH", "")
+    ).rstrip(os.pathsep)
+    # fault hooks must be explicit per worker, never inherited from the
+    # test process's own environment
+    for key in (DELAY_ENV, EXIT_AFTER_ENV, DROP_AFTER_ENV):
+        worker_env.pop(key, None)
+    if env:
+        worker_env.update(env)
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.engine.remote",
+            "--port", "0", "--port-file", str(port_file),
+        ],
+        env=worker_env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if port_file.exists():
+            text = port_file.read_text(encoding="utf-8").strip()
+            if text:
+                return proc, f"127.0.0.1:{int(text)}"
+        if proc.poll() is not None:
+            raise RuntimeError(
+                f"worker {name!r} exited before listening (rc={proc.returncode})"
+            )
+        time.sleep(0.05)
+    proc.kill()
+    proc.wait(timeout=10)
+    raise RuntimeError(f"worker {name!r} never wrote its port file")
+
+
+def stop_workers(procs: List[subprocess.Popen]) -> None:
+    for proc in procs:
+        if proc.poll() is None:
+            proc.kill()
+    for proc in procs:
+        try:
+            proc.wait(timeout=10)
+        except subprocess.TimeoutExpired:  # pragma: no cover - diagnostics only
+            pass

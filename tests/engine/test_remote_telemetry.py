@@ -1,0 +1,147 @@
+"""``engine.remote.*`` telemetry: per-host accounting that merges losslessly.
+
+Style of ``tests/engine/test_pool_reuse.py``: run real socket batches under
+a scoped sink and pin the counter contract -- per-host chunk counters sum
+to the chunks the scheduler dispatched, re-steals are double-booked
+globally and per surviving host, and snapshots from separate batches merge
+(and JSON round-trip) without losing a count.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.schemes import parse_scheme
+from repro.engine.parallel import ParallelEngine
+from repro.telemetry import Telemetry, set_telemetry
+from tests.conftest import make_random_trace
+from tests.engine.remote_harness import EXIT_AFTER_ENV, spawn_worker, stop_workers
+
+SCHEMES = [
+    "last()1[direct]",
+    "inter(pid+add8)2[direct]",
+    "union(add4)2[direct]",
+    "inter(pc4)2[forwarded]",
+    "union(dir+add6)2[direct]",
+    "overlap(dir+add10)1[direct]",
+]
+
+
+def host_key(addr: str) -> str:
+    return addr.replace(":", "_").replace(".", "_")
+
+
+@pytest.fixture(scope="module")
+def fleet(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("remote-telemetry")
+    procs, hosts = [], []
+    for name in ("tm-w0", "tm-w1"):
+        proc, addr = spawn_worker(tmp, name)
+        procs.append(proc)
+        hosts.append(addr)
+    yield hosts
+    stop_workers(procs)
+
+
+@pytest.fixture
+def traces():
+    return [
+        make_random_trace(num_nodes=8, num_events=220, num_blocks=12, seed="tm-a"),
+        make_random_trace(num_nodes=8, num_events=180, num_blocks=10, seed="tm-b"),
+    ]
+
+
+def run_batch(hosts, traces, sink):
+    schemes = [parse_scheme(text) for text in SCHEMES]
+    previous = set_telemetry(sink)
+    try:
+        return ParallelEngine(hosts=hosts).evaluate_batch(schemes, traces)
+    finally:
+        set_telemetry(previous)
+
+
+class TestPerHostAccounting:
+    def test_host_chunk_counters_sum_to_dispatched(self, fleet, traces):
+        sink = Telemetry()
+        run_batch(fleet, traces, sink)
+        per_host = {
+            key: value
+            for key, value in sink.counters.items()
+            if key.startswith("engine.remote.host.") and key.endswith(".chunks")
+        }
+        assert per_host, "no per-host chunk counters recorded"
+        assert set(per_host) <= {
+            f"engine.remote.host.{host_key(addr)}.chunks" for addr in fleet
+        }
+        assert (
+            sum(per_host.values())
+            == sink.counters["engine.parallel.chunks_dispatched"]
+        )
+        assert sink.gauges["engine.remote.workers"] == len(fleet)
+
+    def test_resteals_book_globally_and_per_dead_host(self, tmp_path, traces):
+        flaky, flaky_addr = spawn_worker(
+            tmp_path, "tm-flaky", env={EXIT_AFTER_ENV: "1"}
+        )
+        steady, steady_addr = spawn_worker(tmp_path, "tm-steady")
+        sink = Telemetry()
+        try:
+            run_batch([flaky_addr, steady_addr], traces, sink)
+        finally:
+            stop_workers([flaky, steady])
+        total = sink.counters["engine.remote.resteals"]
+        assert total >= 1
+        per_host = sum(
+            value
+            for key, value in sink.counters.items()
+            if key.startswith("engine.remote.host.") and key.endswith(".resteals")
+        )
+        # every global re-steal is attributed to exactly one *dead* host
+        assert per_host == total
+        assert (
+            sink.counters[f"engine.remote.host.{host_key(flaky_addr)}.resteals"]
+            == total
+        )
+        assert sink.counters["engine.remote.worker_deaths"] >= 1
+        # re-dispatched chunks are counted again on the receiving host, so
+        # host chunk counters exceed the scheduler's dispatches by exactly
+        # the re-steals: the books balance even through a death
+        host_chunks = sum(
+            value
+            for key, value in sink.counters.items()
+            if key.startswith("engine.remote.host.") and key.endswith(".chunks")
+        )
+        assert (
+            host_chunks
+            == sink.counters["engine.parallel.chunks_dispatched"] + total
+        )
+
+
+class TestLosslessMerge:
+    def test_batches_merge_losslessly_across_sinks(self, fleet, traces):
+        """Two batches in two sinks merge to the per-key sum, bit for bit."""
+        first, second, merged = Telemetry(), Telemetry(), Telemetry()
+        run_batch(fleet, traces, first)
+        run_batch(fleet, traces, second)
+        merged.merge(first)
+        merged.merge(second)
+        for key in set(first.counters) | set(second.counters):
+            if not key.startswith("engine.remote."):
+                continue
+            assert merged.counters[key] == first.counters.get(
+                key, 0
+            ) + second.counters.get(key, 0), key
+
+    def test_snapshot_json_round_trip_preserves_remote_counters(
+        self, fleet, traces
+    ):
+        sink = Telemetry()
+        run_batch(fleet, traces, sink)
+        revived = Telemetry.from_json(sink.to_json())
+        remote_keys = {
+            key for key in sink.counters if key.startswith("engine.remote.")
+        }
+        assert remote_keys
+        for key in remote_keys:
+            assert revived.counters[key] == sink.counters[key], key
+        assert revived.gauges["engine.remote.workers"] == len(fleet)

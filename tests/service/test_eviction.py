@@ -1,0 +1,152 @@
+"""Result-cache eviction: ``results/`` is capped, LRU, and crash-safe.
+
+``JobRegistry(max_result_bytes=...)`` (or ``REPRO_RESULT_CACHE_BYTES``)
+bounds the durable result cache.  These tests pin the three guarantees the
+cap must never bend: an in-flight job's just-stored entry is never evicted
+(its waiter always finds its bytes), cache hits refresh recency so hot
+fingerprints outlive cold ones, and an evicted result recomputes to the
+identical bits on resubmission -- eviction trades disk for recompute,
+never correctness.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.engine.backends import VectorizedEngine
+from repro.service.handles import DEDUP_CACHED, DEDUP_NEW, LocalJobHandle
+from repro.service.jobs import JobSpec, TraceSuiteSpec
+from repro.service.registry import JobRegistry
+from repro.telemetry import Telemetry, set_telemetry
+
+SCHEMES = [
+    "last()1[direct]",
+    "inter(pid+add8)2[direct]",
+    "union(add4)2[direct]",
+    "overlap(dir+add10)1[direct]",
+]
+
+
+@pytest.fixture
+def suite(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "traces"))
+    return TraceSuiteSpec(
+        benchmarks=("ocean",), num_nodes=8,
+        params={"ocean": {"grid_size": 32, "iterations": 2}},
+    )
+
+
+@pytest.fixture
+def telemetry():
+    sink = Telemetry()
+    previous = set_telemetry(sink)
+    yield sink
+    set_telemetry(previous)
+
+
+def sweep_spec(suite, scheme: str) -> JobSpec:
+    """A tiny served sweep; distinct schemes give distinct fingerprints."""
+    return JobSpec.make("sweep", [scheme], suite)
+
+
+def run_job(registry: JobRegistry, spec: JobSpec):
+    record, dedup = registry.submit(spec)
+    result = LocalJobHandle(record, dedup).result(timeout=120)
+    time.sleep(0.01)  # distinct mtimes for deterministic LRU ordering
+    return result
+
+
+def result_files(state_dir):
+    return {path.stem for path in (state_dir / "state" / "results").glob("*.json")}
+
+
+def make_registry(tmp_path, **kwargs) -> JobRegistry:
+    return JobRegistry(
+        engine=VectorizedEngine(), state_dir=tmp_path / "state", **kwargs
+    )
+
+
+class TestEviction:
+    def test_cap_evicts_oldest_but_never_the_job_just_stored(
+        self, tmp_path, suite, telemetry
+    ):
+        """Cap of zero: everything evictable goes, in-flight entries stay.
+
+        At store time the storing job is still non-terminal, so even an
+        impossible cap must leave its entry on disk until the *next* store;
+        the waiter woken by ``finish`` always finds a complete record.
+        """
+        with make_registry(tmp_path, max_result_bytes=0) as registry:
+            first = run_job(registry, sweep_spec(suite, SCHEMES[0]))
+            first_id = sweep_spec(suite, SCHEMES[0]).fingerprint()
+            # stored while its own record was RUNNING: protected, on disk
+            assert result_files(tmp_path) == {first_id}
+            second = run_job(registry, sweep_spec(suite, SCHEMES[1]))
+            second_id = sweep_spec(suite, SCHEMES[1]).fingerprint()
+            # the second store evicted the (now terminal) first entry but
+            # kept its own; both waiters got complete results
+            assert result_files(tmp_path) == {second_id}
+            assert first is not None and second is not None
+        assert telemetry.counters["service.cache.evictions"] == 1
+        assert telemetry.counters["service.cache.evicted_bytes"] > 0
+
+    def test_eviction_is_lru_and_cache_hits_refresh_recency(
+        self, tmp_path, suite
+    ):
+        specs = [sweep_spec(suite, scheme) for scheme in SCHEMES[:3]]
+        ids = [spec.fingerprint() for spec in specs]
+        with make_registry(tmp_path) as registry:
+            run_job(registry, specs[0])
+            run_job(registry, specs[1])
+        sizes = {
+            path.stem: path.stat().st_size
+            for path in (tmp_path / "state" / "results").glob("*.json")
+        }
+        # room for exactly two results: the third store must evict one
+        cap = sizes[ids[0]] + sizes[ids[1]]
+        with make_registry(tmp_path, max_result_bytes=cap) as registry:
+            # cache hit on the *older* entry refreshes its recency...
+            record, dedup = registry.submit(specs[0])
+            assert dedup == DEDUP_CACHED
+            LocalJobHandle(record, dedup).result(timeout=120)
+            time.sleep(0.01)
+            run_job(registry, specs[2])
+        # ...so the un-touched middle entry is the LRU victim, not the hit
+        assert result_files(tmp_path) == {ids[0], ids[2]}
+
+    def test_evicted_result_recomputes_bit_identically(self, tmp_path, suite):
+        spec = sweep_spec(suite, SCHEMES[0])
+        with make_registry(tmp_path, max_result_bytes=0) as registry:
+            original = run_job(registry, spec)
+            run_job(registry, sweep_spec(suite, SCHEMES[1]))  # evicts the first
+        assert spec.fingerprint() not in result_files(tmp_path)
+        # fresh registry, same spec: cache miss, recompute, same bits
+        with make_registry(tmp_path, max_result_bytes=0) as registry:
+            record, dedup = registry.submit(spec)
+            assert dedup == DEDUP_NEW
+            assert LocalJobHandle(record, dedup).result(timeout=120) == original
+
+    def test_unbounded_by_default_and_env_cap_applies(
+        self, tmp_path, suite, monkeypatch, telemetry
+    ):
+        registry = make_registry(tmp_path)
+        assert registry.max_result_bytes is None
+        registry.close()
+        monkeypatch.setenv("REPRO_RESULT_CACHE_BYTES", "0")
+        with make_registry(tmp_path) as registry:
+            assert registry.max_result_bytes == 0
+            run_job(registry, sweep_spec(suite, SCHEMES[0]))
+            run_job(registry, sweep_spec(suite, SCHEMES[1]))
+        assert telemetry.counters["service.cache.evictions"] >= 1
+
+    def test_eviction_drops_the_paired_telemetry_snapshot(
+        self, tmp_path, suite
+    ):
+        with make_registry(tmp_path, max_result_bytes=0) as registry:
+            run_job(registry, sweep_spec(suite, SCHEMES[0]))
+            run_job(registry, sweep_spec(suite, SCHEMES[1]))
+        evicted = sweep_spec(suite, SCHEMES[0]).fingerprint()
+        state = tmp_path / "state"
+        assert not (state / "telemetry" / f"{evicted}.json").exists()
