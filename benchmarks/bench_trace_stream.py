@@ -1,0 +1,210 @@
+"""Streamed-vs-resident memory benchmark over a million-event .rtrace.
+
+The streaming pipeline's reason to exist: evaluating a file-backed trace
+must not cost resident-trace memory.  This benchmark synthesizes a
+deterministic multi-million-event ``.rtrace`` (valid epoch linkage, so
+traffic replay is meaningful), then runs the *same* workload -- a
+three-scheme sweep plus a traffic replay -- twice, each in its own
+subprocess so ``ru_maxrss`` is an honest per-mode high-water mark:
+
+* **streamed**: :class:`~repro.trace.interchange.FileTraceSource` fed
+  straight to the vectorized engine (chunk-wise consumption);
+* **resident**: the same file materialized up front, the pre-streaming
+  code path.
+
+A third subprocess measures the interpreter + numpy + header-read
+baseline, so the reported ratio compares *trace-attributable* peak RSS.
+Results are asserted bit-identical before any number is reported.  Emits
+``BENCH_trace.json`` (the CI artifact) and fails if streaming does not
+cut trace-attributable peak RSS by at least 4x::
+
+    PYTHONPATH=src python benchmarks/bench_trace_stream.py [--events N]
+        [--out PATH] [--no-strict]
+
+Not a pytest file on purpose: RSS and wall-clock belong in an artifact a
+human (or the perf trajectory) reads, not in a test that flakes under CI
+load.  The bit-identicality half is separately pinned by fast tests
+(``tests/engine/test_stream_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import resource
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+MIN_RSS_RATIO = 4.0
+DEFAULT_EVENTS = 1_500_000
+NUM_NODES = 16
+BLOCKS = 4096  # block-reuse distance; bounds every open-epoch span
+SCHEMES = ("last(add10)", "union(add10)2", "inter(pid+pc8)2")
+GEN_CHUNK = 131072
+
+
+def _truth_fn(index: np.ndarray) -> np.ndarray:
+    """Deterministic pseudo-random 16-bit truth for event ``index``,
+    with the event's writer bit cleared (writers never self-share)."""
+    mixed = (index.astype(np.uint64) * np.uint64(2654435761) + np.uint64(97)) \
+        % np.uint64(1 << 32)
+    truth = (mixed & np.uint64(0xFFFF)).astype(np.uint32)
+    writer = (index % NUM_NODES).astype(np.uint32)
+    return truth & ~(np.uint32(1) << writer)
+
+
+def synthesize_rtrace(path: str, events: int) -> None:
+    """Write a valid ``events``-event trace: round-robin block reuse, so
+    event ``i`` closes at ``i + BLOCKS`` and invalidates that epoch's
+    truth -- the exact linkage a generated trace carries."""
+    from repro.trace.interchange import TraceWriter
+
+    with TraceWriter(path, NUM_NODES, name="bench-stream") as writer:
+        for start in range(0, events, GEN_CHUNK):
+            index = np.arange(start, min(start + GEN_CHUNK, events), dtype=np.int64)
+            truth = _truth_fn(index)
+            older = index - BLOCKS
+            has_inval = older >= 0
+            inval = np.where(has_inval, _truth_fn(np.maximum(older, 0)), 0).astype(
+                np.uint32
+            )
+            writer.write_columns(
+                writer=index % NUM_NODES,
+                pc=0x400000 + (index % 64) * 8,
+                home=(index % BLOCKS) % NUM_NODES,
+                block=index % BLOCKS,
+                truth=truth,
+                inval=inval,
+                has_inval=has_inval,
+                close=np.minimum(index + BLOCKS, events),
+            )
+
+
+def workload(traces):
+    """The measured work: a sweep plus a traffic replay, one engine."""
+    from repro.core.schemes import parse_scheme
+    from repro.engine.backends import VectorizedEngine
+
+    schemes = [parse_scheme(text) for text in SCHEMES]
+    engine = VectorizedEngine()
+    counts = engine.evaluate_batch(schemes, traces)
+    traffic = engine.evaluate_traffic(schemes[:1], traces)
+    return counts, traffic
+
+
+def measure(mode: str, rtrace: str) -> int:
+    """Child entry point: run one mode, print a JSON measurement."""
+    from repro.trace.interchange import FileTraceSource
+
+    source = FileTraceSource(rtrace)
+    started = time.perf_counter()
+    if mode == "baseline":
+        result_key = None
+    else:
+        traces = [source if mode == "streamed" else source.materialize()]
+        counts, traffic = workload(traces)
+        # a stable digest of the result bits, compared across modes
+        result_key = repr((counts, traffic))
+    seconds = time.perf_counter() - started
+    print(
+        json.dumps(
+            {
+                "mode": mode,
+                "seconds": seconds,
+                "maxrss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+                "events": len(source),
+                "result_key": result_key,
+            }
+        )
+    )
+    return 0
+
+
+def run_child(mode: str, rtrace: str) -> dict:
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[1] / "src")
+    env["PYTHONPATH"] = (src + os.pathsep + env.get("PYTHONPATH", "")).rstrip(
+        os.pathsep
+    )
+    proc = subprocess.run(
+        [sys.executable, __file__, "--measure", mode, "--rtrace", rtrace],
+        env=env,
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--events", type=int, default=DEFAULT_EVENTS)
+    parser.add_argument(
+        "--out", default="BENCH_trace.json", help="artifact path (JSON)"
+    )
+    parser.add_argument(
+        "--no-strict",
+        action="store_true",
+        help=f"report the ratio without enforcing the {MIN_RSS_RATIO}x floor",
+    )
+    parser.add_argument("--measure", help=argparse.SUPPRESS)
+    parser.add_argument("--rtrace", help=argparse.SUPPRESS)
+    args = parser.parse_args(argv)
+
+    if args.measure:
+        return measure(args.measure, args.rtrace)
+
+    with tempfile.TemporaryDirectory(prefix="bench-trace-") as tmp:
+        rtrace = os.path.join(tmp, "bench.rtrace")
+        synthesize_rtrace(rtrace, args.events)
+        baseline = run_child("baseline", rtrace)
+        streamed = run_child("streamed", rtrace)
+        resident = run_child("resident", rtrace)
+
+    if streamed["result_key"] != resident["result_key"]:
+        print("FATAL: streamed results differ from resident", file=sys.stderr)
+        return 2
+
+    base_kb = baseline["maxrss_kb"]
+    streamed_kb = max(streamed["maxrss_kb"] - base_kb, 1)
+    resident_kb = max(resident["maxrss_kb"] - base_kb, 1)
+    ratio = resident_kb / streamed_kb
+    artifact = {
+        "benchmark": "trace-streamed-vs-resident",
+        "events": args.events,
+        "num_schemes": len(SCHEMES),
+        "baseline_rss_kb": base_kb,
+        "streamed_rss_kb": streamed["maxrss_kb"],
+        "resident_rss_kb": resident["maxrss_kb"],
+        "attributable_streamed_kb": streamed_kb,
+        "attributable_resident_kb": resident_kb,
+        "rss_ratio": round(ratio, 2),
+        "streamed_seconds": round(streamed["seconds"], 4),
+        "resident_seconds": round(resident["seconds"], 4),
+        "streamed_events_per_sec": round(
+            args.events * len(SCHEMES) / streamed["seconds"]
+        ),
+        "min_rss_ratio": MIN_RSS_RATIO,
+        "results_identical": True,
+    }
+    Path(args.out).write_text(json.dumps(artifact, indent=2) + "\n", encoding="utf-8")
+    print(json.dumps(artifact, indent=2))
+
+    if ratio < MIN_RSS_RATIO and not args.no_strict:
+        print(
+            f"FAIL: streamed/resident RSS ratio {ratio:.2f}x below the "
+            f"{MIN_RSS_RATIO}x floor",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

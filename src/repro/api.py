@@ -55,7 +55,7 @@ from repro.metrics.screening import ScreeningStats
 from repro.metrics.traffic import TrafficModel, TrafficReport
 from repro.service.client import ServiceClient
 from repro.service.handles import JobHandle, JobStatus, LocalJobHandle
-from repro.service.jobs import JobSpec, TraceSuiteSpec, inline_traces
+from repro.service.jobs import JobSpec, TraceFileSpec, TraceSuiteSpec, inline_traces
 from repro.trace.events import SharingTrace
 
 __all__ = [
@@ -70,6 +70,7 @@ __all__ = [
     "ScreeningStats",
     "ServiceClient",
     "SharingTrace",
+    "TraceFileSpec",
     "TraceSuiteSpec",
     "TrafficModel",
     "TrafficReport",
@@ -90,7 +91,7 @@ SchemeLike = Union[Scheme, str]
 
 #: trace input for :func:`submit`: live traces, a re-materializable suite
 #: description, or ``None`` for the paper-scale default suite
-TracesLike = Union[Sequence[SharingTrace], TraceSuiteSpec, None]
+TracesLike = Union[Sequence[SharingTrace], TraceSuiteSpec, TraceFileSpec, None]
 
 
 class _Unset:
@@ -145,8 +146,10 @@ def submit(
     dicts), ``"traffic"`` (per-scheme/per-trace :class:`TrafficReport`), or
     ``"scenario"`` (scenario-grid rows; pass ``grid``, no schemes/traces).
     ``traces`` may be live :class:`SharingTrace` objects, a
-    :class:`TraceSuiteSpec` naming a re-materializable suite, or ``None``
-    for the paper-scale default suite.  ``config`` prices ``traffic`` jobs
+    :class:`TraceSuiteSpec` naming a re-materializable suite, a
+    :class:`TraceFileSpec` naming on-disk ``.rtrace`` files (the job then
+    streams them chunk-wise), or ``None`` for the paper-scale default
+    suite.  ``config`` prices ``traffic`` jobs
     (topology + message costs).
 
     The job is fingerprinted over its canonical spec and exact trace
@@ -169,7 +172,7 @@ def submit(
     live_traces: Optional[Sequence[SharingTrace]] = None
     if kind == "scenario":
         trace_ref = None
-    elif isinstance(traces, TraceSuiteSpec):
+    elif isinstance(traces, (TraceSuiteSpec, TraceFileSpec)):
         trace_ref = traces
     elif traces is None:
         trace_ref = TraceSuiteSpec()

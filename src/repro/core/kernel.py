@@ -44,6 +44,87 @@ from typing import Dict, Iterator, Sequence
 from repro.core.update import UpdateMode
 
 
+class KernelStream:
+    """Resumable predictor-kernel state: feed event windows, get predictions.
+
+    The chunked twin of :meth:`PredictorKernel.run`: the table and the
+    FORWARDED pending bookkeeping live on the instance, so a trace can be
+    fed as any sequence of windows -- :meth:`feed` n times is
+    bit-identical to one ``run`` over the concatenation.  Both the
+    DIRECT/FORWARDED/ORDERED timing rules and the per-event loop body are
+    the same code; ``PredictorKernel.run`` delegates here with a
+    throwaway stream, so there is still exactly one copy of the timing
+    semantics.  (FORWARDED needs no close indices at all -- delivery
+    piggy-backs on the closing event's ``inval`` -- which is what makes
+    the per-event families naturally chunk-feedable.)
+    """
+
+    __slots__ = ("mode", "ops", "_table", "_pending_key_by_block")
+
+    def __init__(self, mode: UpdateMode, ops) -> None:
+        self.mode = mode
+        self.ops = ops
+        self._table: Dict[int, object] = {}
+        # Forwarded update: key under which each still-open epoch predicted,
+        # so its truth can be routed there when the epoch closes.  Indexed
+        # by block because the closing event identifies the epoch via its
+        # block.
+        self._pending_key_by_block: Dict[int, int] = {}
+
+    def feed(
+        self,
+        keys: Sequence[int],
+        blocks: Sequence[int],
+        has_inval: Sequence[bool],
+        inval: Sequence[int],
+        truth: Sequence[int],
+    ) -> Iterator[int]:
+        """Yield the raw prediction bitmap for each event in this window."""
+        mode = self.mode
+        ops = self.ops
+        new_entry = ops.new_entry
+        update = ops.update
+        predict = ops.predict
+        table = self._table
+        get = table.get
+        pending_key_by_block = self._pending_key_by_block
+        direct = mode is UpdateMode.DIRECT
+        forwarded = mode is UpdateMode.FORWARDED
+        ordered = mode is UpdateMode.ORDERED
+
+        for position in range(len(keys)):
+            key = keys[position]
+            entry = get(key)
+            if entry is None:
+                entry = new_entry()
+                table[key] = entry
+            if direct:
+                if has_inval[position]:
+                    update(entry, inval[position])
+            elif forwarded:
+                block = blocks[position]
+                if has_inval[position]:
+                    # This event closes its block's previous epoch; deliver
+                    # that epoch's truth (== this event's inval bitmap) to
+                    # the entry that predicted it.  That entry always
+                    # exists: it was created at its predicting event.
+                    update(table[pending_key_by_block[block]], inval[position])
+                pending_key_by_block[block] = key
+            yield predict(entry)
+            if ordered:
+                update(entry, truth[position])
+
+    def feed_chunk(self, chunk, keys: Sequence[int]) -> Iterator[int]:
+        """:meth:`feed` with the columns pulled off a trace chunk."""
+        return self.feed(
+            keys,
+            chunk.block.tolist(),
+            chunk.has_inval.tolist(),
+            chunk.inval_ints(),
+            chunk.truth_ints(),
+        )
+
+
 class PredictorKernel:
     """Drive one predictor table over an event stream, one update mode.
 
@@ -76,43 +157,9 @@ class PredictorKernel:
         Predictions are *raw*: writer-bit masking is a scoring concern and
         stays with the callers.
         """
-        mode = self.mode
-        ops = self.ops
-        new_entry = ops.new_entry
-        update = ops.update
-        predict = ops.predict
-        table: Dict[int, object] = {}
-        get = table.get
-        # Forwarded update: key under which each still-open epoch predicted,
-        # so its truth can be routed there when the epoch closes.  Indexed
-        # by block because the closing event identifies the epoch via its
-        # block.
-        pending_key_by_block: Dict[int, int] = {}
-        direct = mode is UpdateMode.DIRECT
-        forwarded = mode is UpdateMode.FORWARDED
-        ordered = mode is UpdateMode.ORDERED
-
-        for position in range(len(keys)):
-            key = keys[position]
-            entry = get(key)
-            if entry is None:
-                entry = new_entry()
-                table[key] = entry
-            if direct:
-                if has_inval[position]:
-                    update(entry, inval[position])
-            elif forwarded:
-                block = blocks[position]
-                if has_inval[position]:
-                    # This event closes its block's previous epoch; deliver
-                    # that epoch's truth (== this event's inval bitmap) to
-                    # the entry that predicted it.  That entry always
-                    # exists: it was created at its predicting event.
-                    update(table[pending_key_by_block[block]], inval[position])
-                pending_key_by_block[block] = key
-            yield predict(entry)
-            if ordered:
-                update(entry, truth[position])
+        return KernelStream(self.mode, self.ops).feed(
+            keys, blocks, has_inval, inval, truth
+        )
 
     def run_trace(self, trace, keys: Sequence[int]) -> Iterator[int]:
         """:meth:`run` with the event columns pulled off a ``SharingTrace``.

@@ -13,10 +13,12 @@ from repro.core.evaluator import evaluate_scheme, predict_scheme
 from repro.core.plan import SweepPlan, evaluate_plan
 from repro.core.schemes import Scheme
 from repro.core.vectorized import evaluate_scheme_fast
-from repro.engine.base import EvaluationEngine, ResultCallback
+from repro.core.windowed import evaluate_batch_streamed, evaluate_scheme_streamed
+from repro.engine.base import EvaluationEngine, ResultCallback, TraceLike
 from repro.metrics.confusion import ConfusionCounts
 from repro.telemetry import get_telemetry
 from repro.trace.events import SharingTrace
+from repro.trace.source import TraceSource
 
 
 class ReferenceEngine(EvaluationEngine):
@@ -55,27 +57,67 @@ class VectorizedEngine(EvaluationEngine):
     feedback passes are computed once per group rather than once per
     scheme.  Planning is pure scheduling -- results are bit-identical to
     per-scheme evaluation and ``on_result`` still fires once per scheme.
+
+    This is the streaming backend: a :class:`~repro.trace.source.TraceSource`
+    is evaluated chunk by chunk through :mod:`repro.core.windowed` (never
+    materialized), with the same group-sharing the planner does and
+    bit-identical results.  Resident traces keep the planner fast path.
     """
 
     name = "vectorized"
+    supports_streams = True
 
     def _evaluate_one(
-        self, scheme: Scheme, trace: SharingTrace, exclude_writer: bool
+        self, scheme: Scheme, trace: TraceLike, exclude_writer: bool
     ) -> ConfusionCounts:
+        if isinstance(trace, TraceSource):
+            return evaluate_scheme_streamed(
+                scheme, trace, exclude_writer=exclude_writer
+            )
         return evaluate_scheme_fast(scheme, trace, exclude_writer=exclude_writer)
 
     def _evaluate_batch(
         self,
         schemes: Sequence[Scheme],
-        traces: Sequence[SharingTrace],
+        traces: Sequence[TraceLike],
         *,
         exclude_writer: bool,
         on_result: Optional[ResultCallback],
     ) -> List[List[ConfusionCounts]]:
-        plan = SweepPlan(schemes)
+        traces = list(traces)
         telemetry = get_telemetry()
-        if telemetry.enabled:
-            plan.record_telemetry(telemetry)
-        return evaluate_plan(
-            plan, list(traces), exclude_writer=exclude_writer, on_result=on_result
-        )
+        if not any(isinstance(trace, TraceSource) for trace in traces):
+            plan = SweepPlan(schemes)
+            if telemetry.enabled:
+                plan.record_telemetry(telemetry)
+            return evaluate_plan(
+                plan, traces, exclude_writer=exclude_writer, on_result=on_result
+            )
+        # Streamed suite: one single-pass sweep per trace (sources chunked,
+        # residents planned), transposed back to scheme-major.  The streamed
+        # sweep shares key streams and bitmap passes across schemes exactly
+        # like the planner, so the batch stays one pass over each trace.
+        columns: List[List[ConfusionCounts]] = []
+        for trace in traces:
+            if isinstance(trace, TraceSource):
+                columns.append(
+                    evaluate_batch_streamed(
+                        schemes, trace, exclude_writer=exclude_writer
+                    )
+                )
+            else:
+                plan = SweepPlan(schemes)
+                if telemetry.enabled:
+                    plan.record_telemetry(telemetry)
+                rows = evaluate_plan(
+                    plan, [trace], exclude_writer=exclude_writer, on_result=None
+                )
+                columns.append([row[0] for row in rows])
+        results = [
+            [columns[t][s] for t in range(len(traces))]
+            for s in range(len(schemes))
+        ]
+        if on_result is not None:
+            for index, per_trace in enumerate(results):
+                on_result(index, per_trace)
+        return results

@@ -53,18 +53,26 @@ from __future__ import annotations
 
 import time
 from abc import ABC, abstractmethod
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence, Union
 
 from repro.core.schemes import Scheme
 from repro.forwarding.simulator import (
     DEFAULT_FORWARDING_CONFIG,
     ForwardingConfig,
     replay_traffic,
+    simulate_traffic_streamed,
 )
 from repro.metrics.confusion import ConfusionCounts
 from repro.metrics.traffic import TrafficReport
 from repro.telemetry import get_telemetry
 from repro.trace.events import SharingTrace
+from repro.trace.source import TraceSource
+
+#: what every engine method accepts where it used to take a resident trace:
+#: a :class:`SharingTrace` or any :class:`~repro.trace.source.TraceSource`
+#: (``len`` works on both).  Engines that cannot stream materialize sources
+#: up front -- see :meth:`EvaluationEngine._resolve_trace`.
+TraceLike = Union[SharingTrace, TraceSource]
 
 #: callback signature for incremental batch results:
 #: ``on_result(scheme_index, per_trace_counts)``
@@ -81,20 +89,47 @@ class EvaluationEngine(ABC):
     #: short identifier used by ``REPRO_BACKEND`` and diagnostics
     name: str = "abstract"
 
+    #: whether the backend's hooks consume :class:`TraceSource` chunk
+    #: streams natively.  When ``False`` (the default) the public methods
+    #: materialize any source before it reaches a hook, so every backend
+    #: accepts sources; streaming engines opt in and keep O(chunk) memory.
+    supports_streams: bool = False
+
+    def _resolve_trace(self, trace: TraceLike) -> TraceLike:
+        """Materialize a source for non-streaming backends; pass through else.
+
+        Bit-identity makes this safe: a materialized source evaluates to
+        exactly the streamed result, so coercion is purely a memory/perf
+        trade recorded under ``engine.stream.materializations``.
+        """
+        if isinstance(trace, TraceSource) and not self.supports_streams:
+            telemetry = get_telemetry()
+            if telemetry.enabled:
+                telemetry.count("engine.stream.materializations")
+                telemetry.count(f"engine.{self.name}.stream.materializations")
+            return trace.materialize()
+        return trace
+
     @abstractmethod
     def _evaluate_one(
-        self, scheme: Scheme, trace: SharingTrace, exclude_writer: bool
+        self, scheme: Scheme, trace: TraceLike, exclude_writer: bool
     ) -> ConfusionCounts:
-        """Backend hook: score one scheme on one trace, uninstrumented."""
+        """Backend hook: score one scheme on one trace, uninstrumented.
+
+        ``trace`` is resident unless the backend declares
+        ``supports_streams``, in which case it may also be a
+        :class:`TraceSource`.
+        """
 
     def evaluate(
         self,
         scheme: Scheme,
-        trace: SharingTrace,
+        trace: TraceLike,
         *,
         exclude_writer: bool = True,
     ) -> ConfusionCounts:
-        """Score one scheme on one trace."""
+        """Score one scheme on one trace (or streamed source)."""
+        trace = self._resolve_trace(trace)
         telemetry = get_telemetry()
         if not telemetry.enabled:
             return self._evaluate_one(scheme, trace, exclude_writer)
@@ -110,7 +145,7 @@ class EvaluationEngine(ABC):
     def evaluate_suite(
         self,
         scheme: Scheme,
-        traces: Sequence[SharingTrace],
+        traces: Sequence[TraceLike],
         *,
         exclude_writer: bool = True,
     ) -> List[ConfusionCounts]:
@@ -135,7 +170,7 @@ class EvaluationEngine(ABC):
     def evaluate_batch(
         self,
         schemes: Sequence[Scheme],
-        traces: Sequence[SharingTrace],
+        traces: Sequence[TraceLike],
         *,
         exclude_writer: bool = True,
         on_result: Optional[ResultCallback] = None,
@@ -148,6 +183,7 @@ class EvaluationEngine(ABC):
         ``on_result`` is given it fires once per scheme as its suite
         completes (possibly out of input order).
         """
+        traces = [self._resolve_trace(trace) for trace in traces]
         telemetry = get_telemetry()
         if not telemetry.enabled:
             return self._evaluate_batch(
@@ -173,7 +209,7 @@ class EvaluationEngine(ABC):
     def _evaluate_batch(
         self,
         schemes: Sequence[Scheme],
-        traces: Sequence[SharingTrace],
+        traces: Sequence[TraceLike],
         *,
         exclude_writer: bool,
         on_result: Optional[ResultCallback],
@@ -208,7 +244,7 @@ class EvaluationEngine(ABC):
     def simulate_traffic(
         self,
         scheme: Scheme,
-        trace: SharingTrace,
+        trace: TraceLike,
         *,
         config: Optional[ForwardingConfig] = None,
     ) -> TrafficReport:
@@ -219,9 +255,16 @@ class EvaluationEngine(ABC):
         forwarding under ``config``'s topology and cost model.  The report's
         confusion quad is bit-identical to :meth:`evaluate` on the same
         inputs (the simulator scores the very prediction stream it replays).
+        A source reaching a streaming backend replays window by window --
+        the full-length prediction column never exists.
         """
         if config is None:
             config = DEFAULT_FORWARDING_CONFIG
+        trace = self._resolve_trace(trace)
+        if isinstance(trace, TraceSource):
+            return simulate_traffic_streamed(
+                scheme, trace, topology=config.topology, model=config.model
+            )
         predictions = self._predict_one(scheme, trace)
         return replay_traffic(
             trace,
@@ -234,7 +277,7 @@ class EvaluationEngine(ABC):
     def evaluate_traffic(
         self,
         schemes: Sequence[Scheme],
-        traces: Sequence[SharingTrace],
+        traces: Sequence[TraceLike],
         *,
         config: Optional[ForwardingConfig] = None,
         on_result: Optional[TrafficCallback] = None,
@@ -248,6 +291,7 @@ class EvaluationEngine(ABC):
         """
         if config is None:
             config = DEFAULT_FORWARDING_CONFIG
+        traces = [self._resolve_trace(trace) for trace in traces]
         telemetry = get_telemetry()
         if not telemetry.enabled:
             return self._evaluate_traffic_batch(
@@ -267,7 +311,7 @@ class EvaluationEngine(ABC):
     def _evaluate_traffic_batch(
         self,
         schemes: Sequence[Scheme],
-        traces: Sequence[SharingTrace],
+        traces: Sequence[TraceLike],
         *,
         config: ForwardingConfig,
         on_result: Optional[TrafficCallback],

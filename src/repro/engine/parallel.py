@@ -256,6 +256,11 @@ class ParallelEngine(EvaluationEngine):
     """
 
     name = "parallel"
+    # Sources pass through to the transports: file-backed suites ship as
+    # path+fingerprint records (workers stream them), anything else is
+    # materialized at the transport seam, and the serial fallback streams
+    # in-process.
+    supports_streams = True
 
     def __init__(
         self,

@@ -16,13 +16,23 @@ messages over TCP, with one binary extension -- an ``install`` message in
 
 ``hello``     handshake; the worker reports its schema and pid.
 ``install``   pin a trace suite (and kernel backend) in the worker.
-              Mode ``shm`` ships :class:`~repro.trace.shm.TraceDescriptor`
+              Mode ``cached`` is a zero-byte probe: the worker keeps its
+              last few installed suites keyed by the transport's
+              fingerprint tuple, and a coordinator whose suite matches
+              re-pins them without shipping anything (coordinator-side
+              counter ``engine.remote.trace_cache.hits``).  Mode ``shm``
+              ships :class:`~repro.trace.shm.TraceDescriptor`
               records for a same-machine worker to attach zero-copy
-              (fingerprint-verified, exactly the pool path); the worker
-              answers ``ok: false`` when it cannot attach and the
-              coordinator falls back to mode ``bulk``: flat per-field
-              layouts plus the concatenated array bytes, rebuilt and then
-              verified against the same content fingerprints.
+              (fingerprint-verified, exactly the pool path); mode
+              ``files`` ships ``.rtrace`` path+fingerprint records the
+              worker opens and streams itself (shared-filesystem
+              assumption, fingerprint-refused on mismatch).  A worker
+              that cannot serve any of those answers ``ok: false`` and
+              the coordinator falls back to mode ``bulk``: flat
+              per-field layouts plus the concatenated array bytes,
+              rebuilt and then verified against the same content
+              fingerprints.  Every successful install also populates the
+              worker's suite cache.
 ``chunk``     score one chunk (``kind`` evaluate/traffic, scheme full
               names, JSON args) and reply with the payload quadruple.
 ``shutdown``  acknowledge and exit the worker process.
@@ -66,12 +76,17 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from collections import OrderedDict
+
 from repro.core.kernel_backends import resolve_kernel_backend
 from repro.core.schemes import parse_scheme
 from repro.engine.transport import (
     ChunkResult,
     WorkTransport,
+    file_trace_specs,
     install_traces,
+    installed_traces,
+    resolve_worker_traces,
     run_chunk,
 )
 from repro.machine import MachineSpec
@@ -267,6 +282,27 @@ def decode_bulk_traces(headers: Sequence[dict], blob: bytes) -> List[SharingTrac
 # Worker side: the repro-worker process
 # ----------------------------------------------------------------------
 
+#: suites a worker retains between installs (each entry is one batch's
+#: whole trace list) -- enough for a coordinator alternating among a few
+#: scenario cells without re-shipping, small enough to bound memory
+TRACE_CACHE_CAPACITY = 4
+
+#: worker-lifetime suite cache: transport fingerprint tuple -> installed
+#: trace list.  Survives coordinator reconnects, which is the whole point:
+#: a restarted sweep re-pins its traces with a zero-byte ``cached`` probe.
+_TRACE_CACHE: "OrderedDict[Tuple[str, ...], list]" = OrderedDict()
+
+
+def _trace_cache_store(key: Optional[Sequence[str]]) -> None:
+    """Retain the just-installed suite under the coordinator's key (LRU)."""
+    if not key:
+        return
+    cache_key = tuple(key)
+    _TRACE_CACHE[cache_key] = list(installed_traces())
+    _TRACE_CACHE.move_to_end(cache_key)
+    while len(_TRACE_CACHE) > TRACE_CACHE_CAPACITY:
+        _TRACE_CACHE.popitem(last=False)
+
 
 class _WorkerSession:
     """One coordinator connection served by a repro-worker process."""
@@ -331,12 +367,33 @@ class _WorkerSession:
     def _handle_install(self, message: dict) -> bool:
         mode = message.get("mode")
         try:
-            if mode == "shm":
+            if mode == "cached":
+                cached = _TRACE_CACHE.get(tuple(message.get("key") or ()))
+                if cached is None:
+                    self._reply({"ok": False, "error": "trace cache miss"})
+                    return False
+                _TRACE_CACHE.move_to_end(tuple(message["key"]))
+                install_traces(
+                    {
+                        "mode": "objects",
+                        "traces": cached,
+                        "kernel": message.get("kernel"),
+                    }
+                )
+            elif mode == "shm":
                 descriptors = _descriptors_from_json(message["descriptors"])
                 install_traces(
                     {
                         "mode": "shm",
                         "descriptors": descriptors,
+                        "kernel": message.get("kernel"),
+                    }
+                )
+            elif mode == "files":
+                install_traces(
+                    {
+                        "mode": "files",
+                        "files": message["files"],
                         "kernel": message.get("kernel"),
                     }
                 )
@@ -360,6 +417,8 @@ class _WorkerSession:
                 {"ok": False, "error": f"{type(error).__name__}: {error}"}
             )
             return False
+        if mode != "cached":
+            _trace_cache_store(message.get("key"))
         self._reply({"ok": True, "mode": mode})
         return False
 
@@ -557,9 +616,15 @@ class SocketTransport(WorkTransport):
         self._readers: List[threading.Thread] = []
         self.published = None
         kernel = resolve_kernel_backend().name
+        # A fully file-backed suite prefers the zero-copy ``files`` install
+        # (workers stream the .rtrace paths themselves), so skip the shm
+        # publish; mixed/resident suites publish as before, with any
+        # streamed members filling their segments chunk-wise.
         offer_shm = (
-            use_shm if use_shm is not None else remote_shm_enabled()
-        ) and shm_available()
+            (use_shm if use_shm is not None else remote_shm_enabled())
+            and shm_available()
+            and file_trace_specs(traces) is None
+        )
         if offer_shm:
             try:
                 self.published = publish_traces(traces)
@@ -614,13 +679,32 @@ class SocketTransport(WorkTransport):
         return worker
 
     def _install(self, worker, kernel, traces, bulk):
-        """Install the trace suite in one worker; returns the cached bulk."""
+        """Install the trace suite in one worker; returns the cached bulk.
+
+        Escalating negotiation, cheapest first: a zero-byte ``cached``
+        probe against the worker's fingerprint-keyed suite cache, then shm
+        descriptors, then ``.rtrace`` path records for file-backed suites,
+        then verified bulk bytes.  Every data-bearing message carries the
+        transport key so the worker caches what it installed.
+        """
+        key = list(self.key)
+        if key:
+            sent = worker.send(
+                {"op": "install", "mode": "cached", "kernel": kernel, "key": key}
+            )
+            reply = self._read_reply(worker)
+            if reply.get("ok"):
+                self._telemetry.count("engine.remote.trace_cache.hits")
+                self._telemetry.count("engine.remote.bytes_shipped", sent)
+                return bulk
+            self._telemetry.count("engine.remote.trace_cache.misses")
         if self.published is not None:
             sent = worker.send(
                 {
                     "op": "install",
                     "mode": "shm",
                     "kernel": kernel,
+                    "key": key,
                     "descriptors": _descriptors_to_json(self.published.descriptors),
                 }
             )
@@ -634,14 +718,36 @@ class SocketTransport(WorkTransport):
                 worker.address,
                 reply.get("error"),
             )
+        specs = file_trace_specs(traces)
+        if specs is not None:
+            sent = worker.send(
+                {
+                    "op": "install",
+                    "mode": "files",
+                    "kernel": kernel,
+                    "key": key,
+                    "files": specs,
+                }
+            )
+            reply = self._read_reply(worker)
+            if reply.get("ok"):
+                self._telemetry.count("engine.remote.file_installs")
+                self._telemetry.count("engine.remote.bytes_shipped", sent)
+                return bulk
+            logger.info(
+                "worker %s cannot open trace files (%s); shipping bulk traces",
+                worker.address,
+                reply.get("error"),
+            )
         if bulk is None:
-            bulk = encode_bulk_traces(traces)
+            bulk = encode_bulk_traces(resolve_worker_traces(traces))
         headers, blob = bulk
         sent = worker.send(
             {
                 "op": "install",
                 "mode": "bulk",
                 "kernel": kernel,
+                "key": key,
                 "traces": headers,
                 "nbytes": len(blob),
             },

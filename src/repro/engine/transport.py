@@ -43,7 +43,8 @@ from repro.core.kernel_backends import resolve_kernel_backend, set_kernel_backen
 from repro.core.plan import KeyCache, SweepPlan, evaluate_plan
 from repro.core.schemes import Scheme
 from repro.core.vectorized import predict_scheme_fast
-from repro.forwarding.simulator import replay_traffic
+from repro.core.windowed import evaluate_batch_streamed
+from repro.forwarding.simulator import replay_traffic, simulate_traffic_streamed
 from repro.metrics.traffic import TrafficModel
 from repro.telemetry import Telemetry, get_telemetry, set_telemetry
 from repro.trace.events import SharingTrace
@@ -54,6 +55,7 @@ from repro.trace.shm import (
     shm_enabled,
     trace_fingerprint,
 )
+from repro.trace.source import TraceSource
 
 logger = logging.getLogger("repro.engine.transport")
 
@@ -70,7 +72,9 @@ CHUNK_KINDS = ("evaluate", "traffic")
 # ----------------------------------------------------------------------
 
 # Worker-process state, installed once per trace suite by install_traces.
-_WORKER_TRACES: List[SharingTrace] = []
+# Entries are resident SharingTraces or TraceSources (installed by the
+# "files" mode); chunk evaluation dispatches per entry.
+_WORKER_TRACES: List = []
 _WORKER_SEGMENTS: Dict[str, object] = {}
 #: worker-lifetime key-stream cache: chunks are cut inside plan-batch
 #: boundaries, so consecutive chunks frequently share an IndexSpec and the
@@ -87,11 +91,17 @@ def install_traces(payload: dict) -> None:
         {"mode": "pickle", "traces": [SharingTrace, ...]}
         {"mode": "shm",    "descriptors": [TraceDescriptor, ...]}
         {"mode": "objects", "traces": [SharingTrace, ...]}
+        {"mode": "files",  "files": [{"path": ..., "fingerprint": ...}, ...]}
 
     ``pickle`` is the multiprocessing initializer path (the arrays arrived
-    pickled), ``shm`` attaches fingerprint-verified zero-copy views, and
+    pickled), ``shm`` attaches fingerprint-verified zero-copy views,
     ``objects`` is the remote worker handing over traces it already
-    rebuilt (from a bulk transfer or a local shm attach).
+    rebuilt (from a bulk transfer or a local shm attach), and ``files``
+    installs each trace as a chunk-streaming
+    :class:`~repro.trace.interchange.FileTraceSource` -- only a path and a
+    fingerprint cross the process boundary, the worker opens the
+    ``.rtrace`` itself (shared-filesystem assumption) and refuses a
+    fingerprint mismatch, so a swapped or stale file can never install.
     ``payload["kernel"]`` pins the kernel backend the *coordinator*
     resolved, so every worker evaluates on the same per-event loop and a
     heterogeneous pool can never change results (an unavailable pinned
@@ -112,6 +122,20 @@ def install_traces(payload: dict) -> None:
             _WORKER_SEGMENTS[descriptor.fingerprint] = attached
             traces.append(attached.trace)
         _WORKER_TRACES = traces
+    elif payload["mode"] == "files":
+        from repro.trace.interchange import FileTraceSource
+
+        sources = []
+        for spec in payload["files"]:
+            source = FileTraceSource(spec["path"])
+            expected = spec.get("fingerprint")
+            if expected and source.fingerprint() != expected:
+                raise ValueError(
+                    f"trace file {spec['path']} fingerprint mismatch: "
+                    f"{source.fingerprint()} != {expected}"
+                )
+            sources.append(source)
+        _WORKER_TRACES = sources
     else:
         _WORKER_TRACES = list(payload["traces"])
 
@@ -177,12 +201,38 @@ def _evaluate_payloads(schemes: List[Scheme], exclude_writer: bool) -> List[list
     # normally a single (IndexSpec, family) batch sharing one key stream
     # and its bitmap passes; the worker-global KeyCache extends the sharing
     # across consecutive chunks of the same group.
-    per_scheme = evaluate_plan(
-        SweepPlan(schemes),
-        _WORKER_TRACES,
-        exclude_writer=exclude_writer,
-        key_cache=_WORKER_KEY_CACHE,
-    )
+    if not any(isinstance(trace, TraceSource) for trace in _WORKER_TRACES):
+        per_scheme = evaluate_plan(
+            SweepPlan(schemes),
+            _WORKER_TRACES,
+            exclude_writer=exclude_writer,
+            key_cache=_WORKER_KEY_CACHE,
+        )
+    else:
+        # File-installed suites stream chunk by chunk: one single-pass
+        # StreamedSweep per source (sharing key streams and bitmap passes
+        # across the chunk's schemes exactly like the planner), residents
+        # through the plan as usual, transposed back to scheme-major.
+        columns = []
+        for trace in _WORKER_TRACES:
+            if isinstance(trace, TraceSource):
+                columns.append(
+                    evaluate_batch_streamed(
+                        schemes, trace, exclude_writer=exclude_writer
+                    )
+                )
+            else:
+                rows = evaluate_plan(
+                    SweepPlan(schemes),
+                    [trace],
+                    exclude_writer=exclude_writer,
+                    key_cache=_WORKER_KEY_CACHE,
+                )
+                columns.append([row[0] for row in rows])
+        per_scheme = [
+            [columns[t][s] for t in range(len(_WORKER_TRACES))]
+            for s in range(len(schemes))
+        ]
     return [
         [
             [
@@ -205,15 +255,20 @@ def _traffic_payloads(
     for scheme in schemes:
         per_trace = []
         for trace in _WORKER_TRACES:
-            keys = _WORKER_KEY_CACHE.key_stream(trace, scheme.index)
-            predictions = predict_scheme_fast(scheme, trace, keys=keys)
-            report = replay_traffic(
-                trace,
-                predictions,
-                scheme=scheme.full_name,
-                topology=topology,
-                model=traffic_model,
-            )
+            if isinstance(trace, TraceSource):
+                report = simulate_traffic_streamed(
+                    scheme, trace, topology=topology, model=traffic_model
+                )
+            else:
+                keys = _WORKER_KEY_CACHE.key_stream(trace, scheme.index)
+                predictions = predict_scheme_fast(scheme, trace, keys=keys)
+                report = replay_traffic(
+                    trace,
+                    predictions,
+                    scheme=scheme.full_name,
+                    topology=topology,
+                    model=traffic_model,
+                )
             per_trace.append(report.to_json())
         payloads.append(per_trace)
     return payloads
@@ -299,12 +354,45 @@ class WorkTransport(ABC):
         """Tear the transport down (idempotent)."""
 
 
+def file_trace_specs(traces: Sequence) -> Optional[List[dict]]:
+    """``files``-mode install specs, when every trace is file-backed.
+
+    Returns one ``{"path", "fingerprint"}`` record per trace if the whole
+    suite consists of :class:`~repro.trace.interchange.FileTraceSource`
+    entries (so workers can open the ``.rtrace`` files themselves and
+    stream), else ``None``.
+    """
+    specs = []
+    for trace in traces:
+        path = getattr(trace, "path", None)
+        if not (isinstance(trace, TraceSource) and path):
+            return None
+        specs.append({"path": path, "fingerprint": trace.fingerprint()})
+    return specs if specs else None
+
+
+def resolve_worker_traces(traces: Sequence) -> List[SharingTrace]:
+    """Materialize any sources for transports that must ship arrays."""
+    telemetry = get_telemetry()
+    resolved = []
+    for trace in traces:
+        if isinstance(trace, TraceSource):
+            if telemetry.enabled:
+                telemetry.count("engine.stream.materializations")
+            trace = trace.materialize()
+        resolved.append(trace)
+    return resolved
+
+
 def prepare_mp_payload(
     traces: Sequence[SharingTrace], use_shm: Optional[bool]
 ):
-    """Choose the process-pool trace transport: SHM descriptors or pickles.
+    """Choose the process-pool trace transport: files, SHM, or pickles.
 
-    Returns ``(published_or_None, initializer_payload)``.  Publication
+    Returns ``(published_or_None, initializer_payload)``.  A suite of
+    file-backed sources ships as path+fingerprint records (workers stream
+    the ``.rtrace`` files; nothing resident crosses the fork).  Otherwise
+    sources are materialized and the resident paths apply; publication
     failures (quota, missing /dev/shm) degrade to pickling with a counter,
     never an error.
     """
@@ -312,6 +400,9 @@ def prepare_mp_payload(
     # Resolve the kernel backend in the coordinator (compiling/self-checking
     # the native library here, once) and pin the choice in every worker.
     kernel = resolve_kernel_backend().name
+    specs = file_trace_specs(traces)
+    if specs is not None:
+        return None, {"mode": "files", "files": specs, "kernel": kernel}
     shm_wanted = (
         (use_shm and shm_available())
         if use_shm is not None
@@ -319,6 +410,8 @@ def prepare_mp_payload(
     )
     if shm_wanted:
         try:
+            # publish_traces fills source segments chunk-wise, so mixed
+            # suites publish without materializing their streamed members
             published = publish_traces(traces)
         except (OSError, RuntimeError, ValueError) as error:
             logger.warning(
@@ -334,7 +427,11 @@ def prepare_mp_payload(
                 "descriptors": published.descriptors,
                 "kernel": kernel,
             }
-    return None, {"mode": "pickle", "traces": list(traces), "kernel": kernel}
+    return None, {
+        "mode": "pickle",
+        "traces": resolve_worker_traces(traces),
+        "kernel": kernel,
+    }
 
 
 class MultiprocessingTransport(WorkTransport):
@@ -413,6 +510,17 @@ class MultiprocessingTransport(WorkTransport):
             self.published = None
 
 
-def transport_key(traces: Sequence[SharingTrace]) -> Tuple[str, ...]:
-    """The trace-content identity a transport is bound to."""
-    return tuple(trace_fingerprint(trace) for trace in traces)
+def transport_key(traces: Sequence) -> Tuple[str, ...]:
+    """The trace-content identity a transport is bound to.
+
+    Sources key on their streaming fingerprint (prefixed so the two
+    fingerprint algebras can never collide), residents on the historical
+    resident fingerprint -- so every existing transport-reuse key stays
+    exactly what it was.
+    """
+    return tuple(
+        f"stream:{trace.fingerprint()}"
+        if isinstance(trace, TraceSource)
+        else trace_fingerprint(trace)
+        for trace in traces
+    )

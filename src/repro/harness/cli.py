@@ -52,7 +52,12 @@ from repro.harness.experiments import (
     run_experiment,
 )
 from repro.harness.figures import render_figure
-from repro.harness.runner import CheckpointPolicy, TraceSet, set_checkpoint_policy
+from repro.harness.runner import (
+    CheckpointPolicy,
+    FileTraceSet,
+    TraceSet,
+    set_checkpoint_policy,
+)
 from repro.harness.tables import render_table
 from repro.telemetry import RunReport, Telemetry, set_telemetry
 from repro.util.persist import atomic_write_json
@@ -112,6 +117,18 @@ def _build_parser(experiments) -> argparse.ArgumentParser:
         help="comma-separated benchmark subset (default: full suite)",
     )
     parser.add_argument("--seed", type=int, default=0, help="workload seed (default 0)")
+    parser.add_argument(
+        "--trace-file",
+        action="append",
+        default=None,
+        metavar="FILE.rtrace",
+        help=(
+            "run over imported .rtrace trace files instead of the generated "
+            "suite (repeatable; see repro-trace import).  Traces stream "
+            "chunk-wise, so files larger than memory are fine.  Mutually "
+            "exclusive with --benchmarks/--seed"
+        ),
+    )
     parser.add_argument(
         "--jobs",
         type=int,
@@ -217,8 +234,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ValueError as error:
         parser.error(str(error))
 
-    benchmarks = args.benchmarks.split(",") if args.benchmarks else None
-    trace_set = TraceSet(benchmarks=benchmarks, seed=args.seed)
+    if args.trace_file:
+        if args.benchmarks or args.seed:
+            parser.error("--trace-file replaces the generated suite; drop "
+                         "--benchmarks/--seed")
+        from repro.trace.interchange import TraceFormatError
+
+        try:
+            trace_set = FileTraceSet(args.trace_file)
+        except (OSError, TraceFormatError) as error:
+            parser.error(str(error))
+    else:
+        benchmarks = args.benchmarks.split(",") if args.benchmarks else None
+        trace_set = TraceSet(benchmarks=benchmarks, seed=args.seed)
 
     collect_telemetry = args.telemetry != "off" or args.telemetry_out is not None
     report = RunReport(

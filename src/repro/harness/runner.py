@@ -31,7 +31,7 @@ import logging
 import os
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.machine import MachineSpec
 from repro.memory.cache import CacheConfig
@@ -279,6 +279,61 @@ class TraceSet:
 def default_trace_set() -> TraceSet:
     """The suite at default scale -- what all paper experiments run on."""
     return TraceSet()
+
+
+class FileTraceSet:
+    """A suite of on-disk ``.rtrace`` files with the :class:`TraceSet` surface.
+
+    What sweep experiments receive when the user points them at imported
+    trace files (``--trace-file``): ``benchmarks`` / :meth:`trace` /
+    :meth:`traces` / :meth:`fingerprint` behave like :class:`TraceSet`, but
+    each entry is a streaming
+    :class:`~repro.trace.interchange.FileTraceSource` -- engines consume it
+    chunk-wise and peak memory stays one window, not one trace.  Names
+    come from the file headers; duplicates are disambiguated by suffix so
+    per-benchmark result tables stay well-keyed.
+    """
+
+    def __init__(self, paths: Sequence[Union[str, os.PathLike]]):
+        from repro.trace.interchange import FileTraceSource
+
+        if not paths:
+            raise ValueError("FileTraceSet needs at least one .rtrace path")
+        self._sources = []
+        names: List[str] = []
+        for path in paths:
+            source = FileTraceSource(path)
+            name = source.name
+            if name in names:
+                name = f"{name}#{names.count(name) + 1}"
+            names.append(source.name)
+            self._sources.append((name, source))
+        self.benchmarks = [name for name, _source in self._sources]
+        self.num_nodes = self._sources[0][1].num_nodes
+        self.machine = self._sources[0][1].machine
+
+    def trace(self, benchmark: str):
+        for name, source in self._sources:
+            if name == benchmark:
+                return source
+        raise KeyError(f"no trace named {benchmark!r} in this file set")
+
+    def traces(self) -> list:
+        return [source for _name, source in self._sources]
+
+    def fingerprint(self) -> str:
+        """Content-addressed suite id (stable across file moves/renames)."""
+        parts = ";".join(
+            f"{name}:{source.fingerprint()}" for name, source in self._sources
+        )
+        return hashlib.sha256(parts.encode("utf-8")).hexdigest()[:16]
+
+    def protocol_summary(self, benchmark: str) -> dict:
+        raise ValueError(
+            "protocol statistics are recorded when a trace is generated; an "
+            f"imported .rtrace file carries none (requested {benchmark!r}). "
+            "Run the experiment on a generated suite instead."
+        )
 
 
 # ----------------------------------------------------------------------

@@ -91,6 +91,7 @@ class CoherenceProtocol:
         trace_name: str = "trace",
         use_exclusive_state: bool = False,
         machine: "MachineSpec | None" = None,
+        builder=None,
     ):
         if address_space.num_nodes != num_nodes:
             raise ValueError(
@@ -107,7 +108,13 @@ class CoherenceProtocol:
         self.address_space = address_space
         self.caches = [SetAssociativeCache(cache_config) for _ in range(num_nodes)]
         self.directory = Directory()
-        self.builder = SharingTraceBuilder(num_nodes, name=trace_name, machine=machine)
+        # Any object with the builder surface (add_event / add_reader /
+        # __len__ / finalize) works -- a StreamingTraceBuilder here is how
+        # workload traces flow straight into a TraceWriter sink without
+        # ever being resident.
+        if builder is None:
+            builder = SharingTraceBuilder(num_nodes, name=trace_name, machine=machine)
+        self.builder = builder
         self.stats = ProtocolStats(
             store_pcs_by_node=[set() for _ in range(num_nodes)],
             predicted_pcs_by_node=[set() for _ in range(num_nodes)],

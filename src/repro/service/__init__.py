@@ -31,6 +31,7 @@ from repro.service.jobs import (
     InlineTraces,
     JobSpec,
     JobSpecError,
+    TraceFileSpec,
     TraceSuiteSpec,
     decode_result,
     inline_traces,
@@ -64,6 +65,7 @@ __all__ = [
     "ServiceClient",
     "ServiceError",
     "SweepServer",
+    "TraceFileSpec",
     "TraceSuiteSpec",
     "decode_result",
     "get_default_registry",

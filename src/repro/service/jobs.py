@@ -17,13 +17,17 @@ form that is
   That fingerprint is the job id, the dedup key, the journal key, and the
   result-cache key; nothing else identifies a job.
 
-Traces are referenced two ways.  A :class:`TraceSuiteSpec` names traces by
-their generation parameters (benchmark list, machine, seed, workload
-overrides) -- the reference is tiny, deterministic to materialize, and the
-only form accepted over the wire.  :class:`InlineTraces` carries content
-fingerprints of in-memory traces the caller already holds; it is how the
-in-process job path (``repro.api.submit``) fingerprints ad-hoc traces that
-never came from a :class:`~repro.harness.runner.TraceSet`.
+Traces are referenced three ways.  A :class:`TraceSuiteSpec` names traces
+by their generation parameters (benchmark list, machine, seed, workload
+overrides) -- the reference is tiny and deterministic to materialize.
+:class:`TraceFileSpec` names on-disk ``.rtrace`` files by path *and*
+content fingerprint; like a suite spec it is wire-able and restart-safe
+(the server re-opens the files and refuses them if the bits changed), and
+jobs over it stream -- the traces never fully materialize.
+:class:`InlineTraces` carries content fingerprints of in-memory traces the
+caller already holds; it is how the in-process job path
+(``repro.api.submit``) fingerprints ad-hoc traces that never came from a
+:class:`~repro.harness.runner.TraceSet`.
 
 Result payloads are JSON too (:func:`decode_result` rehydrates them into
 result objects), so a result served over the socket, replayed from a
@@ -114,6 +118,97 @@ class TraceSuiteSpec:
 
 
 @dataclass(frozen=True)
+class TraceFileSpec:
+    """On-disk ``.rtrace`` traces named by path plus content fingerprint.
+
+    The third wire-able trace reference: the paths let any process with the
+    same filesystem view (the server after a restart, a worker on a shared
+    mount) re-open the traces, and the recorded fingerprints pin the exact
+    bits -- :meth:`resolve` refuses a file whose footer fingerprint
+    drifted.  Only the fingerprints enter :meth:`token`, so moving or
+    renaming the files never changes job identity, exactly as ``hosts``
+    never does.  Jobs over a file spec stream chunk-wise through
+    :class:`~repro.trace.interchange.FileTraceSource`.
+    """
+
+    paths: Tuple[str, ...]
+    fingerprints: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.paths) != len(self.fingerprints):
+            raise JobSpecError(
+                f"{len(self.paths)} trace paths but "
+                f"{len(self.fingerprints)} fingerprints"
+            )
+        if not self.paths:
+            raise JobSpecError("file trace reference names no files")
+
+    @classmethod
+    def from_paths(cls, paths: Sequence[str]) -> "TraceFileSpec":
+        """Build a spec from files on disk, reading fingerprints from footers."""
+        from repro.trace.interchange import FileTraceSource
+
+        resolved = [str(path) for path in paths]
+        return cls(
+            paths=tuple(resolved),
+            fingerprints=tuple(
+                FileTraceSource(path).fingerprint() for path in resolved
+            ),
+        )
+
+    def resolve(self) -> list:
+        """Open every file as a :class:`FileTraceSource`, verifying identity.
+
+        Raises :class:`JobSpecError` when a file is unreadable or its
+        footer fingerprint does not match the spec (the cheap O(1) check;
+        per-chunk checksums cover the payload during streaming).
+        """
+        from repro.trace.interchange import FileTraceSource, TraceFormatError
+
+        sources = []
+        for path, expected in zip(self.paths, self.fingerprints):
+            try:
+                source = FileTraceSource(path)
+            except (OSError, TraceFormatError) as error:
+                raise JobSpecError(f"cannot open trace file: {error}") from error
+            actual = source.fingerprint()
+            if actual != expected:
+                raise JobSpecError(
+                    f"trace file {path} fingerprint {actual} does not match "
+                    f"the job spec's {expected}"
+                )
+            sources.append(source)
+        return sources
+
+    def token(self) -> str:
+        return "file:" + ",".join(self.fingerprints)
+
+    def to_json(self) -> dict:
+        return {
+            "mode": "file",
+            "files": [
+                {"path": path, "fingerprint": fingerprint}
+                for path, fingerprint in zip(self.paths, self.fingerprints)
+            ],
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "TraceFileSpec":
+        files = data.get("files")
+        if not isinstance(files, (list, tuple)) or not files:
+            raise JobSpecError("file trace reference needs a 'files' list")
+        try:
+            return cls(
+                paths=tuple(str(entry["path"]) for entry in files),
+                fingerprints=tuple(str(entry["fingerprint"]) for entry in files),
+            )
+        except (KeyError, TypeError) as error:
+            raise JobSpecError(
+                f"malformed file trace reference: {error}"
+            ) from error
+
+
+@dataclass(frozen=True)
 class InlineTraces:
     """Traces the submitter holds in memory, identified purely by content.
 
@@ -168,7 +263,7 @@ class JobSpec:
 
     kind: str
     schemes: Tuple[str, ...] = ()
-    traces: Union[TraceSuiteSpec, InlineTraces, None] = None
+    traces: Union[TraceSuiteSpec, TraceFileSpec, InlineTraces, None] = None
     exclude_writer: bool = True
     topology: str = "mesh"
     model: Tuple[float, float, float] = (1.0, 9.0, 1.0)
@@ -203,7 +298,7 @@ class JobSpec:
         cls,
         kind: str,
         schemes: Sequence = (),
-        traces: Union[TraceSuiteSpec, InlineTraces, None] = None,
+        traces: Union[TraceSuiteSpec, TraceFileSpec, InlineTraces, None] = None,
         *,
         exclude_writer: bool = True,
         topology: str = "mesh",
@@ -292,11 +387,13 @@ class JobSpec:
                 f"job schema {data.get('schema')!r} != {JOB_SCHEMA}"
             )
         traces_data = data.get("traces")
-        traces: Union[TraceSuiteSpec, InlineTraces, None] = None
+        traces: Union[TraceSuiteSpec, TraceFileSpec, InlineTraces, None] = None
         if traces_data is not None:
             mode = traces_data.get("mode")
             if mode == "suite":
                 traces = TraceSuiteSpec.from_json(traces_data)
+            elif mode == "file":
+                traces = TraceFileSpec.from_json(traces_data)
             elif mode == "inline":
                 traces = InlineTraces.from_json(traces_data)
             else:

@@ -67,6 +67,7 @@ from repro.service.jobs import (
     InlineTraces,
     JobSpec,
     JobSpecError,
+    TraceFileSpec,
     TraceSuiteSpec,
     encode_counts,
     grid_from_spec,
@@ -527,6 +528,10 @@ class JobRegistry:
             return self._run_scenario(record, engine)
         if isinstance(spec.traces, TraceSuiteSpec):
             trace_objs = spec.traces.build().traces()
+        elif isinstance(spec.traces, TraceFileSpec):
+            # streamed: the engine consumes the sources chunk-wise (or
+            # materializes them itself when it cannot stream)
+            trace_objs = spec.traces.resolve()
         else:
             trace_objs = list(traces)
         schemes = [parse_scheme(name) for name in spec.schemes]

@@ -173,11 +173,119 @@ class PublishedTraces:
             pass
 
 
-def publish_traces(traces: Sequence[SharingTrace]) -> PublishedTraces:
+def _field_specs(num_events: int, num_nodes: int) -> Dict[str, Tuple[tuple, np.dtype]]:
+    """Canonical ``field -> (shape, dtype)`` for a trace of known size.
+
+    What lets a publisher size a segment before seeing any data -- the
+    shapes depend only on event count and machine width.
+    """
+    from repro.util.bitmaps import bitmap_layout
+
+    layout = bitmap_layout(num_nodes)
+    bitmap_shape = (
+        (num_events, layout.n_words) if layout.packed else (num_events,)
+    )
+    int_col = ((num_events,), np.dtype(np.int64))
+    return {
+        "writer": int_col,
+        "pc": int_col,
+        "home": int_col,
+        "block": int_col,
+        "truth": (bitmap_shape, np.dtype(layout.dtype)),
+        "inval": (bitmap_shape, np.dtype(layout.dtype)),
+        "has_inval": ((num_events,), np.dtype(bool)),
+        "close": int_col,
+    }
+
+
+def _publish_one(published: PublishedTraces, trace) -> int:
+    """Publish one trace (resident or source) into a fresh segment.
+
+    A :class:`~repro.trace.source.TraceSource` is copied **chunk-wise**:
+    the segment is sized from the source's header, each chunk's columns
+    land directly in their shared-memory slots, and the descriptor
+    fingerprint is computed over zero-copy views of the filled segment --
+    the trace never materializes in the publisher's heap.  Returns the
+    published byte count.
+    """
+    from repro.trace.source import TraceSource
+
+    streaming = isinstance(trace, TraceSource)
+    num_events = len(trace)
+    specs = _field_specs(num_events, trace.num_nodes)
+    if not streaming:
+        for field, (shape, dtype) in specs.items():
+            array = np.ascontiguousarray(getattr(trace, field))
+            if array.shape != shape or array.dtype != dtype:
+                specs[field] = (array.shape, array.dtype)
+    total = sum(
+        int(np.prod(shape)) * dtype.itemsize for shape, dtype in specs.values()
+    )
+    segment = _shared_memory.SharedMemory(create=True, size=max(1, total))
+    published._segments.append(segment)
+    fields: Dict[str, _FieldLayout] = {}
+    views: Dict[str, np.ndarray] = {}
+    offset = 0
+    for field, (shape, dtype) in specs.items():
+        views[field] = np.ndarray(
+            shape, dtype=dtype, buffer=segment.buf, offset=offset
+        )
+        fields[field] = _FieldLayout(
+            offset=offset,
+            length=shape[0],
+            dtype=str(dtype),
+            words=shape[1] if len(shape) == 2 else 0,
+        )
+        offset += views[field].nbytes
+    if streaming:
+        filled = 0
+        for chunk in trace.chunks():
+            stop = filled + len(chunk)
+            for field in TRACE_FIELDS:
+                views[field][filled:stop] = getattr(chunk, field)
+            filled = stop
+        if filled != num_events:
+            raise ValueError(
+                f"source {trace.name!r} yielded {filled} events, "
+                f"header promised {num_events}"
+            )
+    else:
+        for field in TRACE_FIELDS:
+            views[field][:] = getattr(trace, field)
+    # Fingerprint the shared buffer itself (zero-copy views) so streamed
+    # and resident publishes of the same content produce the same
+    # descriptor -- workers verify against it after attaching.
+    shared_trace = SharingTrace(
+        num_nodes=trace.num_nodes,
+        name=trace.name,
+        machine=trace.machine,
+        **views,
+    )
+    published.descriptors.append(
+        TraceDescriptor(
+            segment=segment.name,
+            trace_name=trace.name,
+            num_nodes=trace.num_nodes,
+            num_events=num_events,
+            fingerprint=trace_fingerprint(shared_trace),
+            fields=fields,
+            machine=(
+                trace.machine.to_json() if trace.machine is not None else ""
+            ),
+        )
+    )
+    return total
+
+
+def publish_traces(traces: Sequence) -> PublishedTraces:
     """Copy each trace's arrays into one shared segment per trace.
 
-    Returns a :class:`PublishedTraces` whose ``descriptors`` parallel the
-    input order.  The caller owns cleanup via :meth:`PublishedTraces.close`.
+    Accepts resident :class:`SharingTrace` objects and streaming
+    :class:`~repro.trace.source.TraceSource` instances; sources fill their
+    segment chunk by chunk, so publishing a file-backed trace peaks at one
+    chunk of heap, not one trace.  Returns a :class:`PublishedTraces`
+    whose ``descriptors`` parallel the input order.  The caller owns
+    cleanup via :meth:`PublishedTraces.close`.
 
     Raises:
         RuntimeError: shared memory is unavailable on this interpreter.
@@ -190,39 +298,7 @@ def publish_traces(traces: Sequence[SharingTrace]) -> PublishedTraces:
     published = PublishedTraces()
     try:
         for trace in traces:
-            arrays = {
-                field: np.ascontiguousarray(getattr(trace, field))
-                for field in TRACE_FIELDS
-            }
-            total = sum(array.nbytes for array in arrays.values())
-            segment = _shared_memory.SharedMemory(create=True, size=max(1, total))
-            published._segments.append(segment)
-            fields: Dict[str, _FieldLayout] = {}
-            offset = 0
-            for field, array in arrays.items():
-                view = np.ndarray(array.shape, dtype=array.dtype,
-                                  buffer=segment.buf, offset=offset)
-                view[:] = array
-                fields[field] = _FieldLayout(
-                    offset=offset,
-                    length=len(array),
-                    dtype=str(array.dtype),
-                    words=array.shape[1] if array.ndim == 2 else 0,
-                )
-                offset += array.nbytes
-            published.descriptors.append(
-                TraceDescriptor(
-                    segment=segment.name,
-                    trace_name=trace.name,
-                    num_nodes=trace.num_nodes,
-                    num_events=len(trace),
-                    fingerprint=trace_fingerprint(trace),
-                    fields=fields,
-                    machine=(
-                        trace.machine.to_json() if trace.machine is not None else ""
-                    ),
-                )
-            )
+            total = _publish_one(published, trace)
             telemetry.count("shm.publishes")
             telemetry.count("shm.bytes_published", total)
     except BaseException:

@@ -8,12 +8,13 @@ simulation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Set
+from typing import Dict, Set, Union
 
 import numpy as np
 
 from repro.metrics.confusion import ConfusionCounts
 from repro.trace.events import SharingTrace
+from repro.trace.source import TraceChunk, TraceSource, as_source
 
 
 @dataclass(frozen=True)
@@ -44,27 +45,64 @@ class TraceStats:
         return self.sharing_events / self.events
 
 
-def compute_trace_stats(trace: SharingTrace) -> TraceStats:
-    """Derive all statistics from one trace."""
-    length = len(trace)
-    sharing_events = int(trace.layout.popcount(trace.truth).sum()) if length else 0
-    pcs_by_node: Dict[int, Set[int]] = {}
-    for writer, pc in zip(trace.writer.tolist(), trace.pc.tolist()):
-        pcs_by_node.setdefault(writer, set()).add(pc)
-    max_stores = max((len(pcs) for pcs in pcs_by_node.values()), default=0)
-    return TraceStats(
-        name=trace.name,
-        num_nodes=trace.num_nodes,
-        events=length,
-        blocks_touched=int(np.unique(trace.block).size) if length else 0,
-        max_static_stores_per_node=max_stores,
-        max_predicted_stores_per_node=max_stores,
-        sharing_events=sharing_events,
-        sharing_decisions=length * trace.num_nodes,
-    )
+class TraceStatsAccumulator:
+    """Single-pass stats over chunked events.
+
+    Per-chunk numpy reductions feed O(distinct blocks + distinct store
+    sites) running state, so stats over a file-backed source never
+    materialize the trace.  Feeding a whole trace as one chunk is the
+    resident case -- :func:`compute_trace_stats` is now just this
+    accumulator run over ``source.chunks()``.
+    """
+
+    def __init__(self, name: str, num_nodes: int):
+        self.name = name
+        self.num_nodes = num_nodes
+        self._events = 0
+        self._sharing_events = 0
+        self._blocks: Set[int] = set()
+        self._pcs_by_node: Dict[int, Set[int]] = {}
+
+    def update(self, chunk: TraceChunk) -> None:
+        self._events += len(chunk)
+        if len(chunk) == 0:
+            return
+        self._sharing_events += int(chunk.layout.popcount(chunk.truth).sum())
+        self._blocks.update(np.unique(chunk.block).tolist())
+        # distinct (writer, pc) pairs per chunk keep the python-level set
+        # work proportional to site count, not event count
+        sites = np.unique(
+            np.stack([chunk.writer, chunk.pc], axis=1), axis=0
+        )
+        for writer, pc in sites.tolist():
+            self._pcs_by_node.setdefault(writer, set()).add(pc)
+
+    def finish(self) -> TraceStats:
+        max_stores = max(
+            (len(pcs) for pcs in self._pcs_by_node.values()), default=0
+        )
+        return TraceStats(
+            name=self.name,
+            num_nodes=self.num_nodes,
+            events=self._events,
+            blocks_touched=len(self._blocks),
+            max_static_stores_per_node=max_stores,
+            max_predicted_stores_per_node=max_stores,
+            sharing_events=self._sharing_events,
+            sharing_decisions=self._events * self.num_nodes,
+        )
 
 
-def oracle_counts(trace: SharingTrace) -> ConfusionCounts:
+def compute_trace_stats(trace: Union[SharingTrace, TraceSource]) -> TraceStats:
+    """Derive all statistics from one trace or source (single pass)."""
+    source = as_source(trace)
+    accumulator = TraceStatsAccumulator(source.name, source.num_nodes)
+    for chunk in source.chunks():
+        accumulator.update(chunk)
+    return accumulator.finish()
+
+
+def oracle_counts(trace: Union[SharingTrace, TraceSource]) -> ConfusionCounts:
     """Confusion counts of a perfect predictor (all positives true).
 
     Useful as the upper-bound row in reports: sensitivity and PVP are both

@@ -1,0 +1,129 @@
+"""TraceFileSpec: .rtrace files as a first-class wire-able trace reference.
+
+The spec names on-disk interchange files by path *and* content
+fingerprint.  The fingerprint is the identity -- moving a file does not
+change the job it names, and a file whose content disagrees with its spec
+is refused.  Jobs over file specs stream the sources chunk-wise and must
+decode bit-identically to the same work over resident traces.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.schemes import parse_scheme
+from repro.engine.backends import VectorizedEngine
+from repro.service.handles import DEDUP_CACHED, DEDUP_COALESCED, LocalJobHandle
+from repro.service.jobs import JobSpec, JobSpecError, TraceFileSpec
+from repro.service.registry import JobRegistry
+from repro.trace.interchange import write_source
+from tests.conftest import make_random_trace
+
+SCHEMES = ["last(add10)", "union(add10)2", "pas(pid+add8)[ordered]"]
+
+
+@pytest.fixture
+def traces():
+    return [
+        make_random_trace(num_nodes=8, num_events=150, num_blocks=10, seed="fs-a"),
+        make_random_trace(num_nodes=8, num_events=120, num_blocks=8, seed="fs-b"),
+    ]
+
+
+@pytest.fixture
+def paths(traces, tmp_path):
+    paths = []
+    for index, trace in enumerate(traces):
+        path = tmp_path / f"suite-{index}.rtrace"
+        write_source(trace, path, chunk_events=64)
+        paths.append(str(path))
+    return paths
+
+
+class TestSpec:
+    def test_from_paths_reads_footer_fingerprints(self, traces, paths):
+        from repro.trace.source import stream_fingerprint
+
+        spec = TraceFileSpec.from_paths(paths)
+        assert spec.paths == tuple(paths)
+        assert spec.fingerprints == tuple(
+            stream_fingerprint(trace) for trace in traces
+        )
+        assert spec.token().startswith("file:")
+
+    def test_json_round_trip(self, paths):
+        spec = TraceFileSpec.from_paths(paths)
+        job = JobSpec.make("evaluate", SCHEMES, spec)
+        decoded = JobSpec.from_json(job.to_json())
+        assert decoded == job
+        assert decoded.fingerprint() == job.fingerprint()
+
+    def test_fingerprint_survives_a_file_move(self, paths, tmp_path):
+        """Job identity is content, not location: renaming the file names
+        the same computation (mirrors hosts staying out of fingerprints)."""
+        spec = TraceFileSpec.from_paths(paths)
+        before = JobSpec.make("evaluate", SCHEMES, spec).fingerprint()
+        moved = str(tmp_path / "elsewhere.rtrace")
+        os.rename(paths[0], moved)
+        spec_moved = TraceFileSpec.from_paths([moved, paths[1]])
+        after = JobSpec.make("evaluate", SCHEMES, spec_moved).fingerprint()
+        assert after == before
+
+    def test_resolve_verifies_content_fingerprints(self, paths):
+        forged = TraceFileSpec(paths=(paths[0],), fingerprints=("0" * 16,))
+        with pytest.raises(JobSpecError, match="fingerprint"):
+            forged.resolve()
+
+    def test_missing_file_rejected(self, tmp_path):
+        spec = TraceFileSpec(
+            paths=(str(tmp_path / "absent.rtrace"),), fingerprints=("0" * 16,)
+        )
+        with pytest.raises(JobSpecError):
+            spec.resolve()
+
+    def test_mismatched_lengths_rejected(self, paths):
+        with pytest.raises(JobSpecError):
+            TraceFileSpec(paths=tuple(paths), fingerprints=("0" * 16,))
+
+    def test_empty_spec_rejected(self):
+        with pytest.raises(JobSpecError):
+            TraceFileSpec(paths=(), fingerprints=())
+
+
+class TestJobs:
+    def run_job(self, registry, spec):
+        record, origin = registry.submit(spec)
+        return LocalJobHandle(record, origin).result(timeout=120), origin
+
+    def test_evaluate_matches_resident(self, traces, paths, tmp_path):
+        spec = JobSpec.make("evaluate", SCHEMES, TraceFileSpec.from_paths(paths))
+        with JobRegistry(
+            engine=VectorizedEngine(), state_dir=tmp_path / "state"
+        ) as registry:
+            result, _ = self.run_job(registry, spec)
+        parsed = [parse_scheme(text) for text in SCHEMES]
+        assert result == VectorizedEngine().evaluate_batch(parsed, traces)
+
+    def test_traffic_matches_resident(self, traces, paths, tmp_path):
+        spec = JobSpec.make("traffic", SCHEMES[:2], TraceFileSpec.from_paths(paths))
+        with JobRegistry(
+            engine=VectorizedEngine(), state_dir=tmp_path / "state"
+        ) as registry:
+            result, _ = self.run_job(registry, spec)
+        parsed = [parse_scheme(text) for text in SCHEMES[:2]]
+        assert result == VectorizedEngine().evaluate_traffic(parsed, traces)
+
+    def test_resubmission_is_served_from_the_result_cache(self, paths, tmp_path):
+        spec = JobSpec.make("evaluate", SCHEMES, TraceFileSpec.from_paths(paths))
+        with JobRegistry(
+            engine=VectorizedEngine(), state_dir=tmp_path / "state"
+        ) as registry:
+            first, _ = self.run_job(registry, spec)
+            second, origin = self.run_job(registry, spec)
+        # same fingerprint -> the same computation, never a rerun (the
+        # finished record may still sit in the dedup map or be served
+        # from the durable cache, depending on eviction timing)
+        assert origin in (DEDUP_CACHED, DEDUP_COALESCED)
+        assert first == second

@@ -1,0 +1,136 @@
+"""CI smoke: external CSV -> .rtrace -> streamed sweep, bit-for-bit.
+
+End-to-end drill of the trace interchange pipeline at realistic scale,
+exercised through the real CLIs (``repro-trace``, ``repro-bench``), not
+in-process shortcuts:
+
+1. generate a ~1M-store synthetic access CSV (the documented
+   ``cycle,node,op,addr,pc`` column contract);
+2. import it with ``repro-trace import --verify`` (streaming builder,
+   content fingerprint re-checked from disk);
+3. evaluate a scheme sweep and a traffic replay over the file-backed
+   source AND over the same trace materialized resident -- every result
+   must be bit-identical;
+4. run ``repro-bench --trace-file ... --traffic`` over the imported
+   file, proving the harness consumes an external trace end to end.
+
+Usage (CI runs this as the trace-import-smoke job)::
+
+    PYTHONPATH=src python tests/trace/import_smoke.py
+        [--events N] [--artifact-dir DIR]
+
+Not a pytest file on purpose: it shells out to real subprocesses, takes
+minutes at full scale, and its product is an artifact JSON -- the fast
+equivalents live in tests/trace/test_interchange.py and
+tests/engine/test_stream_equivalence.py.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+SWEEP_SCHEMES = ("last(add10)", "union(add10)2", "inter(pid+pc8)2")
+TRAFFIC_SCHEMES = ("last()1", "union(dir+add14)4")
+
+
+def run_cli(module: str, *argv: str) -> float:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    ).rstrip(os.pathsep)
+    started = time.perf_counter()
+    subprocess.run(
+        [sys.executable, "-m", module, *argv], env=env, check=True
+    )
+    return time.perf_counter() - started
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--events", type=int, default=1_000_000,
+                        help="synthetic store count (default 1M)")
+    parser.add_argument("--artifact-dir", default=None,
+                        help="directory for the smoke's artifact JSON")
+    args = parser.parse_args(argv)
+
+    sys.path.insert(0, str(SRC))
+    from repro.core.schemes import parse_scheme
+    from repro.engine.backends import VectorizedEngine
+    from repro.trace.interchange import FileTraceSource
+
+    artifact = {"smoke": "trace-import", "events_requested": args.events}
+
+    with tempfile.TemporaryDirectory(prefix="import-smoke-") as tmp:
+        csv_path = os.path.join(tmp, "trace.csv")
+        rtrace_path = os.path.join(tmp, "trace.rtrace")
+
+        print(f"== synthesizing {args.events} stores of CSV", flush=True)
+        artifact["synth_seconds"] = run_cli(
+            "repro.trace.interchange", "synth-csv", csv_path,
+            "--events", str(args.events), "--nodes", "16",
+            "--blocks", "4096", "--seed", "1",
+        )
+
+        print("== importing (repro-trace import --verify)", flush=True)
+        artifact["import_seconds"] = run_cli(
+            "repro.trace.interchange", "import", csv_path, rtrace_path,
+            "--nodes", "16", "--verify",
+        )
+
+        source = FileTraceSource(rtrace_path)
+        artifact["events"] = len(source)
+        artifact["fingerprint"] = source.fingerprint()
+        assert len(source) == args.events, (
+            f"importer produced {len(source)} events, expected {args.events}"
+        )
+
+        print("== streamed vs resident sweep", flush=True)
+        engine = VectorizedEngine()
+        sweep = [parse_scheme(text) for text in SWEEP_SCHEMES]
+        started = time.perf_counter()
+        streamed = engine.evaluate_batch(sweep, [source])
+        artifact["streamed_sweep_seconds"] = time.perf_counter() - started
+        resident_trace = source.materialize()
+        resident = engine.evaluate_batch(sweep, [resident_trace])
+        assert streamed == resident, "streamed sweep != resident sweep"
+        artifact["sweep_bit_identical"] = True
+
+        print("== streamed vs resident traffic replay", flush=True)
+        traffic = [parse_scheme(text) for text in TRAFFIC_SCHEMES]
+        streamed_traffic = engine.evaluate_traffic(traffic, [source])
+        resident_traffic = engine.evaluate_traffic(traffic, [resident_trace])
+        assert streamed_traffic == resident_traffic, (
+            "streamed traffic != resident traffic"
+        )
+        artifact["traffic_bit_identical"] = True
+        del resident_trace, resident, resident_traffic
+
+        print("== repro-bench --trace-file end to end", flush=True)
+        artifact["bench_cli_seconds"] = run_cli(
+            "repro.harness.cli",
+            "--trace-file", rtrace_path, "--traffic", "--no-cache",
+            "--backend", "vectorized",
+        )
+
+    print(json.dumps(artifact, indent=2))
+    if args.artifact_dir:
+        out = Path(args.artifact_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        (out / "trace_import_smoke.json").write_text(
+            json.dumps(artifact, indent=2) + "\n", encoding="utf-8"
+        )
+    print("TRACE IMPORT SMOKE: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
